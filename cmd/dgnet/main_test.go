@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diffgossip/internal/graph"
+)
+
+func TestPrintStats(t *testing.T) {
+	g := graph.MustPA(500, 2, 1)
+	var buf bytes.Buffer
+	printStats(&buf, g, 2)
+	out := buf.String()
+	for _, want := range []string{
+		"nodes              500",
+		"connected          true",
+		"power-law gamma",
+		"fan-out histogram",
+		"degree histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintEdges(t *testing.T) {
+	g := graph.Figure2()
+	var buf bytes.Buffer
+	printEdges(&buf, g)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != g.M() {
+		t.Fatalf("edge dump has %d lines, want %d", len(lines), g.M())
+	}
+	if lines[0] != "0 1" {
+		t.Fatalf("first edge %q", lines[0])
+	}
+}

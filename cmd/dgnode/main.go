@@ -1,0 +1,97 @@
+// Command dgnode runs one differential-gossip peer over real TCP — the
+// deployable form of the paper's Algorithm 1. Start one process per peer,
+// point each at its overlay neighbours, and every process converges to the
+// network-wide aggregate of the supplied values.
+//
+// Example (three peers on a triangle, run in three shells):
+//
+//	dgnode -listen 127.0.0.1:7001 -peers 127.0.0.1:7002,127.0.0.1:7003 -value 0.2
+//	dgnode -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7003 -value 0.5
+//	dgnode -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002 -value 0.8
+//
+// Each prints the converged estimate (0.5) when it and its neighbours agree.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"diffgossip/internal/agent"
+	"diffgossip/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		peers   = flag.String("peers", "", "comma-separated neighbour addresses")
+		value   = flag.Float64("value", 0, "this node's direct-trust feedback (y0)")
+		weight  = flag.Float64("weight", 1, "this node's gossip weight (1 = rater)")
+		subject = flag.Int("subject", 0, "subject id the gossip concerns")
+		epsilon = flag.Float64("epsilon", 1e-4, "convergence tolerance ξ")
+		timeout = flag.Duration("timeout", 2*time.Minute, "give up after this long")
+		tick    = flag.Duration("tick", 20*time.Millisecond, "gossip tick interval")
+		seed    = flag.Uint64("seed", 0, "seed for neighbour selection (0 = from listen addr)")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *peers, *value, *weight, *subject, *epsilon, *timeout, *tick, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dgnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, peers string, value, weight float64, subject int,
+	epsilon float64, timeout, tick time.Duration, seed uint64) error {
+
+	nbrs := strings.Split(peers, ",")
+	var clean []string
+	for _, p := range nbrs {
+		if p = strings.TrimSpace(p); p != "" {
+			clean = append(clean, p)
+		}
+	}
+	if len(clean) == 0 {
+		return fmt.Errorf("no -peers given")
+	}
+
+	tr, err := transport.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	fmt.Printf("listening on %s, gossiping with %d neighbours\n", tr.Addr(), len(clean))
+
+	if seed == 0 {
+		for _, c := range tr.Addr() {
+			seed = seed*31 + uint64(c)
+		}
+	}
+	a, err := agent.New(agent.Config{
+		Transport:    tr,
+		Neighbors:    clean,
+		Subject:      subject,
+		Y0:           value,
+		G0:           weight,
+		Epsilon:      epsilon,
+		TickInterval: tick,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := a.Run(ctx)
+	if err != nil {
+		return fmt.Errorf("gossip did not finish: %w (estimate so far %.6f after %d ticks)",
+			err, res.Estimate, res.Ticks)
+	}
+	fmt.Printf("converged: estimate %.6f (ticks %d, shares sent %d, lost %d)\n",
+		res.Estimate, res.Ticks, res.SharesSent, res.SharesLost)
+	return nil
+}

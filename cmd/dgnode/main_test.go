@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsNoPeers(t *testing.T) {
+	if err := run("127.0.0.1:0", "", 0.5, 1, 0, 1e-3, time.Second, time.Millisecond, 1); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if err := run("127.0.0.1:0", " , ,", 0.5, 1, 0, 1e-3, time.Second, time.Millisecond, 1); err == nil {
+		t.Fatal("blank peer list accepted")
+	}
+}
+
+func TestRunRejectsBadListenAddr(t *testing.T) {
+	if err := run("256.256.256.256:99999", "127.0.0.1:1", 0.5, 1, 0, 1e-3, time.Second, time.Millisecond, 1); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestThreeNodeCluster(t *testing.T) {
+	// Three dgnode processes-worth of logic on fixed local ports.
+	ports := []string{"127.0.0.1:39411", "127.0.0.1:39412", "127.0.0.1:39413"}
+	values := []float64{0.2, 0.5, 0.8}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		var peers []string
+		for j := 0; j < 3; j++ {
+			if j != i {
+				peers = append(peers, ports[j])
+			}
+		}
+		wg.Add(1)
+		go func(i int, peerList string) {
+			defer wg.Done()
+			errs[i] = run(ports[i], peerList, values[i], 1, 0,
+				1e-4, 30*time.Second, 2*time.Millisecond, uint64(i+1))
+		}(i, strings.Join(peers, ","))
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package diffgossip_test
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g, err := diffgossip.NewPANetwork(200, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := diffgossip.NewTrustMatrix(200)
+	for i := 0; i < 200; i += 2 {
+		if i != 9 {
+			if err := tm.Set(i, 9, 0.8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := diffgossip.AggregateGlobal(g, tm, 9, diffgossip.Params{Epsilon: 1e-6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("public API aggregation did not converge")
+	}
+	want := diffgossip.GlobalReference(tm, 9)
+	if math.Abs(want-0.8) > 1e-12 {
+		t.Fatalf("reference = %v, want 0.8", want)
+	}
+	for i, v := range res.PerNode {
+		if math.Abs(v-want) > 1e-3 {
+			t.Fatalf("node %d estimate %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestPublicGCLRFlow(t *testing.T) {
+	g, err := diffgossip.NewPANetwork(100, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := diffgossip.NewTrustMatrix(100)
+	for i := 1; i < 100; i++ {
+		if err := tm.Set(i, 0, float64(i%10)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := diffgossip.Params{Epsilon: 1e-8, Seed: 4}
+	res, err := diffgossip.AggregateGCLR(g, tm, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.PerNode {
+		want := diffgossip.GCLRReference(g, tm, i, 0, p)
+		if math.Abs(v-want) > 5e-3 {
+			t.Fatalf("observer %d: %v vs reference %v", i, v, want)
+		}
+	}
+}
+
+func TestPublicAllVariants(t *testing.T) {
+	g, err := diffgossip.NewPANetwork(60, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := diffgossip.NewTrustMatrix(60)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if i != j && (i+j)%3 == 0 {
+				if err := tm.Set(i, j, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	p := diffgossip.Params{Epsilon: 1e-6, Seed: 6}
+	all, err := diffgossip.AggregateGlobalAll(g, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Converged {
+		t.Fatal("GlobalAll did not converge")
+	}
+	gclr, err := diffgossip.AggregateGCLRAll(g, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gclr.Converged {
+		t.Fatal("GCLRAll did not converge")
+	}
+	for j := 0; j < 60; j++ {
+		want := diffgossip.GlobalReference(tm, j)
+		if want == 0 {
+			continue
+		}
+		if math.Abs(all.Reputation[0][j]-want) > 1e-2 {
+			t.Fatalf("GlobalAll[0][%d] = %v, want %v", j, all.Reputation[0][j], want)
+		}
+	}
+}
+
+func TestPublicProtocols(t *testing.T) {
+	g, err := diffgossip.NewPANetwork(150, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := diffgossip.NewTrustMatrix(150)
+	for i := 1; i < 150; i++ {
+		if err := tm.Set(i, 0, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, proto := range []diffgossip.Protocol{
+		diffgossip.DifferentialPush, diffgossip.NormalPush,
+		diffgossip.CeilPush,
+	} {
+		res, err := diffgossip.AggregateGlobal(g, tm, 0, diffgossip.Params{
+			Epsilon: 1e-5, Seed: 8, Protocol: proto,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", proto)
+		}
+	}
+	res, err := diffgossip.AggregateGlobal(g, tm, 0, diffgossip.Params{
+		Epsilon: 1e-5, Seed: 8, Protocol: diffgossip.FixedPush, FixedK: 2,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("FixedPush: %v (converged %v)", err, res != nil && res.Converged)
+	}
+}
+
+func TestFigure2Network(t *testing.T) {
+	g := diffgossip.Figure2Network()
+	if g.N() != 10 || g.M() != 16 {
+		t.Fatalf("Figure2: N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestNewNetworkManualEdges(t *testing.T) {
+	g := diffgossip.NewNetwork(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	tm := diffgossip.NewTrustMatrix(3)
+	if err := tm.Set(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := diffgossip.AggregateGlobal(g, tm, 2, diffgossip.Params{Epsilon: 1e-6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.PerNode {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("node %d estimate %v, want 1", i, v)
+		}
+	}
+}
+
+func TestDefaultWeightParamsExported(t *testing.T) {
+	if diffgossip.DefaultWeightParams.A != 10 || diffgossip.DefaultWeightParams.B != 1 {
+		t.Fatalf("DefaultWeightParams = %+v", diffgossip.DefaultWeightParams)
+	}
+}

@@ -1,0 +1,54 @@
+// Churn: the paper's Figure 4 scenario in miniature. Peer-to-peer gossip
+// loses pushes when nodes leave mid-round; the protocol re-absorbs lost
+// shares at the sender so the aggregate mass is conserved, and convergence
+// degrades only mildly even at 30% loss.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"diffgossip"
+	"diffgossip/internal/gossip"
+	"diffgossip/internal/rng"
+)
+
+func main() {
+	const n = 2000
+
+	g, err := diffgossip.NewPANetwork(n, 2, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := rng.New(22)
+	xs := make([]float64, n)
+	truth := 0.0
+	for i := range xs {
+		xs[i] = src.Float64()
+		truth += xs[i]
+	}
+	truth /= n
+
+	fmt.Printf("true mean %.6f; differential gossip at ξ=1e-5 under packet loss:\n", truth)
+	fmt.Printf("  %-6s  %-6s  %-10s  %-9s\n", "loss", "steps", "max error", "dropped")
+	for _, loss := range []float64{0, 0.1, 0.2, 0.3} {
+		res, err := gossip.Average(gossip.Config{
+			Graph:    g,
+			Epsilon:  1e-5,
+			LossProb: loss,
+			Seed:     23,
+		}, xs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxErr := 0.0
+		for _, est := range res.Estimates {
+			if d := math.Abs(est - truth); d > maxErr {
+				maxErr = d
+			}
+		}
+		fmt.Printf("  %-6.1f  %-6d  %-10.2e  %d/%d\n",
+			loss, res.Steps, maxErr, res.Messages.Lost, res.Messages.Gossip)
+	}
+}

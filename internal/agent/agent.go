@@ -1,0 +1,316 @@
+// Package agent runs the differential gossip protocol as a real distributed
+// process: each Agent owns one transport endpoint, exchanges degree
+// announcements, gossip shares and convergence flags with its overlay
+// neighbours, and converges to the network-wide aggregate exactly like the
+// synchronous simulator — demonstrating that the algorithm in internal/core
+// deploys unchanged over TCP.
+//
+// The agent gossips one subject's (Y, G) pair (Algorithm 1 for a single
+// node). Ticks replace the paper's synchronous steps; mass conservation holds
+// because every share sent is subtracted from the local state, and shares
+// that fail to send are re-absorbed (the paper's churn recovery).
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffgossip/internal/rng"
+	"diffgossip/internal/transport"
+)
+
+// Config parameterises an Agent.
+type Config struct {
+	// Transport is the agent's endpoint (channel hub or TCP).
+	Transport transport.Transport
+	// Neighbors are the overlay neighbours' addresses.
+	Neighbors []string
+	// Subject tags the gossip pairs (useful when several aggregations
+	// share a transport; this agent processes only matching pairs).
+	Subject int
+	// Y0 is the agent's direct-trust feedback about the subject; G0 is its
+	// initial gossip weight (1 for raters under Algorithm 1).
+	Y0, G0 float64
+	// Epsilon is the convergence tolerance ξ.
+	Epsilon float64
+	// StableTicks is how many consecutive in-tolerance ticks are required
+	// before the agent announces convergence (asynchronous networks need
+	// more than the simulator's single step; default 5).
+	StableTicks int
+	// TickInterval is the gossip cadence (default 20ms).
+	TickInterval time.Duration
+	// Seed drives neighbour selection.
+	Seed uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.StableTicks == 0 {
+		out.StableTicks = 5
+	}
+	if out.TickInterval == 0 {
+		out.TickInterval = 20 * time.Millisecond
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	if c.Transport == nil {
+		return fmt.Errorf("agent: nil transport")
+	}
+	if len(c.Neighbors) == 0 {
+		return fmt.Errorf("agent: no neighbours")
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("agent: epsilon %v must be > 0", c.Epsilon)
+	}
+	if c.G0 < 0 {
+		return fmt.Errorf("agent: negative initial weight")
+	}
+	return nil
+}
+
+// Result reports a finished run.
+type Result struct {
+	// Estimate is the final Y/G ratio.
+	Estimate float64
+	// Ticks is the number of gossip ticks executed.
+	Ticks int
+	// SharesSent and SharesLost count outbound gossip pairs.
+	SharesSent, SharesLost int
+}
+
+// Agent is one distributed gossip participant.
+type Agent struct {
+	cfg Config
+	src *rng.Source
+
+	mu        sync.Mutex
+	y, g      float64
+	prevRatio float64
+	stable    int
+	selfConv  bool
+	nbrConv   map[string]bool
+	nbrDeg    map[string]int
+	extRecv   bool
+	ticks     int
+	sent      int
+	lost      int
+}
+
+// New validates cfg and builds an Agent. Call Run to participate.
+func New(cfg Config) (*Agent, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	a := &Agent{
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed),
+		y:       cfg.Y0,
+		g:       cfg.G0,
+		nbrConv: make(map[string]bool, len(cfg.Neighbors)),
+		nbrDeg:  make(map[string]int, len(cfg.Neighbors)),
+	}
+	a.prevRatio = a.ratioLocked()
+	return a, nil
+}
+
+// ratioLocked returns Y/G or the sentinel; callers hold mu (or own the agent
+// exclusively during construction).
+func (a *Agent) ratioLocked() float64 {
+	if a.g == 0 {
+		return 10 // same sentinel as the simulator
+	}
+	return a.y / a.g
+}
+
+// Estimate returns the current ratio (0 until any weight mass arrives).
+func (a *Agent) Estimate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.g == 0 {
+		return 0
+	}
+	return a.y / a.g
+}
+
+// fanout computes k = max(1, round(degree / avgNeighbourDegree)) from the
+// degree announcements received so far; 1 until announcements arrive.
+func (a *Agent) fanout() int {
+	if len(a.nbrDeg) == 0 {
+		return 1
+	}
+	sum := 0
+	for _, d := range a.nbrDeg {
+		sum += d
+	}
+	avg := float64(sum) / float64(len(a.nbrDeg))
+	if avg == 0 {
+		return 1
+	}
+	k := float64(len(a.cfg.Neighbors)) / avg
+	if k < 1 {
+		return 1
+	}
+	if int(k+0.5) > len(a.cfg.Neighbors) {
+		return len(a.cfg.Neighbors)
+	}
+	return int(k + 0.5)
+}
+
+// Run participates in the gossip until this agent and all its neighbours have
+// announced convergence, or ctx is cancelled (the current estimate is still
+// returned with ctx.Err()).
+func (a *Agent) Run(ctx context.Context) (Result, error) {
+	tr := a.cfg.Transport
+	// Setup: announce degree to all neighbours.
+	for _, n := range a.cfg.Neighbors {
+		_ = tr.Send(n, transport.Message{
+			Kind:   transport.KindDegree,
+			Degree: len(a.cfg.Neighbors),
+		})
+	}
+
+	ticker := time.NewTicker(a.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return a.result(), ctx.Err()
+		case msg, ok := <-tr.Inbox():
+			if !ok {
+				return a.result(), transport.ErrClosed
+			}
+			a.handle(msg)
+			if a.finished() {
+				return a.result(), nil
+			}
+		case <-ticker.C:
+			a.tick()
+			if a.finished() {
+				return a.result(), nil
+			}
+		}
+	}
+}
+
+// handle processes one inbound protocol message.
+func (a *Agent) handle(msg transport.Message) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch msg.Kind {
+	case transport.KindDegree:
+		a.nbrDeg[msg.From] = msg.Degree
+	case transport.KindPair:
+		if msg.Subject != a.cfg.Subject {
+			return
+		}
+		a.y += msg.Y
+		a.g += msg.G
+		a.extRecv = true
+	case transport.KindConverged:
+		a.nbrConv[msg.From] = msg.Converged
+	}
+}
+
+// tick performs one gossip step: split, keep one share, push k shares.
+func (a *Agent) tick() {
+	a.mu.Lock()
+	k := a.fanout()
+	f := 1 / float64(k+1)
+	shareY, shareG := a.y*f, a.g*f
+	// Keep one share; the k outbound shares leave the local state now and
+	// are re-absorbed individually if a send fails.
+	a.y, a.g = shareY, shareG
+	a.ticks++
+	targets := a.pickNeighbors(k)
+	subject := a.cfg.Subject
+	a.mu.Unlock()
+
+	for _, n := range targets {
+		err := a.cfg.Transport.Send(n, transport.Message{
+			Kind:    transport.KindPair,
+			Subject: subject,
+			Y:       shareY,
+			G:       shareG,
+		})
+		a.mu.Lock()
+		a.sent++
+		if err != nil {
+			a.lost++
+			a.y += shareY
+			a.g += shareG
+		}
+		a.mu.Unlock()
+	}
+
+	// Convergence bookkeeping.
+	a.mu.Lock()
+	r := a.ratioLocked()
+	inTol := a.g > 0 && a.extRecv && abs(r-a.prevRatio) <= a.cfg.Epsilon
+	a.prevRatio = r
+	if inTol {
+		a.stable++
+	} else {
+		a.stable = 0
+	}
+	conv := a.stable >= a.cfg.StableTicks
+	changed := conv != a.selfConv
+	a.selfConv = conv
+	a.mu.Unlock()
+
+	if changed {
+		for _, n := range a.cfg.Neighbors {
+			_ = a.cfg.Transport.Send(n, transport.Message{
+				Kind:      transport.KindConverged,
+				Converged: conv,
+			})
+		}
+	}
+}
+
+// pickNeighbors selects k distinct neighbours; callers hold mu.
+func (a *Agent) pickNeighbors(k int) []string {
+	idx := a.src.Sample(len(a.cfg.Neighbors), k)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = a.cfg.Neighbors[j]
+	}
+	return out
+}
+
+// finished reports whether this agent and every neighbour have announced
+// convergence.
+func (a *Agent) finished() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.selfConv {
+		return false
+	}
+	for _, n := range a.cfg.Neighbors {
+		if !a.nbrConv[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Agent) result() Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	est := 0.0
+	if a.g > 0 {
+		est = a.y / a.g
+	}
+	return Result{Estimate: est, Ticks: a.ticks, SharesSent: a.sent, SharesLost: a.lost}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

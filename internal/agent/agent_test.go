@@ -1,0 +1,257 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/transport"
+)
+
+func TestConfigValidation(t *testing.T) {
+	h := transport.NewHub()
+	ep, _ := h.Endpoint("a")
+	bad := []Config{
+		{Transport: nil, Neighbors: []string{"b"}, Epsilon: 0.01},
+		{Transport: ep, Neighbors: nil, Epsilon: 0.01},
+		{Transport: ep, Neighbors: []string{"b"}, Epsilon: 0},
+		{Transport: ep, Neighbors: []string{"b"}, Epsilon: 0.1, G0: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// runCluster spins one agent per node of g over the hub, with value xs[i] and
+// weight 1 everywhere (average mode), and returns the per-node results.
+func runCluster(t *testing.T, g *graph.Graph, xs []float64, eps float64, timeout time.Duration) []Result {
+	t.Helper()
+	h := transport.NewHub()
+	n := g.N()
+	eps0 := eps
+	names := make([]string, n)
+	eps_ := make([]*transport.ChannelTransport, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("peer%d", i)
+	}
+	for i := 0; i < n; i++ {
+		ep, err := h.Endpoint(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps_[i] = ep
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		nbrs := make([]string, 0, g.Degree(i))
+		for _, v := range g.Neighbors(i) {
+			nbrs = append(nbrs, names[v])
+		}
+		a, err := New(Config{
+			Transport:    eps_[i],
+			Neighbors:    nbrs,
+			Y0:           xs[i],
+			G0:           1,
+			Epsilon:      eps0,
+			TickInterval: 2 * time.Millisecond,
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, a *Agent) {
+			defer wg.Done()
+			results[i], errs[i] = a.Run(ctx)
+		}(i, a)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v (estimate %v)", i, err, results[i].Estimate)
+		}
+	}
+	return results
+}
+
+func TestClusterConvergesToAverageOnRing(t *testing.T) {
+	g := graph.Ring(8)
+	xs := []float64{0.1, 0.9, 0.3, 0.7, 0.5, 0.2, 0.8, 0.4}
+	want := 0.0
+	for _, x := range xs {
+		want += x
+	}
+	want /= float64(len(xs))
+	results := runCluster(t, g, xs, 1e-4, 30*time.Second)
+	for i, r := range results {
+		if math.Abs(r.Estimate-want) > 0.02 {
+			t.Fatalf("agent %d estimate %v, want %v", i, r.Estimate, want)
+		}
+		if r.Ticks == 0 || r.SharesSent == 0 {
+			t.Fatalf("agent %d did not gossip: %+v", i, r)
+		}
+	}
+}
+
+func TestClusterConvergesOnPAGraph(t *testing.T) {
+	g := graph.MustPA(16, 2, 7)
+	xs := make([]float64, 16)
+	want := 0.0
+	for i := range xs {
+		xs[i] = float64(i) / 16
+		want += xs[i]
+	}
+	want /= 16
+	results := runCluster(t, g, xs, 1e-4, 30*time.Second)
+	for i, r := range results {
+		if math.Abs(r.Estimate-want) > 0.02 {
+			t.Fatalf("agent %d estimate %v, want %v", i, r.Estimate, want)
+		}
+	}
+}
+
+func TestAgentOverTCP(t *testing.T) {
+	// 6 agents on a ring over real TCP sockets on localhost.
+	n := 6
+	g := graph.Ring(n)
+	trs := make([]*transport.TCPTransport, n)
+	for i := 0; i < n; i++ {
+		tr, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+	}
+	xs := []float64{0, 1, 0.5, 0.25, 0.75, 0.5}
+	want := 0.0
+	for _, x := range xs {
+		want += x
+	}
+	want /= float64(n)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		nbrs := make([]string, 0, 2)
+		for _, v := range g.Neighbors(i) {
+			nbrs = append(nbrs, trs[v].Addr())
+		}
+		a, err := New(Config{
+			Transport:    trs[i],
+			Neighbors:    nbrs,
+			Y0:           xs[i],
+			G0:           1,
+			Epsilon:      1e-4,
+			TickInterval: 5 * time.Millisecond,
+			Seed:         uint64(i + 100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, a *Agent) {
+			defer wg.Done()
+			results[i], errs[i] = a.Run(ctx)
+		}(i, a)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("agent %d: %v", i, errs[i])
+		}
+		if math.Abs(results[i].Estimate-want) > 0.05 {
+			t.Fatalf("agent %d estimate %v, want %v", i, results[i].Estimate, want)
+		}
+	}
+}
+
+func TestAgentCancellation(t *testing.T) {
+	h := transport.NewHub()
+	a1, _ := h.Endpoint("a")
+	b1, _ := h.Endpoint("b")
+	_ = b1 // b never runs: a can never finish
+	ag, err := New(Config{
+		Transport:    a1,
+		Neighbors:    []string{"b"},
+		Y0:           0.5,
+		G0:           1,
+		Epsilon:      1e-3,
+		TickInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	res, err := ag.Run(ctx)
+	if err == nil {
+		t.Fatal("run finished without a live neighbour")
+	}
+	if res.Ticks == 0 {
+		t.Fatal("agent never ticked before cancellation")
+	}
+}
+
+func TestEstimateBeforeRun(t *testing.T) {
+	h := transport.NewHub()
+	ep, _ := h.Endpoint("solo")
+	a, err := New(Config{
+		Transport: ep, Neighbors: []string{"x"}, Y0: 0.7, G0: 1, Epsilon: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Estimate(); got != 0.7 {
+		t.Fatalf("initial estimate = %v, want 0.7", got)
+	}
+	b, err := New(Config{
+		Transport: ep, Neighbors: []string{"x"}, Y0: 0.7, G0: 0, Epsilon: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Estimate(); got != 0 {
+		t.Fatalf("zero-weight estimate = %v, want 0", got)
+	}
+}
+
+func TestLostSharesReabsorbed(t *testing.T) {
+	// Neighbour address does not exist on the hub: every push fails and is
+	// re-absorbed, so the local estimate must never drift from Y0.
+	h := transport.NewHub()
+	ep, _ := h.Endpoint("lonely")
+	a, err := New(Config{
+		Transport:    ep,
+		Neighbors:    []string{"missing"},
+		Y0:           0.42,
+		G0:           1,
+		Epsilon:      1e-6,
+		TickInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	res, _ := a.Run(ctx)
+	if res.SharesLost == 0 {
+		t.Fatal("no shares lost despite dead neighbour")
+	}
+	if math.Abs(res.Estimate-0.42) > 1e-12 {
+		t.Fatalf("estimate drifted to %v with no live peers", res.Estimate)
+	}
+}

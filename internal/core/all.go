@@ -1,0 +1,155 @@
+package core
+
+import (
+	"diffgossip/internal/gossip"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/trust"
+)
+
+// GlobalAll runs the paper's third variant: Algorithm 1 for every subject
+// simultaneously. Each node pushes its whole feedback vector y_i (with the
+// subject id attached to every pair, here the slot index) and the matching
+// gossip-weight vector g_i. Convergence uses the vector rule (7):
+// Σ_j |r_ij(n) − r_ij(n−1)| ≤ N·ξ.
+//
+// The paper notes the time complexity matches the single-subject algorithm
+// while communication grows with the vector size; call
+// (*gossip.VectorEngine).CountVectorMessages via the Messages tally — here
+// the returned Messages already charges N units per vector push.
+func GlobalAll(g *graph.Graph, t *trust.Matrix, p Params) (*AllResult, error) {
+	p = p.withDefaults()
+	if err := p.validate(g, t); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	y0 := zeros(n)
+	g0 := zeros(n)
+	for i := 0; i < n; i++ {
+		for j, v := range t.Row(i) {
+			y0[i][j] = v
+			g0[i][j] = 1
+		}
+	}
+	e, err := gossip.NewVectorEngine(p.gossipConfig(g), y0, g0)
+	if err != nil {
+		return nil, err
+	}
+	e.CountVectorMessages()
+	res := e.Run()
+	return &AllResult{
+		Reputation: res.Estimates,
+		Steps:      res.Steps,
+		Converged:  res.Converged,
+		Messages:   res.Messages,
+	}, nil
+}
+
+// GCLRAll runs the paper's fourth variant: Algorithm 2 for every subject
+// simultaneously. Nodes push their full trust vectors t_i in the feedback
+// phase, the trio vectors (y, g, count) gossip as in variant 3, and each node
+// applies eq. (6) per subject at the end.
+func GCLRAll(g *graph.Graph, t *trust.Matrix, p Params) (*AllResult, error) {
+	p = p.withDefaults()
+	if err := p.validate(g, t); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	y0 := zeros(n)
+	g0 := zeros(n)
+	c0 := zeros(n)
+	for j := 0; j < n; j++ {
+		g0[p.Root][j] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range t.Row(i) {
+			y0[i][j] = v
+			c0[i][j] = 1
+		}
+	}
+	e, err := gossip.NewVectorEngine(p.gossipConfig(g), y0, g0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.EnableCountGossip(c0); err != nil {
+		return nil, err
+	}
+	e.CountVectorMessages()
+	// Feedback phase: each node pushes its trust vector to each neighbour.
+	e.ChargeSetup(2 * g.M() * n)
+	res := e.Run()
+
+	out := &AllResult{
+		Reputation: zeros(n),
+		Counts:     res.Counts,
+		Steps:      res.Steps,
+		Converged:  res.Converged,
+		Messages:   res.Messages,
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Reputation[i][j] = combineGCLR(g, t, i, j, p, res.Estimates[i][j], res.Counts[i][j])
+		}
+	}
+	return out, nil
+}
+
+// GCLRAllFromReports is GCLRAll where the values pushed into the gossip phase
+// come from a separate "reported" matrix while the neighbour-feedback phase
+// and the confidence weights use the honest direct-interaction matrix. This
+// is exactly the collusion threat model of §5.2: colluders can lie in what
+// they gossip (third mechanism) but direct experience and neighbour feedback
+// are unaffected.
+func GCLRAllFromReports(g *graph.Graph, honest, reported *trust.Matrix, p Params) (*AllResult, error) {
+	p = p.withDefaults()
+	if err := p.validate(g, honest); err != nil {
+		return nil, err
+	}
+	if reported == nil || reported.N() != honest.N() {
+		return nil, errSize(reported, honest)
+	}
+	n := g.N()
+	y0 := zeros(n)
+	g0 := zeros(n)
+	c0 := zeros(n)
+	for j := 0; j < n; j++ {
+		g0[p.Root][j] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range reported.Row(i) {
+			y0[i][j] = v
+			c0[i][j] = 1
+		}
+	}
+	e, err := gossip.NewVectorEngine(p.gossipConfig(g), y0, g0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.EnableCountGossip(c0); err != nil {
+		return nil, err
+	}
+	e.CountVectorMessages()
+	e.ChargeSetup(2 * g.M() * n)
+	res := e.Run()
+
+	out := &AllResult{
+		Reputation: zeros(n),
+		Counts:     res.Counts,
+		Steps:      res.Steps,
+		Converged:  res.Converged,
+		Messages:   res.Messages,
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Reputation[i][j] = combineGCLR(g, honest, i, j, p, res.Estimates[i][j], res.Counts[i][j])
+		}
+	}
+	return out, nil
+}
+
+func zeros(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}

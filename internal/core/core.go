@@ -1,0 +1,132 @@
+// Package core implements the paper's primary contribution: Differential
+// Gossip Trust, the four reputation-aggregation algorithm variants of §4.1.2
+// built on the differential push-sum engine.
+//
+//   - Algorithm 1 (GlobalSingle): global reputation of one subject node —
+//     every rater starts with gossip weight 1, so all nodes converge to the
+//     mean direct-interaction trust of the subject over its raters.
+//   - Algorithm 2 (GCLRSingle): globally calibrated local reputation of one
+//     subject — neighbours' direct feedback is folded in with confidence
+//     weights w = a^(b·t) (eq. 2), the gossip computes the network-wide sum
+//     and rater count (weight 1 at a single root), and each node combines
+//     them by eq. (6).
+//   - Variant 3 (GlobalAll): Algorithm 1 for all subjects simultaneously,
+//     gossiping whole vectors with the L1 convergence rule (7).
+//   - Variant 4 (GCLRAll): Algorithm 2 for all subjects simultaneously.
+//
+// All four share Params and are deterministic given Params.Seed.
+package core
+
+import (
+	"fmt"
+
+	"diffgossip/internal/gossip"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/trust"
+)
+
+// Params configures a Differential Gossip Trust run.
+type Params struct {
+	// Epsilon is the gossip error tolerance ξ.
+	Epsilon float64
+	// Weights are the confidence-weight parameters (a_i, b_ij), used by the
+	// GCLR variants. Zero value is replaced by trust.DefaultWeightParams.
+	Weights trust.WeightParams
+	// Protocol selects the push rule; default differential push.
+	Protocol gossip.Protocol
+	// FixedK is the fan-out for gossip.FixedPush.
+	FixedK int
+	// LossProb injects churn/packet loss into every push.
+	LossProb float64
+	// MaxSteps caps gossip steps (0 = engine default).
+	MaxSteps int
+	// Seed drives all randomness.
+	Seed uint64
+	// Root is the node carrying the unit gossip weight in the sum-mode
+	// variants (Algorithm 2's "g_1 = 1"). Defaults to node 0.
+	Root int
+	// Workers parallelises the vector variants' per-step work; results are
+	// bit-identical for any value. 0/1 sequential, negative = GOMAXPROCS.
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Weights == (trust.WeightParams{}) {
+		p.Weights = trust.DefaultWeightParams
+	}
+	if p.Epsilon == 0 {
+		p.Epsilon = 1e-4
+	}
+	return p
+}
+
+func (p Params) gossipConfig(g *graph.Graph) gossip.Config {
+	return gossip.Config{
+		Graph:    g,
+		Protocol: p.Protocol,
+		FixedK:   p.FixedK,
+		Epsilon:  p.Epsilon,
+		LossProb: p.LossProb,
+		MaxSteps: p.MaxSteps,
+		Seed:     p.Seed,
+		Workers:  p.Workers,
+	}
+}
+
+func (p Params) validate(g *graph.Graph, t *trust.Matrix) error {
+	if g == nil || g.N() == 0 {
+		return fmt.Errorf("core: empty graph")
+	}
+	if t == nil || t.N() != g.N() {
+		return fmt.Errorf("core: trust matrix size %d does not match graph size %d", sizeOf(t), g.N())
+	}
+	if err := p.Weights.Validate(); err != nil {
+		return err
+	}
+	if p.Root < 0 || p.Root >= g.N() {
+		return fmt.Errorf("core: root %d out of range [0,%d)", p.Root, g.N())
+	}
+	return nil
+}
+
+func sizeOf(t *trust.Matrix) int {
+	if t == nil {
+		return -1
+	}
+	return t.N()
+}
+
+// Estimate is one node's view of one subject after aggregation.
+type Estimate struct {
+	// Reputation is the aggregated trust value.
+	Reputation float64
+	// RaterCount is the estimated number of direct raters (GCLR variants
+	// only; 0 otherwise).
+	RaterCount float64
+}
+
+// SingleResult is the outcome of a single-subject aggregation.
+type SingleResult struct {
+	// Subject is the node whose reputation was aggregated.
+	Subject int
+	// PerNode[i] is node i's estimate of the subject's reputation.
+	PerNode []float64
+	// Counts[i] is node i's rater-count estimate (Algorithm 2 only).
+	Counts []float64
+	// Steps, Converged and Messages report the underlying gossip run.
+	Steps     int
+	Converged bool
+	Messages  gossip.Messages
+}
+
+// AllResult is the outcome of a simultaneous all-subjects aggregation.
+type AllResult struct {
+	// Reputation[i][j] is node i's estimate for subject j.
+	Reputation [][]float64
+	// Counts[i][j] is node i's rater-count estimate for subject j (GCLR
+	// variant only).
+	Counts    [][]float64
+	Steps     int
+	Converged bool
+	Messages  gossip.Messages
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip/internal/gossip"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/trust"
+)
+
+// denseWorkload builds a PA graph and a trust matrix where every ordered pair
+// transacted with the given density; overlay neighbours always have.
+func denseWorkload(t *testing.T, n int, density float64, seed uint64) (*graph.Graph, *trust.Matrix) {
+	t.Helper()
+	g := graph.MustPA(n, 2, seed)
+	w, err := trust.GenerateWorkload(trust.WorkloadConfig{
+		N:               n,
+		Density:         density,
+		NeighborDensity: 1,
+		Adjacent:        g.HasEdge,
+		Seed:            seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, w.Matrix
+}
+
+func params(eps float64, seed uint64) Params {
+	return Params{Epsilon: eps, Seed: seed}
+}
+
+func TestParamsValidation(t *testing.T) {
+	g := graph.Ring(5)
+	tm := trust.NewMatrix(5)
+	if _, err := GlobalSingle(nil, tm, 0, params(1e-4, 1)); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := GlobalSingle(g, trust.NewMatrix(4), 0, params(1e-4, 1)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := GlobalSingle(g, nil, 0, params(1e-4, 1)); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	bad := params(1e-4, 1)
+	bad.Root = 7
+	if _, err := GCLRSingle(g, tm, 0, bad); err == nil {
+		t.Fatal("bad root accepted")
+	}
+	badW := params(1e-4, 1)
+	badW.Weights = trust.WeightParams{A: 0.2, B: 1}
+	if _, err := GCLRSingle(g, tm, 0, badW); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+}
+
+func TestGlobalSingleConvergesToRaterMean(t *testing.T) {
+	g, tm := denseWorkload(t, 150, 0.2, 10)
+	j := 7
+	res, err := GlobalSingle(g, tm, j, params(1e-8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("algorithm 1 did not converge")
+	}
+	want := GlobalRef(tm, j)
+	for i, got := range res.PerNode {
+		if math.Abs(got-want) > 1e-3 {
+			t.Fatalf("node %d: R_j = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestGlobalSingleNoRaters(t *testing.T) {
+	g := graph.MustPA(50, 2, 12)
+	tm := trust.NewMatrix(50)
+	res, err := GlobalSingle(g, tm, 3, params(1e-6, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero mass everywhere the estimates must be all zero (never
+	// negative, never the sentinel).
+	for i, got := range res.PerNode {
+		if got != 0 {
+			t.Fatalf("node %d: estimate %v for unrated subject", i, got)
+		}
+	}
+}
+
+func TestGlobalSingleDefaultsApplied(t *testing.T) {
+	g, tm := denseWorkload(t, 60, 0.3, 14)
+	res, err := GlobalSingle(g, tm, 0, Params{Seed: 15}) // zero Epsilon/Weights
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("defaults run did not converge")
+	}
+}
+
+func TestGCLRSingleMatchesReference(t *testing.T) {
+	g, tm := denseWorkload(t, 120, 0.25, 20)
+	j := 5
+	p := params(1e-9, 21)
+	res, err := GCLRSingle(g, tm, j, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("algorithm 2 did not converge")
+	}
+	for i, got := range res.PerNode {
+		want := GCLRRef(g, tm, i, j, p)
+		if math.Abs(got-want) > 5e-3 {
+			t.Fatalf("node %d: Rep = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestGCLRSingleCountsRaters(t *testing.T) {
+	g, tm := denseWorkload(t, 100, 0.3, 30)
+	j := 9
+	_, raters := tm.RatersOf(j)
+	res, err := GCLRSingle(g, tm, j, params(1e-9, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(raters))
+	for i, c := range res.Counts {
+		if math.Abs(c-want) > 0.02*want+0.05 {
+			t.Fatalf("node %d: count %v, want %v", i, c, want)
+		}
+	}
+}
+
+func TestGCLRSingleReputationInUnitInterval(t *testing.T) {
+	g, tm := denseWorkload(t, 80, 0.3, 40)
+	for _, j := range []int{0, 17, 42} {
+		res, err := GCLRSingle(g, tm, j, params(1e-7, 41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.PerNode {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("Rep[%d][%d] = %v out of [0,1]", i, j, v)
+			}
+		}
+	}
+}
+
+func TestGCLRDiffersFromGlobalWhenWeightsMatter(t *testing.T) {
+	// Observer 0 trusts neighbour fully; that neighbour's opinion of the
+	// subject diverges from the crowd. GCLR at node 0 must move toward the
+	// trusted neighbour's opinion relative to the global value.
+	n := 60
+	g := graph.MustPA(n, 2, 50)
+	tm := trust.NewMatrix(n)
+	subject := n - 1
+	nbr := g.Neighbors(0)[0]
+	if err := tm.Set(0, nbr, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	_ = tm.Set(nbr, subject, 1.0)
+	src := rng.New(51)
+	for i := 1; i < n-1; i++ {
+		if i == nbr {
+			continue
+		}
+		_ = tm.Set(i, subject, 0.1+0.05*src.Float64())
+	}
+	p := params(1e-9, 52)
+	gclr, err := GCLRSingle(g, tm, subject, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := GlobalSingle(g, tm, subject, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gclr.PerNode[0] <= global.PerNode[0] {
+		t.Fatalf("GCLR at observer (%v) did not exceed global (%v) despite trusted positive feedback",
+			gclr.PerNode[0], global.PerNode[0])
+	}
+	// A node with no direct trust in anyone must essentially agree with
+	// the global estimate.
+	var plain int = -1
+	for i := 0; i < n; i++ {
+		if len(tm.Row(i)) == 0 {
+			plain = i
+			break
+		}
+	}
+	if plain >= 0 {
+		if d := math.Abs(gclr.PerNode[plain] - global.PerNode[plain]); d > 5e-3 {
+			t.Fatalf("unopinionated node %d: GCLR %v vs global %v", plain, gclr.PerNode[plain], global.PerNode[plain])
+		}
+	}
+}
+
+func TestGlobalAllMatchesSingle(t *testing.T) {
+	g, tm := denseWorkload(t, 50, 0.3, 60)
+	p := params(1e-9, 61)
+	all, err := GlobalAll(g, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Converged {
+		t.Fatal("variant 3 did not converge")
+	}
+	for _, j := range []int{0, 13, 49} {
+		want := GlobalRef(tm, j)
+		for i := 0; i < 50; i++ {
+			if math.Abs(all.Reputation[i][j]-want) > 2e-3 {
+				t.Fatalf("all[%d][%d] = %v, want %v", i, j, all.Reputation[i][j], want)
+			}
+		}
+	}
+}
+
+func TestGCLRAllMatchesReference(t *testing.T) {
+	g, tm := denseWorkload(t, 40, 0.35, 70)
+	p := params(1e-9, 71)
+	all, err := GCLRAll(g, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Converged {
+		t.Fatal("variant 4 did not converge")
+	}
+	ref := GCLRRefAll(g, tm, p)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if ref[i][j] == 0 {
+				continue
+			}
+			if math.Abs(all.Reputation[i][j]-ref[i][j]) > 1e-2 {
+				t.Fatalf("GCLRAll[%d][%d] = %v, ref %v", i, j, all.Reputation[i][j], ref[i][j])
+			}
+		}
+	}
+}
+
+func TestGCLRAllFromReportsHonestEqualsGCLRAll(t *testing.T) {
+	g, tm := denseWorkload(t, 30, 0.4, 80)
+	p := params(1e-8, 81)
+	a, err := GCLRAll(g, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GCLRAllFromReports(g, tm, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if math.Abs(a.Reputation[i][j]-b.Reputation[i][j]) > 1e-12 {
+				t.Fatalf("honest reports diverge at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGCLRAllFromReportsSizeCheck(t *testing.T) {
+	g, tm := denseWorkload(t, 20, 0.4, 90)
+	if _, err := GCLRAllFromReports(g, tm, trust.NewMatrix(19), params(1e-6, 91)); err == nil {
+		t.Fatal("mismatched reported matrix accepted")
+	}
+	if _, err := GCLRAllFromReports(g, tm, nil, params(1e-6, 91)); err == nil {
+		t.Fatal("nil reported matrix accepted")
+	}
+}
+
+func TestLiarsShiftGlobalButNotDirectTrust(t *testing.T) {
+	// Reported matrix inflates subject 0 at some non-rater nodes; gossiped
+	// estimates must rise relative to honest gossip.
+	g, tm := denseWorkload(t, 40, 0.3, 95)
+	reported := tm.Clone()
+	for i := 1; i < 10; i++ {
+		_ = reported.Set(i, 0, 1.0)
+	}
+	p := params(1e-8, 96)
+	honest, err := GCLRAllFromReports(g, tm, tm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lied, err := GCLRAllFromReports(g, tm, reported, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := 20
+	if lied.Reputation[obs][0] <= honest.Reputation[obs][0] {
+		t.Fatalf("inflated reports did not raise estimate: %v vs %v",
+			lied.Reputation[obs][0], honest.Reputation[obs][0])
+	}
+}
+
+func TestProtocolOverride(t *testing.T) {
+	g, tm := denseWorkload(t, 80, 0.25, 100)
+	p := params(1e-6, 101)
+	p.Protocol = gossip.NormalPush
+	res, err := GlobalSingle(g, tm, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("normal push variant did not converge")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g, tm := denseWorkload(t, 70, 0.3, 110)
+	p := params(1e-7, 111)
+	a, err := GCLRSingle(g, tm, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GCLRSingle(g, tm, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("steps differ: %d vs %d", a.Steps, b.Steps)
+	}
+	for i := range a.PerNode {
+		if a.PerNode[i] != b.PerNode[i] {
+			t.Fatalf("estimate %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestMessagesChargedForFeedbackPhase(t *testing.T) {
+	g, tm := denseWorkload(t, 50, 0.3, 120)
+	gRes, err := GlobalSingle(g, tm, 1, params(1e-6, 121))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, err := GCLRSingle(g, tm, 1, params(1e-6, 121))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 2 pays an extra feedback push per directed edge.
+	if cRes.Messages.Setup < gRes.Messages.Setup+2*g.M() {
+		t.Fatalf("GCLR setup %d, global setup %d, M %d",
+			cRes.Messages.Setup, gRes.Messages.Setup, g.M())
+	}
+}

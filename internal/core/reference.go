@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/trust"
+)
+
+// errSize builds the mismatch error shared by the report-based entry points.
+func errSize(reported, honest *trust.Matrix) error {
+	return fmt.Errorf("core: reported matrix size %d does not match honest matrix size %d",
+		sizeOf(reported), sizeOf(honest))
+}
+
+// GlobalRef computes, without gossip, the exact fixed point Algorithm 1
+// converges to for subject j: the mean direct trust over j's raters.
+func GlobalRef(t *trust.Matrix, j int) float64 {
+	return t.ColumnRaterMean(j)
+}
+
+// GCLRRef computes, without gossip, the exact fixed point Algorithm 2
+// converges to at observer node i for subject j (eq. (6) with the rater-count
+// denominator of the algorithm box). The weighted set is every node i has
+// interacted with, matching combineGCLR.
+func GCLRRef(g *graph.Graph, t *trust.Matrix, i, j int, p Params) float64 {
+	_ = g
+	p = p.withDefaults()
+	return trust.WeightedColumn(t, i, j, t.InteractedWith(i), p.Weights, true)
+}
+
+// GCLRRefAll evaluates GCLRRef for every (observer, subject) pair; the
+// centralised oracle the gossip results and the collusion experiments are
+// compared against.
+func GCLRRefAll(g *graph.Graph, t *trust.Matrix, p Params) [][]float64 {
+	n := t.N()
+	out := zeros(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i][j] = GCLRRef(g, t, i, j, p)
+		}
+	}
+	return out
+}

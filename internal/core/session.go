@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/trust"
+)
+
+// SessionConfig parameterises a long-running reputation session: the paper's
+// Figure 1 sequence, where gossip rounds repeat as behaviour evolves, a node
+// re-pushes its direct feedback to neighbours only when it changed by more
+// than Δ since the previous round, and feedback from long-silent peers is
+// dropped.
+type SessionConfig struct {
+	// Params configures each round's aggregation (variant 4).
+	Params Params
+	// Delta is the paper's ∆: feedback is re-pushed (and re-counted in the
+	// setup cost) only when |t_ij(now) − t_ij(last pushed)| > Delta.
+	Delta float64
+	// DropAfterRounds expires a peer's feedback after it has been silent
+	// (absent) this many consecutive rounds; 0 disables expiry.
+	DropAfterRounds int
+}
+
+func (c SessionConfig) validate(g *graph.Graph) error {
+	if g == nil || g.N() == 0 {
+		return fmt.Errorf("core: session on empty graph")
+	}
+	if c.Delta < 0 {
+		return fmt.Errorf("core: negative delta %v", c.Delta)
+	}
+	if c.DropAfterRounds < 0 {
+		return fmt.Errorf("core: negative drop-after %d", c.DropAfterRounds)
+	}
+	return nil
+}
+
+// RoundReport summarises one session round.
+type RoundReport struct {
+	// Round is the 1-based round number.
+	Round int
+	// FeedbackPushed counts trust entries whose change exceeded Δ and were
+	// re-pushed; FeedbackSuppressed counts entries the Δ filter saved.
+	FeedbackPushed, FeedbackSuppressed int
+	// Dropped counts feedback entries expired due to silence.
+	Dropped int
+	// Steps and Converged report the round's gossip run.
+	Steps     int
+	Converged bool
+}
+
+// Session runs repeated variant-4 aggregations over an evolving trust
+// matrix. It is a single-process orchestration of the distributed protocol:
+// the Δ-gated feedback accounting and silence expiry happen exactly where
+// they would at each node, and the aggregation itself is the same gossip the
+// one-shot API runs.
+type Session struct {
+	g   *graph.Graph
+	cfg SessionConfig
+
+	current *trust.Matrix // live direct-interaction trust
+	pushed  *trust.Matrix // last values actually pushed to neighbours
+
+	absent map[int]int // consecutive silent rounds per node
+
+	round int
+	rep   [][]float64 // last aggregated reputations
+}
+
+// NewSession starts a session with an initial trust matrix (may be empty).
+func NewSession(g *graph.Graph, initial *trust.Matrix, cfg SessionConfig) (*Session, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	if initial == nil {
+		initial = trust.NewMatrix(g.N())
+	}
+	if initial.N() != g.N() {
+		return nil, fmt.Errorf("core: session matrix size %d vs graph %d", initial.N(), g.N())
+	}
+	return &Session{
+		g:       g,
+		cfg:     cfg,
+		current: initial.Clone(),
+		pushed:  trust.NewMatrix(g.N()),
+		absent:  make(map[int]int),
+	}, nil
+}
+
+// UpdateTrust records a new direct-interaction trust value (the estimation
+// layer feeds this between rounds).
+func (s *Session) UpdateTrust(i, j int, v float64) error {
+	return s.current.Set(i, j, v)
+}
+
+// MarkSilent notes that node i was absent this round; after
+// DropAfterRounds consecutive absences, feedback *about* and *from* i is
+// dropped (the paper: "if node will not hear from a node for a long time ...
+// it will drop its feedback").
+func (s *Session) MarkSilent(i int) {
+	s.absent[i]++
+}
+
+// MarkActive clears node i's silence counter.
+func (s *Session) MarkActive(i int) {
+	delete(s.absent, i)
+}
+
+// Round returns the number of completed rounds.
+func (s *Session) Round() int { return s.round }
+
+// Reputations returns the last round's aggregated reputation matrix
+// (nil before the first round). Reputations[i][j] is node i's view of j.
+func (s *Session) Reputations() [][]float64 { return s.rep }
+
+// RunRound executes one aggregation round and returns its report.
+func (s *Session) RunRound() (*RoundReport, error) {
+	s.round++
+	rpt := &RoundReport{Round: s.round}
+
+	// Expiry: drop feedback rows/columns of peers silent too long.
+	if s.cfg.DropAfterRounds > 0 {
+		for node, rounds := range s.absent {
+			if rounds < s.cfg.DropAfterRounds {
+				continue
+			}
+			for j := range s.current.Row(node) {
+				s.current.Delete(node, j)
+				s.pushed.Delete(node, j)
+				rpt.Dropped++
+			}
+			for i := 0; i < s.current.N(); i++ {
+				if s.current.Has(i, node) {
+					s.current.Delete(i, node)
+					s.pushed.Delete(i, node)
+					rpt.Dropped++
+				}
+			}
+		}
+	}
+
+	// Δ-gated feedback push accounting (paper Algorithm 2's "participating
+	// first time" / "changed by more than ∆" rule).
+	n := s.current.N()
+	for i := 0; i < n; i++ {
+		for j, v := range s.current.Row(i) {
+			old, wasPushed := s.pushed.Get(i, j)
+			if !wasPushed || math.Abs(v-old) > s.cfg.Delta {
+				rpt.FeedbackPushed++
+				if err := s.pushed.Set(i, j, v); err != nil {
+					return nil, err
+				}
+			} else {
+				rpt.FeedbackSuppressed++
+			}
+		}
+	}
+
+	// Aggregate with the values peers have actually pushed: estimates lag
+	// behaviour by at most Δ, exactly as in the distributed protocol.
+	res, err := GCLRAll(s.g, s.pushed, s.cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	s.rep = res.Reputation
+	rpt.Steps = res.Steps
+	rpt.Converged = res.Converged
+	return rpt, nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/trust"
+)
+
+func sessionFixture(t *testing.T) (*graph.Graph, *trust.Matrix) {
+	t.Helper()
+	g := graph.MustPA(60, 2, 200)
+	w, err := trust.GenerateWorkload(trust.WorkloadConfig{
+		N: 60, Density: 0.2, NeighborDensity: 1, Adjacent: g.HasEdge, Seed: 201,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, w.Matrix
+}
+
+func TestSessionValidation(t *testing.T) {
+	g, tm := sessionFixture(t)
+	if _, err := NewSession(nil, tm, SessionConfig{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewSession(g, trust.NewMatrix(10), SessionConfig{}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := NewSession(g, tm, SessionConfig{Delta: -1}); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := NewSession(g, tm, SessionConfig{DropAfterRounds: -1}); err == nil {
+		t.Fatal("negative drop-after accepted")
+	}
+	s, err := NewSession(g, nil, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reputations() != nil {
+		t.Fatal("reputations non-nil before first round")
+	}
+}
+
+func TestSessionFirstRoundPushesEverything(t *testing.T) {
+	g, tm := sessionFixture(t)
+	s, err := NewSession(g, tm, SessionConfig{
+		Params: Params{Epsilon: 1e-4, Seed: 202},
+		Delta:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpt, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.Round != 1 || s.Round() != 1 {
+		t.Fatalf("round bookkeeping wrong: %+v", rpt)
+	}
+	if rpt.FeedbackPushed != tm.NumEntries() {
+		t.Fatalf("first round pushed %d of %d entries", rpt.FeedbackPushed, tm.NumEntries())
+	}
+	if rpt.FeedbackSuppressed != 0 {
+		t.Fatalf("first round suppressed %d", rpt.FeedbackSuppressed)
+	}
+	if !rpt.Converged || rpt.Steps == 0 {
+		t.Fatalf("round gossip: %+v", rpt)
+	}
+	if s.Reputations() == nil {
+		t.Fatal("no reputations after round")
+	}
+}
+
+func TestSessionDeltaSuppressesUnchangedFeedback(t *testing.T) {
+	g, tm := sessionFixture(t)
+	s, err := NewSession(g, tm, SessionConfig{
+		Params: Params{Epsilon: 1e-4, Seed: 203},
+		Delta:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	// No trust changes: round 2 must push nothing.
+	rpt, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.FeedbackPushed != 0 {
+		t.Fatalf("unchanged round pushed %d entries", rpt.FeedbackPushed)
+	}
+	if rpt.FeedbackSuppressed != tm.NumEntries() {
+		t.Fatalf("suppressed %d of %d", rpt.FeedbackSuppressed, tm.NumEntries())
+	}
+	// A large change at one pair must be re-pushed; a tiny one must not.
+	big := 1.0
+	if v := tm.Value(0, 1); v > 0.5 {
+		big = 0.0
+	}
+	if err := s.UpdateTrust(0, 1, big); err != nil {
+		t.Fatal(err)
+	}
+	rpt, err = s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.FeedbackPushed != 1 {
+		t.Fatalf("round 3 pushed %d, want exactly the changed entry", rpt.FeedbackPushed)
+	}
+}
+
+func TestSessionReputationTracksChange(t *testing.T) {
+	// A peer's behaviour collapses; after the next round its reputation
+	// must fall.
+	g, tm := sessionFixture(t)
+	subject := 5
+	s, err := NewSession(g, tm, SessionConfig{
+		Params: Params{Epsilon: 1e-5, Seed: 204},
+		Delta:  0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Reputations()[0][subject]
+	for i := 0; i < 60; i++ {
+		if i != subject && tm.Has(i, subject) {
+			if err := s.UpdateTrust(i, subject, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Reputations()[0][subject]
+	if after >= before {
+		t.Fatalf("reputation did not fall after defection: %v -> %v", before, after)
+	}
+	if after > 0.2 {
+		t.Fatalf("reputation %v still high after universal defection", after)
+	}
+}
+
+func TestSessionSilenceExpiry(t *testing.T) {
+	g, tm := sessionFixture(t)
+	ghost := 7
+	s, err := NewSession(g, tm, SessionConfig{
+		Params:          Params{Epsilon: 1e-4, Seed: 205},
+		Delta:           0.05,
+		DropAfterRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkSilent(ghost)
+	if rpt, err := s.RunRound(); err != nil || rpt.Dropped != 0 {
+		t.Fatalf("dropped too early: %+v, %v", rpt, err)
+	}
+	s.MarkSilent(ghost)
+	rpt, err := s.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.Dropped == 0 {
+		t.Fatal("silent peer's feedback not dropped")
+	}
+	// All feedback from and about the ghost is gone.
+	if len(s.current.Row(ghost)) != 0 {
+		t.Fatal("ghost's outgoing feedback survives")
+	}
+	for i := 0; i < 60; i++ {
+		if s.current.Has(i, ghost) {
+			t.Fatalf("feedback about ghost survives at %d", i)
+		}
+	}
+	// MarkActive clears the counter.
+	s.MarkActive(ghost)
+	if s.absent[ghost] != 0 {
+		t.Fatal("MarkActive did not clear silence")
+	}
+}
+
+func TestSessionLagBoundedByDelta(t *testing.T) {
+	// With Δ-gating, the aggregated estimate uses values at most Δ stale:
+	// a change smaller than Δ is invisible, a larger one shows up.
+	g, _ := sessionFixture(t)
+	tm := trust.NewMatrix(60)
+	for i := 1; i < 60; i++ {
+		if err := tm.Set(i, 0, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSession(g, tm, SessionConfig{
+		Params: Params{Epsilon: 1e-6, Seed: 206},
+		Delta:  0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.Reputations()[1][0]
+	// Shift everyone by < Δ: no re-push, reputation unchanged.
+	for i := 1; i < 60; i++ {
+		if err := s.UpdateTrust(i, 0, 0.55); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := s.Reputations()[1][0]
+	if math.Abs(r2-r1) > 1e-9 {
+		t.Fatalf("sub-Δ change visible: %v -> %v", r1, r2)
+	}
+	// Shift beyond Δ: must show, matching the eq. (6) oracle on the new
+	// values (the weighted denominator includes interacted nodes that
+	// never rated the subject, so the value sits below the raw 0.8).
+	updated := trust.NewMatrix(60)
+	for i := 1; i < 60; i++ {
+		if err := s.UpdateTrust(i, 0, 0.8); err != nil {
+			t.Fatal(err)
+		}
+		if err := updated.Set(i, 0, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	r3 := s.Reputations()[1][0]
+	want := GCLRRef(g, updated, 1, 0, s.cfg.Params)
+	if math.Abs(r3-want) > 5e-3 {
+		t.Fatalf("super-Δ change not reflected: %v, oracle %v", r3, want)
+	}
+	if r3 <= r2+0.1 {
+		t.Fatalf("reputation barely moved: %v -> %v", r2, r3)
+	}
+}

@@ -1,0 +1,76 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip/internal/graph"
+)
+
+func TestAsyncAverageValidation(t *testing.T) {
+	g := graph.Ring(5)
+	if _, err := AsyncAverage(Config{Graph: g, Epsilon: 0}, ones(5)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := AsyncAverage(Config{Graph: g, Epsilon: 0.01}, ones(4)); err == nil {
+		t.Fatal("short values accepted")
+	}
+}
+
+func TestAsyncAverageConverges(t *testing.T) {
+	g := graph.MustPA(300, 2, 70)
+	xs := randomValues(300, 71)
+	want := mean(xs)
+	res, err := AsyncAverage(Config{Graph: g, Epsilon: 1e-4, Seed: 72}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("async gossip did not converge: max error %v", res.MaxError)
+	}
+	if res.MaxError > 1e-4 {
+		t.Fatalf("max error %v above tolerance", res.MaxError)
+	}
+	for i, est := range res.Estimates {
+		if math.Abs(est-want) > 1e-3 {
+			t.Fatalf("node %d estimate %v, want %v", i, est, want)
+		}
+	}
+	if res.Activations != res.Rounds*300 {
+		t.Fatalf("activations %d inconsistent with rounds %d", res.Activations, res.Rounds)
+	}
+}
+
+func TestAsyncWithLossStillConverges(t *testing.T) {
+	g := graph.MustPA(200, 2, 73)
+	xs := randomValues(200, 74)
+	res, err := AsyncAverage(Config{Graph: g, Epsilon: 1e-3, Seed: 75, LossProb: 0.2}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("async gossip under loss did not converge: %v", res.MaxError)
+	}
+}
+
+func TestAsyncComparableToSync(t *testing.T) {
+	// The async schedule should cost at most a small constant factor over
+	// synchronous rounds (each round-equivalent touches every node once in
+	// expectation, but misses some nodes and repeats others).
+	g := graph.MustPA(500, 2, 76)
+	xs := randomValues(500, 77)
+	sync, err := Average(Config{Graph: g, Epsilon: 1e-4, Seed: 78}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := AsyncAverage(Config{Graph: g, Epsilon: 1e-4, Seed: 78}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !async.Converged {
+		t.Fatal("async did not converge")
+	}
+	if async.Rounds > 6*sync.Steps {
+		t.Fatalf("async rounds %d ≫ sync steps %d", async.Rounds, sync.Steps)
+	}
+}

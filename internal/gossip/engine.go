@@ -1,0 +1,337 @@
+package gossip
+
+import (
+	"fmt"
+
+	"diffgossip/internal/rng"
+)
+
+// Engine runs synchronous scalar push-sum gossip: every node carries one
+// (Y, G) pair about a single subject (e.g. the reputation of one node j), and
+// optionally a Count mass used by Algorithm 2 to learn the number of raters.
+//
+// The step semantics follow the paper's Algorithm 1 exactly:
+//
+//  1. each active node splits its pair into k_i+1 equal shares, keeps one,
+//     and pushes one to each of k_i random distinct neighbours;
+//  2. every node sums the shares it received (its own share always arrives);
+//  3. a node that heard from at least one other node and whose ratio moved
+//     by at most ξ announces convergence to its neighbours (sticky);
+//  4. a node stops pushing once it and all its neighbours have announced.
+//
+// The run ends when every node has stopped, or MaxSteps elapses.
+type Engine struct {
+	cfg   Config
+	n     int
+	ks    []int
+	src   *rng.Source
+	steps int
+
+	cur   []Pair    // current pair per node
+	count []float64 // optional third mass (rater count), nil if unused
+	u     []float64 // previous-step ratio per node (Sentinel when G=0)
+
+	selfConv []bool // node announced its own convergence
+	stopped  []bool // node and all neighbours converged; no longer pushes
+
+	// scratch buffers reused across steps
+	next      []Pair
+	nextCount []float64
+	extRecv   []int
+
+	msgs Messages
+	// trace of the max per-node ratio change each step, for diagnostics
+	lastDelta float64
+}
+
+// Result summarises a finished run.
+type Result struct {
+	// Steps is the number of gossip steps executed.
+	Steps int
+	// Converged reports whether every node stopped before MaxSteps.
+	Converged bool
+	// Estimates is each node's final ratio Y/G (0 where G is still 0).
+	Estimates []float64
+	// Counts is each node's Count/G estimate (nil when count gossip was
+	// not enabled).
+	Counts []float64
+	// Messages is the full transmission tally.
+	Messages Messages
+}
+
+// NewEngine validates cfg and initialises per-node state from the initial
+// value and weight vectors: node i starts with pair (y0[i], g0[i]).
+//
+// The setup cost of the degree-exchange round (every node pushes its degree
+// to all neighbours so that k_i can be computed) is charged to
+// Messages.Setup.
+func NewEngine(cfg Config, y0, g0 []float64) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	if len(y0) != n || len(g0) != n {
+		return nil, fmt.Errorf("gossip: initial vectors have length %d/%d, want %d", len(y0), len(g0), n)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		n:        n,
+		ks:       cfg.fanouts(),
+		src:      rng.New(cfg.Seed),
+		cur:      make([]Pair, n),
+		u:        make([]float64, n),
+		selfConv: make([]bool, n),
+		stopped:  make([]bool, n),
+		next:     make([]Pair, n),
+		extRecv:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		if g0[i] < 0 {
+			return nil, fmt.Errorf("gossip: negative initial weight g0[%d]=%v", i, g0[i])
+		}
+		e.cur[i] = Pair{y0[i], g0[i]}
+		e.u[i] = e.cur[i].ratio()
+		// Degree exchange: one push per incident edge direction.
+		e.msgs.Setup += cfg.Graph.Degree(i)
+	}
+	return e, nil
+}
+
+// EnableCountGossip attaches the third gossip component of Algorithm 2:
+// count0[i] is 1 for raters of the subject and 0 otherwise. Must be called
+// before Run.
+func (e *Engine) EnableCountGossip(count0 []float64) error {
+	if len(count0) != e.n {
+		return fmt.Errorf("gossip: count vector length %d, want %d", len(count0), e.n)
+	}
+	if e.steps > 0 {
+		return fmt.Errorf("gossip: EnableCountGossip after stepping")
+	}
+	e.count = append([]float64(nil), count0...)
+	e.nextCount = make([]float64, e.n)
+	return nil
+}
+
+// ChargeSetup adds extra setup messages (e.g. Algorithm 2's direct-feedback
+// pushes to neighbours) to the tally.
+func (e *Engine) ChargeSetup(n int) { e.msgs.Setup += n }
+
+// Steps returns the number of steps executed so far.
+func (e *Engine) Steps() int { return e.steps }
+
+// MassY returns the total Y mass in the network; it is invariant across
+// steps (mass conservation, Proposition A.1).
+func (e *Engine) MassY() float64 {
+	total := 0.0
+	for _, p := range e.cur {
+		total += p.Y
+	}
+	return total
+}
+
+// MassG returns the total G mass; also invariant.
+func (e *Engine) MassG() float64 {
+	total := 0.0
+	for _, p := range e.cur {
+		total += p.G
+	}
+	return total
+}
+
+// Estimate returns node i's current ratio (0 while its G is 0).
+func (e *Engine) Estimate(i int) float64 {
+	if e.cur[i].G == 0 {
+		return 0
+	}
+	return e.cur[i].Y / e.cur[i].G
+}
+
+// Estimates returns every node's current ratio.
+func (e *Engine) Estimates() []float64 {
+	out := make([]float64, e.n)
+	for i := range out {
+		out[i] = e.Estimate(i)
+	}
+	return out
+}
+
+// Step executes one synchronous gossip step and returns true while the
+// protocol is still running (some node has not stopped).
+func (e *Engine) Step() bool {
+	g := e.cfg.Graph
+	for i := range e.next {
+		e.next[i] = Pair{}
+		e.extRecv[i] = 0
+	}
+	if e.nextCount != nil {
+		for i := range e.nextCount {
+			e.nextCount[i] = 0
+		}
+	}
+
+	// Push phase.
+	for i := 0; i < e.n; i++ {
+		if e.stopped[i] || g.Degree(i) == 0 {
+			// A stopped or isolated node retains its entire mass.
+			e.next[i].add(e.cur[i])
+			if e.nextCount != nil {
+				e.nextCount[i] += e.count[i]
+			}
+			continue
+		}
+		e.msgs.ActiveNodeSteps++
+		k := e.ks[i]
+		f := 1 / float64(k+1)
+		share := e.cur[i].scale(f)
+		var countShare float64
+		if e.nextCount != nil {
+			countShare = e.count[i] * f
+		}
+		// Self delivery.
+		e.next[i].add(share)
+		if e.nextCount != nil {
+			e.nextCount[i] += countShare
+		}
+		for _, t := range g.RandomNeighbors(i, k, e.src) {
+			e.msgs.Gossip++
+			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
+				// Lost push: no ack, so the sender re-absorbs the
+				// share (paper §5.3) and mass is conserved.
+				e.msgs.Lost++
+				e.next[i].add(share)
+				if e.nextCount != nil {
+					e.nextCount[i] += countShare
+				}
+				continue
+			}
+			e.next[t].add(share)
+			if e.nextCount != nil {
+				e.nextCount[t] += countShare
+			}
+			e.extRecv[t]++
+		}
+	}
+
+	// Collect phase + convergence detection.
+	e.steps++
+	e.lastDelta = 0
+	for i := 0; i < e.n; i++ {
+		e.cur[i] = e.next[i]
+		if e.nextCount != nil {
+			e.count[i] = e.nextCount[i]
+		}
+		r := e.cur[i].ratio()
+		delta := abs(r - e.u[i])
+		if delta > e.lastDelta {
+			e.lastDelta = delta
+		}
+		// A node with zero weight mass has no estimate yet (sentinel
+		// ratio): it must not satisfy the convergence test, or sum-mode
+		// gossip (weight at a single root) would stop instantly.
+		//
+		// The announcement is revocable: the ratio trajectory is not
+		// monotone, so a one-step delta below ξ at a turning point must
+		// not freeze the node forever. A node re-announces on every
+		// converged/unconverged transition (each costing deg messages);
+		// the run stops only when a whole closed neighbourhood holds the
+		// flag simultaneously, which is exactly the paper's stop rule
+		// evaluated on current rather than historical state.
+		// Reception (|S| > 1 in the paper) gates only the *initial*
+		// detection: a node that has heard nothing new keeps whatever
+		// flag it holds as long as its ratio stays within ξ.
+		heard := e.extRecv[i] >= 1 || e.selfConv[i] || e.stopped[i]
+		conv := e.cur[i].G > 0 && heard && delta <= e.cfg.Epsilon && e.steps >= e.cfg.MinSteps
+		if conv != e.selfConv[i] {
+			e.selfConv[i] = conv
+			e.msgs.Announce += g.Degree(i)
+		}
+		e.u[i] = r
+	}
+
+	// Stop rule: a node pauses while it and all its neighbours hold the
+	// convergence flag; it resumes if any flag in its closed neighbourhood
+	// is revoked. The run ends when every node pauses at once.
+	running := false
+	for i := 0; i < e.n; i++ {
+		// Isolated nodes cannot gossip and must not block termination.
+		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0) && allConverged(e.selfConv, g.Neighbors(i))
+		if !e.stopped[i] {
+			running = true
+		}
+	}
+	return running
+}
+
+func allConverged(conv []bool, nbrs []int) bool {
+	for _, v := range nbrs {
+		if !conv[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// LastDelta returns the largest per-node ratio change in the most recent
+// step — a convergence diagnostic.
+func (e *Engine) LastDelta() float64 { return e.lastDelta }
+
+// Run drives Step until every node stops or the step budget is exhausted.
+func (e *Engine) Run() Result {
+	budget := e.cfg.maxSteps()
+	running := true
+	for running && e.steps < budget {
+		running = e.Step()
+	}
+	res := Result{
+		Steps:     e.steps,
+		Converged: !running,
+		Estimates: e.Estimates(),
+		Messages:  e.msgs,
+	}
+	if e.count != nil {
+		res.Counts = make([]float64, e.n)
+		for i := 0; i < e.n; i++ {
+			if e.cur[i].G > 0 {
+				res.Counts[i] = e.count[i] / e.cur[i].G
+			}
+		}
+	}
+	return res
+}
+
+// Average is a convenience wrapper: it gossips the values xs with unit
+// weights everywhere and returns the per-node estimates of the global mean
+// after convergence.
+func Average(cfg Config, xs []float64) (Result, error) {
+	g0 := make([]float64, len(xs))
+	for i := range g0 {
+		g0[i] = 1
+	}
+	e, err := NewEngine(cfg, xs, g0)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(), nil
+}
+
+// Sum gossips xs with weight 1 at exactly one node (root) and 0 elsewhere,
+// so every estimate converges to the network-wide sum Σ xs.
+func Sum(cfg Config, xs []float64, root int) (Result, error) {
+	if root < 0 || root >= len(xs) {
+		return Result{}, fmt.Errorf("gossip: root %d out of range", root)
+	}
+	g0 := make([]float64, len(xs))
+	g0[root] = 1
+	e, err := NewEngine(cfg, xs, g0)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(), nil
+}

@@ -1,0 +1,140 @@
+package gossip
+
+import (
+	"fmt"
+	"math"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+)
+
+// SpreadProtocol selects a rumor-spreading rule for the Theorem 5.1
+// experiments: how many rounds until a piece of information held by one node
+// reaches everybody.
+type SpreadProtocol int
+
+const (
+	// SpreadPush: every informed node pushes the rumor to one random
+	// neighbour per round. On PA graphs this stalls at power nodes
+	// (Chierichetti et al.), which motivates the paper's protocol.
+	SpreadPush SpreadProtocol = iota
+	// SpreadPull: every uninformed node pulls from one random neighbour.
+	SpreadPull
+	// SpreadPushPull: both in the same round — the O((log N)^2) classic.
+	SpreadPushPull
+	// SpreadDifferentialPush: informed node i pushes to k_i random
+	// neighbours, k_i = round(deg_i / avgNbrDeg_i) — the paper's rule,
+	// proved to match push–pull's bound without pulls.
+	SpreadDifferentialPush
+)
+
+// String implements fmt.Stringer.
+func (p SpreadProtocol) String() string {
+	switch p {
+	case SpreadPush:
+		return "push"
+	case SpreadPull:
+		return "pull"
+	case SpreadPushPull:
+		return "push-pull"
+	case SpreadDifferentialPush:
+		return "differential-push"
+	default:
+		return fmt.Sprintf("spread(%d)", int(p))
+	}
+}
+
+// SpreadResult reports a rumor-spreading run.
+type SpreadResult struct {
+	// Rounds until every node was informed (== RoundLimit+ if not all).
+	Rounds int
+	// Informed is the final number of informed nodes.
+	Informed int
+	// All reports whether the rumor reached every node.
+	All bool
+	// Messages is the number of transmissions (pushes + pull requests).
+	Messages int
+}
+
+// Spread simulates rumor spreading from source under the given protocol.
+// roundLimit bounds the simulation; 0 selects 16·(log2 N)²+16.
+func Spread(g *graph.Graph, source int, p SpreadProtocol, seed uint64, roundLimit int) (SpreadResult, error) {
+	n := g.N()
+	if n == 0 {
+		return SpreadResult{}, fmt.Errorf("gossip: empty graph")
+	}
+	if source < 0 || source >= n {
+		return SpreadResult{}, fmt.Errorf("gossip: source %d out of range", source)
+	}
+	if roundLimit <= 0 {
+		l := math.Log2(float64(n) + 1)
+		roundLimit = 16*int(l*l) + 16
+	}
+	src := rng.New(seed)
+	informed := make([]bool, n)
+	informed[source] = true
+	numInformed := 1
+	var ks []int
+	if p == SpreadDifferentialPush {
+		ks = g.DifferentialKs()
+	}
+
+	res := SpreadResult{}
+	newly := make([]int, 0, n)
+	for round := 1; round <= roundLimit && numInformed < n; round++ {
+		newly = newly[:0]
+		switch p {
+		case SpreadPush, SpreadDifferentialPush:
+			for u := 0; u < n; u++ {
+				if !informed[u] || g.Degree(u) == 0 {
+					continue
+				}
+				k := 1
+				if p == SpreadDifferentialPush {
+					k = ks[u]
+				}
+				for _, v := range g.RandomNeighbors(u, k, src) {
+					res.Messages++
+					if !informed[v] {
+						newly = append(newly, v)
+					}
+				}
+			}
+		case SpreadPull:
+			for u := 0; u < n; u++ {
+				if informed[u] || g.Degree(u) == 0 {
+					continue
+				}
+				res.Messages++ // pull request
+				if v := g.RandomNeighbor(u, src); informed[v] {
+					newly = append(newly, u)
+				}
+			}
+		case SpreadPushPull:
+			for u := 0; u < n; u++ {
+				if g.Degree(u) == 0 {
+					continue
+				}
+				res.Messages++
+				v := g.RandomNeighbor(u, src)
+				if informed[u] && !informed[v] {
+					newly = append(newly, v)
+				} else if !informed[u] && informed[v] {
+					newly = append(newly, u)
+				}
+			}
+		default:
+			return SpreadResult{}, fmt.Errorf("gossip: unknown spread protocol %v", p)
+		}
+		for _, v := range newly {
+			if !informed[v] {
+				informed[v] = true
+				numInformed++
+			}
+		}
+		res.Rounds = round
+	}
+	res.Informed = numInformed
+	res.All = numInformed == n
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip/internal/graph"
+)
+
+func TestSpreadValidation(t *testing.T) {
+	g := graph.Ring(5)
+	if _, err := Spread(graph.New(0), 0, SpreadPush, 1, 0); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := Spread(g, -1, SpreadPush, 1, 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Spread(g, 0, SpreadProtocol(42), 1, 0); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestSpreadReachesAllOnConnected(t *testing.T) {
+	g := graph.MustPA(300, 2, 1)
+	for _, p := range []SpreadProtocol{SpreadPush, SpreadPull, SpreadPushPull, SpreadDifferentialPush} {
+		res, err := Spread(g, 0, p, 2, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !res.All {
+			t.Fatalf("%v informed only %d/300 nodes in %d rounds", p, res.Informed, res.Rounds)
+		}
+		if res.Messages == 0 {
+			t.Fatalf("%v sent no messages", p)
+		}
+	}
+}
+
+func TestSpreadStaysInComponent(t *testing.T) {
+	g := graph.New(6)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(3, 4) // separate component, plus isolated node 5
+	res, err := Spread(g, 0, SpreadPushPull, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.All {
+		t.Fatal("rumor crossed disconnected components")
+	}
+	if res.Informed != 3 {
+		t.Fatalf("informed = %d, want 3", res.Informed)
+	}
+}
+
+func TestSpreadSingleNode(t *testing.T) {
+	g := graph.New(1)
+	res, err := Spread(g, 0, SpreadPush, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.All || res.Rounds != 0 {
+		t.Fatalf("singleton spread = %+v", res)
+	}
+}
+
+func TestDifferentialSpreadBeatsPushFromLeaf(t *testing.T) {
+	// The motivating pathology: on a star, push from the hub takes ~n·ln n
+	// rounds to reach all leaves (coupon collector, one push per round),
+	// while differential push fans out and finishes immediately.
+	g := graph.Star(200)
+	push, err := Spread(g, 0, SpreadPush, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Spread(g, 0, SpreadDifferentialPush, 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.All {
+		t.Fatal("differential push failed on star")
+	}
+	if diff.Rounds >= push.Rounds {
+		t.Fatalf("differential (%d rounds) not faster than push (%d rounds) on star", diff.Rounds, push.Rounds)
+	}
+	if diff.Rounds > 3 {
+		t.Fatalf("differential took %d rounds on star, want <= 3", diff.Rounds)
+	}
+}
+
+func TestSpreadScalesPolylog(t *testing.T) {
+	// Theorem 5.1: differential push spreads in O((log2 N)^2) on PA
+	// graphs. Check that rounds / (log2 N)^2 stays bounded by a small
+	// constant across a decade of sizes.
+	for _, n := range []int{200, 2000, 20000} {
+		g := graph.MustPA(n, 2, 9)
+		res, err := Spread(g, n-1, SpreadDifferentialPush, 10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.All {
+			t.Fatalf("n=%d: spread incomplete", n)
+		}
+		bound := math.Log2(float64(n))
+		if float64(res.Rounds) > bound*bound {
+			t.Fatalf("n=%d: %d rounds exceeds (log2 n)^2 = %v", n, res.Rounds, bound*bound)
+		}
+	}
+}
+
+func TestSpreadRoundLimitHonoured(t *testing.T) {
+	g := graph.Ring(1000) // diameter 500: cannot finish in 5 rounds
+	res, err := Spread(g, 0, SpreadPush, 11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.All {
+		t.Fatal("ring spread finished impossibly fast")
+	}
+	if res.Rounds > 5 {
+		t.Fatalf("round limit exceeded: %d", res.Rounds)
+	}
+}

@@ -1,0 +1,363 @@
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"diffgossip/internal/rng"
+)
+
+// VectorEngine runs the paper's third/fourth algorithm variants: every node
+// gossips a full vector of (Y, G) pairs — one slot per subject node — so the
+// reputations of all N nodes aggregate simultaneously. A node id travels with
+// each pair implicitly via the slot index. An optional Count vector carries
+// Algorithm 2's rater-count mass.
+//
+// Convergence uses the paper's rule (7): node i announces convergence when
+//
+//	Σ_j |r_ij(n) − r_ij(n−1)| ≤ N·ξ
+//
+// after hearing from at least one other node, and stops once it and all its
+// neighbours have announced.
+//
+// Memory is Θ(N²); the experiment harness uses it for the collusion figures
+// at moderate N and falls back to the scalar engine for the large-N timing
+// figures, whose per-subject dynamics are identical.
+type VectorEngine struct {
+	cfg   Config
+	n     int
+	ks    []int
+	src   *rng.Source
+	steps int
+
+	y, g  [][]float64 // [node][subject] masses
+	count [][]float64 // optional rater-count mass
+	prevR [][]float64 // previous-step ratios
+
+	selfConv []bool
+	stopped  []bool
+	// active[j] is true when some node started with weight mass for
+	// subject j; only active subjects gate a node's convergence (a column
+	// nobody rated carries no campaign and must not block termination).
+	active []bool
+
+	nextY, nextG, nextC [][]float64
+	extRecv             []int
+	incoming            [][]push
+	l1                  []float64
+	hasWeight           []bool
+
+	msgs Messages
+	// vectorCost scales the per-push message accounting: pushing an
+	// N-slot vector costs N logical message units when
+	// CountVectorMessages is set; 1 otherwise (one packet per push).
+	perPushUnits int
+}
+
+// VectorResult is the outcome of a VectorEngine run. Estimates[i][j] is node
+// i's estimate for subject j.
+type VectorResult struct {
+	Steps     int
+	Converged bool
+	Estimates [][]float64
+	Counts    [][]float64
+	Messages  Messages
+}
+
+// NewVectorEngine builds a vector gossip run from initial masses. y0 and g0
+// must be N×N (row i = node i's initial vector).
+func NewVectorEngine(cfg Config, y0, g0 [][]float64) (*VectorEngine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	if len(y0) != n || len(g0) != n {
+		return nil, fmt.Errorf("gossip: initial matrices have %d/%d rows, want %d", len(y0), len(g0), n)
+	}
+	e := &VectorEngine{
+		cfg:          cfg,
+		n:            n,
+		ks:           cfg.fanouts(),
+		src:          rng.New(cfg.Seed),
+		y:            deepCopy(y0, n),
+		g:            deepCopy(g0, n),
+		prevR:        alloc(n),
+		selfConv:     make([]bool, n),
+		stopped:      make([]bool, n),
+		nextY:        alloc(n),
+		nextG:        alloc(n),
+		extRecv:      make([]int, n),
+		perPushUnits: 1,
+	}
+	e.active = make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if e.g[i][j] < 0 {
+				return nil, fmt.Errorf("gossip: negative initial weight g0[%d][%d]", i, j)
+			}
+			if e.g[i][j] > 0 {
+				e.active[j] = true
+			}
+			e.prevR[i][j] = ratioOr(e.y[i][j], e.g[i][j])
+		}
+		e.msgs.Setup += cfg.Graph.Degree(i)
+	}
+	return e, nil
+}
+
+func deepCopy(m [][]float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		if len(m[i]) != n {
+			panic(fmt.Sprintf("gossip: row %d has length %d, want %d", i, len(m[i]), n))
+		}
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+func alloc(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}
+
+func ratioOr(y, g float64) float64 {
+	if g == 0 {
+		return Sentinel
+	}
+	return y / g
+}
+
+// EnableCountGossip attaches the rater-count component (N×N row per node).
+func (e *VectorEngine) EnableCountGossip(count0 [][]float64) error {
+	if len(count0) != e.n {
+		return fmt.Errorf("gossip: count matrix has %d rows, want %d", len(count0), e.n)
+	}
+	if e.steps > 0 {
+		return fmt.Errorf("gossip: EnableCountGossip after stepping")
+	}
+	e.count = deepCopy(count0, e.n)
+	e.nextC = alloc(e.n)
+	return nil
+}
+
+// CountVectorMessages makes the message tally charge N units per vector push
+// instead of 1, reflecting the paper's note that communication complexity of
+// the vector variants grows proportionally to the vector size.
+func (e *VectorEngine) CountVectorMessages() { e.perPushUnits = e.n }
+
+// ChargeSetup adds extra setup messages to the tally.
+func (e *VectorEngine) ChargeSetup(n int) { e.msgs.Setup += n }
+
+// MassY returns Σ_i y_i[j] for subject j (invariant across steps).
+func (e *VectorEngine) MassY(j int) float64 {
+	total := 0.0
+	for i := 0; i < e.n; i++ {
+		total += e.y[i][j]
+	}
+	return total
+}
+
+// MassG returns Σ_i g_i[j] for subject j (invariant across steps).
+func (e *VectorEngine) MassG(j int) float64 {
+	total := 0.0
+	for i := 0; i < e.n; i++ {
+		total += e.g[i][j]
+	}
+	return total
+}
+
+// push is one routed share: the destination accumulates f times the source's
+// current vectors.
+type push struct {
+	src int
+	f   float64
+}
+
+// Step executes one synchronous vector gossip step; it returns true while
+// some node is still running.
+//
+// The step has three phases. Routing (sequential, so the random choices are
+// identical regardless of parallelism) decides which shares go where.
+// Accumulation — the Θ(N²) part — applies the routed shares per destination
+// and is split across cfg.Workers goroutines; every destination sums its
+// incoming list in routing order, so the result is bit-identical for any
+// worker count. Flags (sequential) runs the convergence protocol.
+func (e *VectorEngine) Step() bool {
+	g := e.cfg.Graph
+
+	// Phase 1: routing.
+	if e.incoming == nil {
+		e.incoming = make([][]push, e.n)
+	}
+	for i := range e.incoming {
+		e.incoming[i] = e.incoming[i][:0]
+		e.extRecv[i] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		if e.stopped[i] || g.Degree(i) == 0 {
+			e.incoming[i] = append(e.incoming[i], push{src: i, f: 1})
+			continue
+		}
+		e.msgs.ActiveNodeSteps++
+		k := e.ks[i]
+		f := 1 / float64(k+1)
+		e.incoming[i] = append(e.incoming[i], push{src: i, f: f}) // self share
+		for _, t := range g.RandomNeighbors(i, k, e.src) {
+			e.msgs.Gossip += e.perPushUnits
+			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
+				e.msgs.Lost += e.perPushUnits
+				e.incoming[i] = append(e.incoming[i], push{src: i, f: f})
+				continue
+			}
+			e.incoming[t] = append(e.incoming[t], push{src: i, f: f})
+			e.extRecv[t]++
+		}
+	}
+
+	// Phase 2: accumulation (parallel over destinations).
+	e.steps++
+	if e.l1 == nil {
+		e.l1 = make([]float64, e.n)
+		e.hasWeight = make([]bool, e.n)
+	}
+	e.parallelFor(func(i int) {
+		zero(e.nextY[i])
+		zero(e.nextG[i])
+		if e.nextC != nil {
+			zero(e.nextC[i])
+		}
+		for _, p := range e.incoming[i] {
+			axpy(e.nextY[i], e.y[p.src], p.f)
+			axpy(e.nextG[i], e.g[p.src], p.f)
+			if e.nextC != nil {
+				axpy(e.nextC[i], e.count[p.src], p.f)
+			}
+		}
+		l1 := 0.0
+		hasWeight := true
+		for j := 0; j < e.n; j++ {
+			r := ratioOr(e.nextY[i][j], e.nextG[i][j])
+			l1 += math.Abs(r - e.prevR[i][j])
+			e.prevR[i][j] = r
+			if e.active[j] && e.nextG[i][j] == 0 {
+				hasWeight = false
+			}
+		}
+		e.l1[i] = l1
+		e.hasWeight[i] = hasWeight
+	})
+	for i := 0; i < e.n; i++ {
+		e.y[i], e.nextY[i] = e.nextY[i], e.y[i]
+		e.g[i], e.nextG[i] = e.nextG[i], e.g[i]
+		if e.nextC != nil {
+			e.count[i], e.nextC[i] = e.nextC[i], e.count[i]
+		}
+	}
+
+	// Phase 3: convergence flags (same revocable protocol as the scalar
+	// engine; see Engine.Step).
+	nxi := float64(e.n) * e.cfg.Epsilon
+	for i := 0; i < e.n; i++ {
+		heard := e.extRecv[i] >= 1 || e.selfConv[i] || e.stopped[i]
+		conv := e.hasWeight[i] && heard && e.l1[i] <= nxi && e.steps >= e.cfg.MinSteps
+		if conv != e.selfConv[i] {
+			e.selfConv[i] = conv
+			e.msgs.Announce += g.Degree(i)
+		}
+	}
+	running := false
+	for i := 0; i < e.n; i++ {
+		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0) && allConverged(e.selfConv, g.Neighbors(i))
+		if !e.stopped[i] {
+			running = true
+		}
+	}
+	return running
+}
+
+// parallelFor runs fn(i) for every node index, fanning out across the
+// configured worker count.
+func (e *VectorEngine) parallelFor(fn func(i int)) {
+	workers := e.cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || e.n < 2*workers {
+		for i := 0; i < e.n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (e.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// axpy adds f·src to dst element-wise.
+func axpy(dst, src []float64, f float64) {
+	for i := range dst {
+		dst[i] += src[i] * f
+	}
+}
+
+// Run drives Step to completion.
+func (e *VectorEngine) Run() VectorResult {
+	budget := e.cfg.maxSteps()
+	running := true
+	for running && e.steps < budget {
+		running = e.Step()
+	}
+	res := VectorResult{
+		Steps:     e.steps,
+		Converged: !running,
+		Estimates: alloc(e.n),
+		Messages:  e.msgs,
+	}
+	for i := 0; i < e.n; i++ {
+		for j := 0; j < e.n; j++ {
+			if e.g[i][j] > 0 {
+				res.Estimates[i][j] = e.y[i][j] / e.g[i][j]
+			}
+		}
+	}
+	if e.count != nil {
+		res.Counts = alloc(e.n)
+		for i := 0; i < e.n; i++ {
+			for j := 0; j < e.n; j++ {
+				if e.g[i][j] > 0 {
+					res.Counts[i][j] = e.count[i][j] / e.g[i][j]
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,205 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+)
+
+// buildVectorInputs sets up an all-subjects average: y0[i][j] random,
+// g0[i][j] = 1 (every node rates every subject).
+func buildVectorInputs(n int, seed uint64) (y0, g0 [][]float64) {
+	src := rng.New(seed)
+	y0, g0 = alloc(n), alloc(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			y0[i][j] = src.Float64()
+			g0[i][j] = 1
+		}
+	}
+	return y0, g0
+}
+
+func TestVectorEngineShapeChecks(t *testing.T) {
+	g := graph.Ring(4)
+	cfg := Config{Graph: g, Epsilon: 0.01}
+	if _, err := NewVectorEngine(cfg, alloc(3), alloc(4)); err == nil {
+		t.Fatal("short y0 accepted")
+	}
+	bad := alloc(4)
+	bad[2][1] = -1
+	if _, err := NewVectorEngine(cfg, alloc(4), bad); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestVectorAverageAllSubjects(t *testing.T) {
+	n := 60
+	g := graph.MustPA(n, 2, 100)
+	y0, g0 := buildVectorInputs(n, 101)
+	e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-8, Seed: 102}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("vector gossip did not converge")
+	}
+	for j := 0; j < n; j++ {
+		want := 0.0
+		for i := 0; i < n; i++ {
+			want += y0[i][j]
+		}
+		want /= float64(n)
+		for i := 0; i < n; i++ {
+			if math.Abs(res.Estimates[i][j]-want) > 1e-3 {
+				t.Fatalf("estimate[%d][%d] = %v, want %v", i, j, res.Estimates[i][j], want)
+			}
+		}
+	}
+}
+
+func TestVectorMassConservation(t *testing.T) {
+	n := 40
+	g := graph.MustPA(n, 2, 110)
+	y0, g0 := buildVectorInputs(n, 111)
+	e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-6, Seed: 112, LossProb: 0.2}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY := make([]float64, n)
+	wantG := make([]float64, n)
+	for j := 0; j < n; j++ {
+		wantY[j], wantG[j] = e.MassY(j), e.MassG(j)
+	}
+	for s := 0; s < 25; s++ {
+		e.Step()
+	}
+	for j := 0; j < n; j++ {
+		if math.Abs(e.MassY(j)-wantY[j]) > 1e-9*float64(n) {
+			t.Fatalf("subject %d Y mass drifted", j)
+		}
+		if math.Abs(e.MassG(j)-wantG[j]) > 1e-9*float64(n) {
+			t.Fatalf("subject %d G mass drifted", j)
+		}
+	}
+}
+
+func TestVectorSumModeWithCounts(t *testing.T) {
+	// Variant-3 style: single root weight per subject; counts track rater
+	// numbers per subject.
+	n := 30
+	g := graph.MustPA(n, 2, 120)
+	src := rng.New(121)
+	y0, g0 := alloc(n), alloc(n)
+	c0 := alloc(n)
+	ratersPerSubject := make([]int, n)
+	for j := 0; j < n; j++ {
+		g0[0][j] = 1 // node 0 is the root for every subject
+		for i := 0; i < n; i++ {
+			if i != j && src.Bool(0.3) {
+				y0[i][j] = src.Float64()
+				c0[i][j] = 1
+				ratersPerSubject[j]++
+			}
+		}
+	}
+	e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-10, Seed: 122}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableCountGossip(c0); err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for j := 0; j < n; j++ {
+		if ratersPerSubject[j] == 0 {
+			continue
+		}
+		wantSum := 0.0
+		for i := 0; i < n; i++ {
+			wantSum += y0[i][j]
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(res.Estimates[i][j]-wantSum) > 1e-2*math.Max(1, wantSum) {
+				t.Fatalf("sum estimate[%d][%d] = %v, want %v", i, j, res.Estimates[i][j], wantSum)
+			}
+			if math.Abs(res.Counts[i][j]-float64(ratersPerSubject[j])) > 0.05*float64(ratersPerSubject[j])+0.01 {
+				t.Fatalf("count estimate[%d][%d] = %v, want %d", i, j, res.Counts[i][j], ratersPerSubject[j])
+			}
+		}
+	}
+}
+
+func TestVectorCountGossipErrors(t *testing.T) {
+	g := graph.Ring(4)
+	y0, g0 := buildVectorInputs(4, 1)
+	e, err := NewVectorEngine(Config{Graph: g, Epsilon: 0.1, Seed: 1}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableCountGossip(alloc(3)); err == nil {
+		t.Fatal("wrong-size count matrix accepted")
+	}
+	e.Step()
+	if err := e.EnableCountGossip(alloc(4)); err == nil {
+		t.Fatal("late EnableCountGossip accepted")
+	}
+}
+
+func TestVectorMessageUnits(t *testing.T) {
+	n := 10
+	g := graph.Ring(n)
+	y0, g0 := buildVectorInputs(n, 130)
+	plain, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-6, Seed: 131}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Step()
+	perPacket := plain.msgs.Gossip
+
+	vec, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-6, Seed: 131}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec.CountVectorMessages()
+	vec.Step()
+	if vec.msgs.Gossip != perPacket*n {
+		t.Fatalf("vector message units = %d, want %d", vec.msgs.Gossip, perPacket*n)
+	}
+}
+
+func TestVectorMatchesScalarPerSubject(t *testing.T) {
+	// Cross-check: a vector run and N scalar runs must agree on the
+	// converged values (both converge to per-subject means; the paths
+	// differ, the fixed point does not).
+	n := 25
+	g := graph.MustPA(n, 2, 140)
+	y0, g0 := buildVectorInputs(n, 141)
+	e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-9, Seed: 142}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres := e.Run()
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		gcol := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = y0[i][j]
+			gcol[i] = g0[i][j]
+		}
+		se, err := NewEngine(Config{Graph: g, Epsilon: 1e-9, Seed: 143}, col, gcol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres := se.Run()
+		if math.Abs(vres.Estimates[0][j]-sres.Estimates[0]) > 1e-3 {
+			t.Fatalf("subject %d: vector %v vs scalar %v", j, vres.Estimates[0][j], sres.Estimates[0])
+		}
+	}
+}

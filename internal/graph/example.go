@@ -1,0 +1,34 @@
+package graph
+
+// Figure2 returns the paper's 10-node example network (§4.2, Figure 2). The
+// paper gives the degree sequence (4,4,7,3,3,2,2,2,3,2) and the resulting
+// differential fan-outs k = (1,1,3,1,1,1,1,1,1,1) but not the full edge list;
+// this topology realises both exactly:
+//
+//	node (1-based):  1  2  3  4  5  6  7  8  9 10
+//	degree:          4  4  7  3  3  2  2  2  3  2
+//	k:               1  1  3  1  1  1  1  1  1  1
+//
+// Node 3 is the power node; its neighbours are all nodes except the two other
+// degree-4 nodes, which keeps its average neighbour degree low enough
+// (17/7 ≈ 2.43) that k_3 = round(7/2.43) = 3 as in the paper's Table 1.
+func Figure2() *Graph {
+	edges := [][2]int{
+		{0, 1}, {0, 3}, {0, 4}, {0, 8},
+		{1, 6}, {1, 7}, {1, 8},
+		{2, 3}, {2, 4}, {2, 5}, {2, 6}, {2, 7}, {2, 8}, {2, 9},
+		{3, 5},
+		{4, 9},
+	}
+	g, err := FromEdges(10, edges)
+	if err != nil {
+		panic("graph: Figure2 construction failed: " + err.Error())
+	}
+	return g
+}
+
+// Figure2Degrees is the degree sequence the paper reports for Figure 2.
+var Figure2Degrees = []int{4, 4, 7, 3, 3, 2, 2, 2, 3, 2}
+
+// Figure2Ks is the differential fan-out vector from the paper's Table 1.
+var Figure2Ks = []int{1, 1, 3, 1, 1, 1, 1, 1, 1, 1}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteEdgeList emits the graph in the plain "u v" per-line format
+// (canonical order, u < v), interoperable with common graph tooling and with
+// cmd/dgnet -edges.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Lines starting with '#' are
+// directives or comments; the "# nodes N" header sizes the graph (required so
+// isolated trailing nodes survive a round trip).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		if text[0] == '#' {
+			var n int
+			if _, err := fmt.Sscanf(text, "# nodes %d", &n); err == nil {
+				if g != nil {
+					return nil, fmt.Errorf("graph: duplicate nodes header at line %d", line)
+				}
+				g = New(n)
+			}
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("graph: edge before '# nodes N' header at line %d", line)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %d: %q", line, text)
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing '# nodes N' header")
+	}
+	return g, nil
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+
+	"diffgossip/internal/rng"
+)
+
+// PAConfig parameterises the preferential attachment generator.
+type PAConfig struct {
+	// N is the final number of nodes. Must be > M.
+	N int
+	// M is the number of edges each arriving node creates (the paper's m).
+	// The paper's analysis requires m >= 2 so that the graph is connected
+	// with high probability and differential push spreads in O((log2 N)^2).
+	M int
+	// Seed drives the generator deterministically.
+	Seed uint64
+}
+
+// PreferentialAttachment grows a power-law graph G^m_N by the PA process the
+// paper cites ([11] Barabási–Albert, [12] Bollobás et al.): the graph starts
+// from a small connected seed clique of m+1 nodes, and each subsequent node
+// joins with m edges whose endpoints are chosen with probability proportional
+// to current degree. Multi-edges are resolved by resampling, so the result is
+// a connected simple graph with a d^-gamma degree tail (gamma ≈ 3 for pure
+// BA; Gnutella's measured 2.3 is in the same regime for gossip purposes).
+func PreferentialAttachment(cfg PAConfig) (*Graph, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("graph: PA requires m >= 1, got %d", cfg.M)
+	}
+	if cfg.N <= cfg.M {
+		return nil, fmt.Errorf("graph: PA requires n > m, got n=%d m=%d", cfg.N, cfg.M)
+	}
+	src := rng.New(cfg.Seed)
+	g := New(cfg.N)
+
+	// Repeated-endpoint list: node u appears deg(u) times, so sampling a
+	// uniform element of the list samples a node proportionally to degree.
+	endpoints := make([]int, 0, 2*cfg.M*cfg.N)
+
+	// Seed clique on nodes 0..m ensures every early node has degree >= m and
+	// the graph is connected from the start.
+	for u := 0; u <= cfg.M; u++ {
+		for v := u + 1; v <= cfg.M; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, u, v)
+		}
+	}
+
+	targets := make(map[int]struct{}, cfg.M)
+	ordered := make([]int, 0, cfg.M)
+	for u := cfg.M + 1; u < cfg.N; u++ {
+		clear(targets)
+		ordered = ordered[:0]
+		for len(targets) < cfg.M {
+			t := endpoints[src.Intn(len(endpoints))]
+			if _, dup := targets[t]; dup {
+				continue // resample duplicates
+			}
+			targets[t] = struct{}{}
+			ordered = append(ordered, t) // keep draw order: map iteration is not deterministic
+		}
+		for _, t := range ordered {
+			if err := g.AddEdge(u, t); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, u, t)
+		}
+	}
+	return g, nil
+}
+
+// MustPA is PreferentialAttachment that panics on config error; convenient in
+// tests and benchmarks where the config is a literal.
+func MustPA(n, m int, seed uint64) *Graph {
+	g, err := PreferentialAttachment(PAConfig{N: n, M: m, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Ring returns a cycle on n nodes; a useful worst-ish case for push gossip
+// and a simple fixture for tests.
+func Ring(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		if err := g.AddEdge(u, (u+1)%n); err != nil && n > 2 {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n, the topology assumed by the
+// push-sum analysis in Kempe et al. that the paper builds on.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// Star returns a star with node 0 at the centre — the extreme power-node
+// case motivating differential push.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// ErdosRenyi returns a G(n,p) random graph, used as a non-power-law contrast
+// topology in ablation benchmarks.
+func ErdosRenyi(n int, p float64, seed uint64) *Graph {
+	src := rng.New(seed)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Bool(p) {
+				if err := g.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,163 @@
+// Package metrics implements the error and summary statistics the paper's
+// evaluation reports, most importantly the average RMS relative error of
+// eq. (18) used in the collusion figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AvgRMSRelError implements the paper's eq. (18):
+//
+//	(1/N) Σ_i sqrt( Σ_j ((r_ij − r̂_ij)/r_ij)^2 / N )
+//
+// where r[i][j] is the reputation of node j computed at node i in the
+// presence of colluders and rhat[i][j] the value without them. Columns where
+// the reference r_ij is zero are skipped (relative error is undefined there);
+// the divisor stays N as in the paper, so skipped terms count as zero error.
+func AvgRMSRelError(r, rhat [][]float64) (float64, error) {
+	n := len(r)
+	if n == 0 || len(rhat) != n {
+		return 0, fmt.Errorf("metrics: shape mismatch %dx? vs %dx?", len(r), len(rhat))
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if len(r[i]) != n || len(rhat[i]) != n {
+			return 0, fmt.Errorf("metrics: row %d not square", i)
+		}
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if r[i][j] == 0 {
+				continue
+			}
+			d := (r[i][j] - rhat[i][j]) / r[i][j]
+			sum += d * d
+		}
+		total += math.Sqrt(sum / float64(n))
+	}
+	return total / float64(n), nil
+}
+
+// RMSE returns the plain root-mean-square error between two vectors.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// MaxAbsError returns max_i |a_i − b_i|.
+func MaxAbsError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(a), len(b))
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// L1Diff returns Σ_i |a_i − b_i|, the quantity in the paper's vector
+// convergence rule (7).
+func L1Diff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(a), len(b))
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum, nil
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P90, P99         float64
+}
+
+// Summarize computes a Summary of xs. It copies the input.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum, sumsq := 0.0, 0.0
+	for _, x := range sorted {
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(sorted))
+	s.Mean = sum / n
+	variance := sumsq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = quantile(sorted, 0.5)
+	s.P90 = quantile(sorted, 0.9)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile interpolates the q-quantile of an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Trace accumulates a per-step scalar series (e.g. the network-wide
+// convergence error per gossip step) and reports when it first crossed a
+// threshold.
+type Trace struct {
+	Values []float64
+}
+
+// Append records the next step's value.
+func (t *Trace) Append(v float64) { t.Values = append(t.Values, v) }
+
+// FirstBelow returns the first step index at which the series dropped to or
+// below eps, or -1 if it never did.
+func (t *Trace) FirstBelow(eps float64) int {
+	for i, v := range t.Values {
+		if v <= eps {
+			return i
+		}
+	}
+	return -1
+}
+
+// Last returns the final value, or NaN for an empty trace.
+func (t *Trace) Last() float64 {
+	if len(t.Values) == 0 {
+		return math.NaN()
+	}
+	return t.Values[len(t.Values)-1]
+}

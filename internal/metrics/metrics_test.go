@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func square(n int, fill float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = fill
+		}
+	}
+	return m
+}
+
+func TestAvgRMSRelErrorZeroWhenEqual(t *testing.T) {
+	r := square(4, 0.5)
+	got, err := AvgRMSRelError(r, square(4, 0.5))
+	if err != nil || got != 0 {
+		t.Fatalf("AvgRMSRelError = %v, %v", got, err)
+	}
+}
+
+func TestAvgRMSRelErrorKnownValue(t *testing.T) {
+	// r all 0.5, rhat all 0.25: relative error 0.5 everywhere, so each row
+	// contributes sqrt(N*0.25/N)=0.5 and the average is 0.5.
+	got, err := AvgRMSRelError(square(3, 0.5), square(3, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("AvgRMSRelError = %v, want 0.5", got)
+	}
+}
+
+func TestAvgRMSRelErrorSkipsZeroReference(t *testing.T) {
+	r := square(2, 0)
+	rhat := square(2, 1)
+	got, err := AvgRMSRelError(r, rhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("zero-reference entries should be skipped, got %v", got)
+	}
+}
+
+func TestAvgRMSRelErrorShapeErrors(t *testing.T) {
+	if _, err := AvgRMSRelError(square(2, 1), square(3, 1)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := AvgRMSRelError(ragged, ragged); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := AvgRMSRelError(nil, nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("RMSE identical = %v, %v", got, err)
+	}
+	got, _ = RMSE([]float64{0, 0}, []float64{3, 4})
+	if math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if got, _ := RMSE(nil, nil); got != 0 {
+		t.Fatal("empty RMSE not 0")
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	got, err := MaxAbsError([]float64{1, 5, 2}, []float64{1.5, 4, 2})
+	if err != nil || got != 1 {
+		t.Fatalf("MaxAbsError = %v, %v", got, err)
+	}
+	if _, err := MaxAbsError([]float64{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	got, err := L1Diff([]float64{1, 2}, []float64{0, 4})
+	if err != nil || got != 3 {
+		t.Fatalf("L1Diff = %v, %v", got, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 || math.Abs(s.Median-2.5) > 1e-12 {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if s.Std <= 0 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.P99 != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+	if s.Std != 0 {
+		t.Fatalf("singleton std = %v", s.Std)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// Clamp magnitudes so intermediate sums cannot overflow.
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		s := Summarize(raw)
+		return s.Min <= s.Median && s.Median <= s.P90+1e-9 &&
+			s.P90 <= s.P99+1e-9 && s.P99 <= s.Max+1e-9 &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	if !math.IsNaN(tr.Last()) {
+		t.Fatal("empty trace Last not NaN")
+	}
+	for _, v := range []float64{1, 0.5, 0.2, 0.05, 0.01} {
+		tr.Append(v)
+	}
+	if got := tr.FirstBelow(0.1); got != 3 {
+		t.Fatalf("FirstBelow(0.1) = %d, want 3", got)
+	}
+	if got := tr.FirstBelow(1e-9); got != -1 {
+		t.Fatalf("FirstBelow tiny = %d, want -1", got)
+	}
+	if tr.Last() != 0.01 {
+		t.Fatalf("Last = %v", tr.Last())
+	}
+}

@@ -1,0 +1,332 @@
+package p2p
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"diffgossip/internal/rng"
+)
+
+// Network owns the peers, routes messages between their goroutines and
+// advances the simulation in rounds. A round has two quiescent phases:
+// query flooding (queries spread, hits travel back) and transfer (requesters
+// pick a holder, holders serve according to reputation, requesters grade the
+// service). All message processing happens on the peers' own goroutines.
+type Network struct {
+	cfg     Config
+	peers   []*Peer
+	popular []float64 // resource popularity weights
+
+	inflight sync.WaitGroup // tracks undelivered/unprocessed messages
+	querySeq atomic.Int64
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	closed bool
+}
+
+// NewNetwork builds the network, seeds resources and behavioural roles, and
+// starts one goroutine per peer.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	root := rng.New(cfg.Seed)
+	net := &Network{
+		cfg:     cfg,
+		peers:   make([]*Peer, n),
+		popular: zipfWeights(cfg.NumResources, cfg.ZipfExponent),
+	}
+	for i := 0; i < n; i++ {
+		src := root.Split()
+		free := src.Bool(cfg.FreeRiderFrac)
+		var decency float64
+		if free {
+			decency = src.Beta(1, 8)
+		} else {
+			decency = src.Beta(4, 2)
+		}
+		p := newPeer(i, decency, free, src)
+		p.strangerPrior = cfg.StrangerPrior
+		// Seed the catalogue with popularity-weighted resources.
+		for len(p.resources) < cfg.ResourcesPerPeer {
+			p.resources[sampleWeighted(net.popular, src)] = true
+		}
+		net.peers[i] = p
+	}
+	for _, p := range net.peers {
+		go net.serve(p)
+	}
+	return net, nil
+}
+
+// N returns the number of peers.
+func (net *Network) N() int { return len(net.peers) }
+
+// Peer returns the i-th peer (for inspection in tests and examples).
+func (net *Network) Peer(i int) *Peer { return net.peers[i] }
+
+// Stats returns a copy of the accumulated counters.
+func (net *Network) Stats() Stats {
+	net.statsMu.Lock()
+	defer net.statsMu.Unlock()
+	return net.stats
+}
+
+// Close shuts down all peer goroutines. The network must be quiescent (only
+// call after Round has returned).
+func (net *Network) Close() {
+	if net.closed {
+		return
+	}
+	net.closed = true
+	for _, p := range net.peers {
+		close(p.done)
+	}
+}
+
+// serve is the peer goroutine: it processes mailbox messages until shutdown.
+func (net *Network) serve(p *Peer) {
+	for {
+		select {
+		case m := <-p.inbox:
+			net.handle(p, m)
+			net.inflight.Done()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// send routes a message to peer "to". The inflight counter is balanced by
+// serve; a full mailbox falls back to a detached sender so routing can never
+// deadlock the handler goroutines.
+func (net *Network) send(to int, m message) {
+	net.inflight.Add(1)
+	net.statsMu.Lock()
+	net.stats.MessagesRouted++
+	net.statsMu.Unlock()
+	p := net.peers[to]
+	select {
+	case p.inbox <- m:
+	default:
+		go func() { p.inbox <- m }()
+	}
+}
+
+// handle dispatches one message on the owning peer's goroutine.
+func (net *Network) handle(p *Peer, m message) {
+	switch {
+	case m.query != nil:
+		net.handleQuery(p, m.query)
+	case m.hit != nil:
+		p.mu.Lock()
+		p.hits[m.hit.queryID] = append(p.hits[m.hit.queryID], m.hit.holder)
+		p.mu.Unlock()
+	case m.request != nil:
+		net.handleRequest(p, m.request)
+	case m.response != nil:
+		net.handleResponse(p, m.response)
+	}
+}
+
+func (net *Network) handleQuery(p *Peer, q *queryMsg) {
+	p.mu.Lock()
+	if p.seenQuery[q.id] {
+		p.mu.Unlock()
+		return
+	}
+	p.seenQuery[q.id] = true
+	holds := p.resources[q.resource]
+	p.mu.Unlock()
+
+	if holds && p.id != q.origin {
+		net.send(q.origin, message{hit: &hitMsg{queryID: q.id, holder: p.id}})
+	}
+	if q.ttl > 0 {
+		fwd := *q
+		fwd.ttl--
+		for _, v := range net.cfg.Graph.Neighbors(p.id) {
+			net.send(v, message{query: &fwd})
+		}
+	}
+}
+
+func (net *Network) handleRequest(p *Peer, r *requestMsg) {
+	p.mu.Lock()
+	holds := p.resources[r.resource]
+	p.mu.Unlock()
+	quality := 0.0
+	if holds {
+		p.mu.Lock()
+		quality = p.serviceQuality(r.requester, &net.cfg)
+		p.mu.Unlock()
+	}
+	net.send(r.requester, message{response: &responseMsg{
+		queryID:  r.queryID,
+		holder:   p.id,
+		resource: r.resource,
+		quality:  quality,
+	}})
+}
+
+func (net *Network) handleResponse(p *Peer, r *responseMsg) {
+	p.mu.Lock()
+	p.recordTransaction(r.holder, r.quality)
+	if r.quality > 0 {
+		p.resources[r.resource] = true
+	}
+	delete(p.want, r.queryID)
+	delete(p.hits, r.queryID)
+	free := p.free
+	p.mu.Unlock()
+
+	net.statsMu.Lock()
+	net.stats.Transfers++
+	if free {
+		net.stats.TransfersFreeRider++
+		net.stats.QualitySumFreeRider += r.quality
+	} else {
+		net.stats.TransfersHonest++
+		net.stats.QualitySumHonest += r.quality
+	}
+	net.statsMu.Unlock()
+}
+
+// Round advances the simulation one round: query issuance and flooding, then
+// holder selection and transfers. It blocks until the network is quiescent.
+func (net *Network) Round() error {
+	if net.closed {
+		return fmt.Errorf("p2p: network closed")
+	}
+	// Phase 1: issue queries.
+	issued := 0
+	for _, p := range net.peers {
+		p.mu.Lock()
+		wants := p.src.Bool(net.cfg.QueriesPerRound)
+		var res int
+		if wants {
+			// Pick a popular resource the peer lacks (bounded retries:
+			// a peer holding everything stays quiet).
+			found := false
+			for try := 0; try < 8; try++ {
+				res = sampleWeighted(net.popular, p.src)
+				if !p.resources[res] {
+					found = true
+					break
+				}
+			}
+			wants = found
+		}
+		if !wants {
+			p.mu.Unlock()
+			continue
+		}
+		id := net.querySeq.Add(1)
+		p.want[id] = res
+		p.mu.Unlock()
+		issued++
+		net.send(p.id, message{query: &queryMsg{
+			id: id, origin: p.id, resource: res, ttl: net.cfg.QueryTTL,
+		}})
+	}
+	net.statsMu.Lock()
+	net.stats.Queries += issued
+	net.statsMu.Unlock()
+	net.inflight.Wait()
+
+	// Phase 2: pick responders and transfer.
+	for _, p := range net.peers {
+		p.mu.Lock()
+		type pick struct {
+			queryID  int64
+			holder   int
+			resource int
+		}
+		var picks []pick
+		for id, holders := range p.hits {
+			res, ok := p.want[id]
+			if !ok || len(holders) == 0 {
+				continue
+			}
+			best := net.chooseHolder(p, holders)
+			picks = append(picks, pick{queryID: id, holder: best, resource: res})
+		}
+		// Unanswered queries expire at end of round.
+		hit := len(picks)
+		p.mu.Unlock()
+
+		net.statsMu.Lock()
+		net.stats.Hits += hit
+		net.statsMu.Unlock()
+		for _, pk := range picks {
+			net.send(pk.holder, message{request: &requestMsg{
+				queryID: pk.queryID, requester: p.id, resource: pk.resource,
+			}})
+		}
+	}
+	net.inflight.Wait()
+
+	// Expire leftover round state.
+	for _, p := range net.peers {
+		p.mu.Lock()
+		for id := range p.want {
+			delete(p.want, id)
+			delete(p.hits, id)
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// chooseHolder selects the most reputable responder, breaking ties randomly.
+// Callers must hold p.mu.
+func (net *Network) chooseHolder(p *Peer, holders []int) int {
+	sort.Ints(holders)
+	best := holders[0]
+	bestRep := -1.0
+	for _, h := range holders {
+		rep, known := p.reputationOf(h)
+		if !known {
+			rep = 0.25 // neutral prior for strangers, above known-bad peers
+		}
+		if rep > bestRep || (rep == bestRep && p.src.Bool(0.5)) {
+			best, bestRep = h, rep
+		}
+	}
+	return best
+}
+
+// RunRounds advances the simulation r rounds.
+func (net *Network) RunRounds(r int) error {
+	for i := 0; i < r; i++ {
+		if err := net.Round(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetIdentity models whitewashing: peer i rejoins under a fresh identity,
+// so every other peer forgets its direct experience with i and the
+// aggregated reputation entry for i becomes unknown. The peer keeps its
+// resources and behaviour — only its history is laundered. Only call between
+// rounds (the network must be quiescent).
+func (net *Network) ResetIdentity(i int) error {
+	if i < 0 || i >= len(net.peers) {
+		return fmt.Errorf("p2p: peer %d out of range", i)
+	}
+	for _, p := range net.peers {
+		p.mu.Lock()
+		delete(p.estimators, i)
+		if i < len(p.globalRep) {
+			p.globalRep[i] = 0
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}

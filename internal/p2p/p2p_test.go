@@ -1,0 +1,242 @@
+package p2p
+
+import (
+	"testing"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+)
+
+func testConfig(n int, seed uint64) Config {
+	g := graph.MustPA(n, 2, seed)
+	cfg := DefaultConfig(g, seed+1)
+	cfg.NumResources = 60
+	cfg.ResourcesPerPeer = 5
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.MustPA(20, 2, 1)
+	bad := []Config{
+		{},
+		{Graph: g, NumResources: 0, ResourcesPerPeer: 1, QueryTTL: 2},
+		{Graph: g, NumResources: 10, ResourcesPerPeer: 20, QueryTTL: 2},
+		{Graph: g, NumResources: 10, ResourcesPerPeer: 2, QueryTTL: 0},
+		{Graph: g, NumResources: 10, ResourcesPerPeer: 2, QueryTTL: 2, QueriesPerRound: 2},
+		{Graph: g, NumResources: 10, ResourcesPerPeer: 2, QueryTTL: 2, FreeRiderFrac: -1},
+		{Graph: g, NumResources: 10, ResourcesPerPeer: 2, QueryTTL: 2, ServeUnknownProb: 3},
+		{Graph: g, NumResources: 10, ResourcesPerPeer: 2, QueryTTL: 2, ReputationThreshold: -0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewNetwork(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNetworkSetup(t *testing.T) {
+	net, err := NewNetwork(testConfig(50, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if net.N() != 50 {
+		t.Fatalf("N = %d", net.N())
+	}
+	for i := 0; i < 50; i++ {
+		p := net.Peer(i)
+		if p.ID() != i {
+			t.Fatalf("peer %d has id %d", i, p.ID())
+		}
+		if p.NumResources() != 5 {
+			t.Fatalf("peer %d seeded %d resources, want 5", i, p.NumResources())
+		}
+		if d := p.Decency(); d < 0 || d > 1 {
+			t.Fatalf("peer %d decency %v", i, d)
+		}
+	}
+}
+
+func TestRoundsProduceTransactions(t *testing.T) {
+	net, err := NewNetwork(testConfig(80, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.RunRounds(10); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Stats()
+	if s.Queries == 0 {
+		t.Fatal("no queries issued")
+	}
+	if s.Hits == 0 {
+		t.Fatal("no query hits")
+	}
+	if s.Transfers == 0 {
+		t.Fatal("no transfers")
+	}
+	if s.MessagesRouted <= s.Queries {
+		t.Fatalf("implausible message count %d for %d queries", s.MessagesRouted, s.Queries)
+	}
+}
+
+func TestTrustSnapshotGrowsWithInteraction(t *testing.T) {
+	net, err := NewNetwork(testConfig(60, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	before := net.TrustSnapshot()
+	if before.NumEntries() != 0 {
+		t.Fatalf("trust entries before any round: %d", before.NumEntries())
+	}
+	if err := net.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	after := net.TrustSnapshot()
+	if after.NumEntries() == 0 {
+		t.Fatal("no trust accumulated after 12 rounds")
+	}
+	// Downloads succeed, so the requester must have graded the holder.
+	s := net.Stats()
+	if s.Transfers > 0 && after.NumEntries() == 0 {
+		t.Fatal("transfers happened but no trust recorded")
+	}
+}
+
+func TestFreeRidersEarnLowTrust(t *testing.T) {
+	cfg := testConfig(100, 40)
+	cfg.FreeRiderFrac = 0.3
+	cfg.QueriesPerRound = 0.8
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.RunRounds(25); err != nil {
+		t.Fatal(err)
+	}
+	tm := net.TrustSnapshot()
+	var frSum, hSum float64
+	var frCnt, hCnt int
+	for j := 0; j < net.N(); j++ {
+		sum, cnt := tm.ColumnSum(j)
+		if cnt == 0 {
+			continue
+		}
+		if net.Peer(j).IsFreeRider() {
+			frSum += sum / float64(cnt)
+			frCnt++
+		} else {
+			hSum += sum / float64(cnt)
+			hCnt++
+		}
+	}
+	if frCnt == 0 || hCnt == 0 {
+		t.Skip("workload produced no rated peers of one class")
+	}
+	if frSum/float64(frCnt) >= hSum/float64(hCnt) {
+		t.Fatalf("free riders rated %.3f, honest %.3f — no separation",
+			frSum/float64(frCnt), hSum/float64(hCnt))
+	}
+}
+
+func TestReputationGatingPunishesFreeRiders(t *testing.T) {
+	// With aggregated reputation distributed, free riders should receive
+	// visibly worse service than honest peers.
+	cfg := testConfig(100, 50)
+	cfg.FreeRiderFrac = 0.3
+	cfg.QueriesPerRound = 0.8
+	cfg.ServeUnknownProb = 0.4
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	// Warm-up: accumulate direct experience.
+	if err := net.RunRounds(15); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate with DGT and distribute.
+	tm := net.TrustSnapshot()
+	g := cfg.Graph
+	rep := make([]float64, net.N())
+	all, err := core.GlobalAll(g, tm, core.Params{Epsilon: 1e-5, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < net.N(); j++ {
+		rep[j] = all.Reputation[0][j]
+	}
+	if err := net.SetGlobalReputation(rep); err != nil {
+		t.Fatal(err)
+	}
+	// Measure service quality after reputation is live.
+	pre := net.Stats()
+	if err := net.RunRounds(20); err != nil {
+		t.Fatal(err)
+	}
+	post := net.Stats()
+	dHonest := post.QualitySumHonest - pre.QualitySumHonest
+	nHonest := post.TransfersHonest - pre.TransfersHonest
+	dFree := post.QualitySumFreeRider - pre.QualitySumFreeRider
+	nFree := post.TransfersFreeRider - pre.TransfersFreeRider
+	if nHonest == 0 || nFree == 0 {
+		t.Skip("insufficient transfers to compare classes")
+	}
+	if dFree/float64(nFree) >= dHonest/float64(nHonest) {
+		t.Fatalf("free riders got quality %.3f >= honest %.3f",
+			dFree/float64(nFree), dHonest/float64(nHonest))
+	}
+}
+
+func TestSetGlobalReputationValidation(t *testing.T) {
+	net, err := NewNetwork(testConfig(20, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.SetGlobalReputation(make([]float64, 19)); err == nil {
+		t.Fatal("short reputation vector accepted")
+	}
+}
+
+func TestCloseIdempotentAndRoundAfterCloseFails(t *testing.T) {
+	net, err := NewNetwork(testConfig(20, 70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	net.Close()
+	if err := net.Round(); err == nil {
+		t.Fatal("Round after Close succeeded")
+	}
+}
+
+func TestStatsAverages(t *testing.T) {
+	var s Stats
+	if s.HonestAvgQuality() != 0 || s.FreeRiderAvgQuality() != 0 {
+		t.Fatal("zero-transfer averages not 0")
+	}
+	s = Stats{QualitySumHonest: 2, TransfersHonest: 4, QualitySumFreeRider: 1, TransfersFreeRider: 2}
+	if s.HonestAvgQuality() != 0.5 || s.FreeRiderAvgQuality() != 0.5 {
+		t.Fatal("averages wrong")
+	}
+}
+
+func TestZipfWeightsMonotone(t *testing.T) {
+	w := zipfWeights(10, 1.0)
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("zipf weights not decreasing at %d", i)
+		}
+	}
+	u := zipfWeights(5, 0)
+	for _, v := range u {
+		if v != 1 {
+			t.Fatalf("zipf s=0 not uniform: %v", u)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package p2p
+
+import (
+	"testing"
+
+	"diffgossip/internal/graph"
+)
+
+func TestResetIdentityClearsHistory(t *testing.T) {
+	cfg := testConfig(60, 90)
+	cfg.QueriesPerRound = 0.9
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	// Find a peer someone has direct experience with.
+	target := -1
+	for j := 0; j < net.N() && target < 0; j++ {
+		for i := 0; i < net.N(); i++ {
+			if i == j {
+				continue
+			}
+			if _, known := net.Peer(i).TrustIn(j); known {
+				target = j
+				break
+			}
+		}
+	}
+	if target < 0 {
+		t.Skip("no direct experience accumulated")
+	}
+	rep := make([]float64, net.N())
+	for j := range rep {
+		rep[j] = 0.5
+	}
+	if err := net.SetGlobalReputation(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ResetIdentity(target); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.N(); i++ {
+		if i == target {
+			continue
+		}
+		if _, known := net.Peer(i).TrustIn(target); known {
+			t.Fatalf("peer %d still has direct trust in laundered identity %d", i, target)
+		}
+	}
+}
+
+func TestResetIdentityRange(t *testing.T) {
+	net, err := NewNetwork(testConfig(10, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.ResetIdentity(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := net.ResetIdentity(10); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+func TestStrangerPriorGrantsStanding(t *testing.T) {
+	cfg := testConfig(10, 92)
+	cfg.StrangerPrior = 0.7
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+	p.mu.Lock()
+	rep, known := p.reputationOf(5)
+	p.mu.Unlock()
+	if !known || rep != 0.7 {
+		t.Fatalf("stranger prior not applied: %v, %v", rep, known)
+	}
+}
+
+func TestStrangerPriorValidation(t *testing.T) {
+	cfg := testConfig(10, 93)
+	cfg.StrangerPrior = 1.5
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Fatal("prior > 1 accepted")
+	}
+}
+
+func TestQueryTTLBoundsReach(t *testing.T) {
+	// On a long ring, a resource held only by the antipodal peer is out of
+	// any small-TTL flood's reach, so the query cannot hit.
+	n := 40
+	g := graph.Ring(n)
+	cfg := Config{
+		Graph:            g,
+		NumResources:     2,
+		ResourcesPerPeer: 1,
+		QueryTTL:         3,
+		QueriesPerRound:  0,
+		ServeUnknownProb: 1,
+	}
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.RunRounds(3); err != nil {
+		t.Fatal(err)
+	}
+	// With QueriesPerRound = 0 nothing is issued; this exercises the
+	// zero-activity path end to end.
+	s := net.Stats()
+	if s.Queries != 0 || s.Transfers != 0 {
+		t.Fatalf("activity without queries: %+v", s)
+	}
+}

@@ -1,0 +1,173 @@
+package rank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diffgossip/internal/rng"
+)
+
+func TestBloomValidation(t *testing.T) {
+	if _, err := NewBloom(0, 0.01); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewBloom(10, 0); err == nil {
+		t.Fatal("fp rate 0 accepted")
+	}
+	if _, err := NewBloom(10, 1); err == nil {
+		t.Fatal("fp rate 1 accepted")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		b, err := NewBloom(200, 0.01)
+		if err != nil {
+			return false
+		}
+		var added []int
+		for i := 0; i < 200; i++ {
+			id := src.Intn(1 << 20)
+			b.Add(id)
+			added = append(added, id)
+		}
+		for _, id := range added {
+			if !b.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b, err := NewBloom(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		b.Add(i)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if b.Contains(1_000_000 + i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %v, want ~0.01", rate)
+	}
+}
+
+func TestBloomSizing(t *testing.T) {
+	small, _ := NewBloom(100, 0.01)
+	large, _ := NewBloom(10000, 0.01)
+	if large.Bits() <= small.Bits() {
+		t.Fatal("bigger capacity did not grow the filter")
+	}
+}
+
+func TestRankingValidation(t *testing.T) {
+	rep := []float64{0.1, 0.9}
+	if _, err := NewRanking(nil, []float64{0.5}, 0.01); err == nil {
+		t.Fatal("empty reputation accepted")
+	}
+	if _, err := NewRanking(rep, []float64{0}, 0.01); err == nil {
+		t.Fatal("bound 0 accepted")
+	}
+	if _, err := NewRanking(rep, []float64{0.5, 0.3}, 0.01); err == nil {
+		t.Fatal("descending bounds accepted")
+	}
+}
+
+func TestRankingBandsAndCounts(t *testing.T) {
+	rep := []float64{0.05, 0.3, 0.6, 0.95, 0.99, 0.1}
+	r, err := NewRanking(rep, []float64{0.25, 0.5, 0.75}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBands() != 4 {
+		t.Fatalf("bands = %d", r.NumBands())
+	}
+	wantCounts := []int{2, 1, 1, 2} // [0,.25): {0,5}; [.25,.5): {1}; [.5,.75): {2}; [.75,1]: {3,4}
+	for i, want := range wantCounts {
+		if got := r.BandCount(i); got != want {
+			t.Fatalf("band %d count = %d, want %d", i, got, want)
+		}
+	}
+	// Membership (no false negatives).
+	if !r.InBand(3, 3) || !r.InBand(4, 3) {
+		t.Fatal("top peers missing from top band")
+	}
+	if !r.InBand(0, 0) {
+		t.Fatal("low peer missing from bottom band")
+	}
+	if r.InBand(0, -1) || r.InBand(0, 9) {
+		t.Fatal("out-of-range band reported membership")
+	}
+}
+
+func TestBandOfPeer(t *testing.T) {
+	rep := make([]float64, 100)
+	src := rng.New(3)
+	for i := range rep {
+		rep[i] = src.Float64()
+	}
+	r, err := NewRanking(rep, []float64{0.25, 0.5, 0.75}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for id, v := range rep {
+		want := r.bandOf(v)
+		if got := r.BandOfPeer(id); got != want {
+			wrong++ // Bloom false positives in higher bands can misplace
+		}
+	}
+	if wrong > 3 {
+		t.Fatalf("%d/100 peers misplaced, expected ~0 at fp=1e-4", wrong)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rep := []float64{0.2, 0.9, 0.5, 0.9, 0.1}
+	top := TopK(rep, 3)
+	if len(top) != 3 || top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK = %v, want [1 3 2]", top)
+	}
+	if got := TopK(rep, 99); len(got) != 5 {
+		t.Fatalf("oversize k returned %d", len(got))
+	}
+	if got := TopK(rep, -1); len(got) != 0 {
+		t.Fatalf("negative k returned %d", len(got))
+	}
+}
+
+func TestTopKAgreesWithRankingTopBand(t *testing.T) {
+	rep := make([]float64, 500)
+	src := rng.New(9)
+	for i := range rep {
+		rep[i] = src.Float64()
+	}
+	r, err := NewRanking(rep, []float64{0.9}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTop := 0
+	for _, v := range rep {
+		if v >= 0.9 {
+			inTop++
+		}
+	}
+	for _, id := range TopK(rep, inTop) {
+		if !r.InBand(id, 1) {
+			t.Fatalf("top-k peer %d (rep %v) not in top band", id, rep[id])
+		}
+	}
+}

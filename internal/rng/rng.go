@@ -1,0 +1,200 @@
+// Package rng provides deterministic, splittable random number streams.
+//
+// Every stochastic component in this repository (graph generation, gossip
+// target selection, workload generation, collusion placement) draws from an
+// rng.Source seeded explicitly, so that every experiment in EXPERIMENTS.md is
+// exactly reproducible. Sources are splittable: a parent source can derive an
+// arbitrary number of statistically independent child streams, one per node,
+// so that per-node randomness does not depend on scheduling order.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random stream. It implements the subset of
+// math/rand's API that the simulator needs, plus Split for deriving
+// independent child streams. The generator is SplitMix64 feeding a
+// xoshiro256** core: fast, passes BigCrush, and trivially seedable.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed. Two sources with the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	s := &Source{s0: next(), s1: next(), s2: next(), s3: next()}
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return result
+}
+
+// Split derives a child stream whose future output is independent of the
+// parent's. The parent advances by one draw.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// SplitN derives n independent child streams.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct uniform indices from [0, n) in selection order.
+// If k >= n it returns a permutation of all n indices. It allocates O(k)
+// when k is small relative to n (Floyd's algorithm) and O(n) otherwise.
+func (s *Source) Sample(n, k int) []int {
+	if k >= n {
+		return s.Perm(n)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Floyd's algorithm: k distinct values without building [0,n).
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := s.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * sqrt(-2*ln(q)/q)
+		}
+	}
+}
+
+// Beta returns a Beta(a,b) variate via Jöhnk's / gamma-ratio method. It is
+// used by the trust estimator to draw peer decency levels.
+func (s *Source) Beta(a, b float64) float64 {
+	x := s.gamma(a)
+	y := s.gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gamma draws a Gamma(shape,1) variate (Marsaglia–Tsang for shape>=1,
+// boosting for shape<1).
+func (s *Source) gamma(shape float64) float64 {
+	if shape < 1 {
+		u := s.Float64()
+		for u == 0 {
+			u = s.Float64()
+		}
+		return s.gamma(shape+1) * pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / (3 * sqrt(d))
+	for {
+		x := s.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && ln(u) < 0.5*x*x+d*(1-v+ln(v)) {
+			return d * v
+		}
+	}
+}

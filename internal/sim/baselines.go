@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"diffgossip/internal/baseline"
+	"diffgossip/internal/collusion"
+	"diffgossip/internal/core"
+	"diffgossip/internal/rank"
+)
+
+// BaselineCollusionConfig parameterises the cross-scheme comparison: the same
+// §5.2 attack thrown at Differential Gossip Trust and at the related-work
+// baselines of §2, on identical trust data.
+type BaselineCollusionConfig struct {
+	// N is the network size (default 200).
+	N int
+	// Fraction is the colluding share (default 0.3).
+	Fraction float64
+	// GroupSize is G (default 5).
+	GroupSize int
+	// TopFrac defines the top set for the survival metric (default 0.2).
+	TopFrac float64
+	// Seed drives everything.
+	Seed uint64
+}
+
+// BaselineRow reports one scheme's degradation under the attack.
+type BaselineRow struct {
+	Scheme string
+	// RMSE between the honest and attacked reputation vectors (both
+	// normalised to mean 1 so schemes with different scales compare).
+	NormRMSE float64
+	// TopOverlap is the fraction of the honest top set that survives in
+	// the attacked top set (1 = ranking unharmed).
+	TopOverlap float64
+}
+
+// RunBaselineCollusion measures how each aggregation scheme's output moves
+// when the colluders start lying. DGT's confidence weighting should show the
+// smallest movement; EigenTrust's pre-trusted peers help it; plain averaging
+// (GossipTrust) takes the full hit.
+func RunBaselineCollusion(cfg BaselineCollusionConfig) ([]BaselineRow, error) {
+	if cfg.N == 0 {
+		cfg.N = 200
+	}
+	if err := checkPositive("network size", cfg.N); err != nil {
+		return nil, err
+	}
+	if cfg.Fraction == 0 {
+		cfg.Fraction = 0.3
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 5
+	}
+	if cfg.TopFrac == 0 {
+		cfg.TopFrac = 0.2
+	}
+	g, err := buildPA(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	honest, err := experimentWorkload(g, 0.2, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := collusion.Model{N: cfg.N, Fraction: cfg.Fraction, GroupSize: cfg.GroupSize, Seed: cfg.Seed + 2}.Assign()
+	if err != nil {
+		return nil, err
+	}
+	reported, err := asg.Reported(honest)
+	if err != nil {
+		return nil, err
+	}
+
+	k := int(cfg.TopFrac * float64(cfg.N))
+	if k < 1 {
+		k = 1
+	}
+	var rows []BaselineRow
+	add := func(scheme string, ref, atk []float64) error {
+		rmse, err := normalizedRMSE(ref, atk)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, BaselineRow{
+			Scheme:     scheme,
+			NormRMSE:   rmse,
+			TopOverlap: overlap(rank.TopK(ref, k), rank.TopK(atk, k)),
+		})
+		return nil
+	}
+
+	// Differential Gossip Trust (variant 4, observer 0's personalised
+	// vector — other observers behave alike).
+	params := core.Params{Epsilon: 1e-5, Seed: cfg.Seed + 3}
+	dgtRef, err := core.GCLRAllFromReports(g, honest, honest, params)
+	if err != nil {
+		return nil, err
+	}
+	dgtAtk, err := core.GCLRAllFromReports(g, honest, reported, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("differential-gossip-trust", dgtRef.Reputation[0], dgtAtk.Reputation[0]); err != nil {
+		return nil, err
+	}
+
+	// GossipTrust: unweighted rater means of the gossiped values.
+	if err := add("gossip-trust",
+		baseline.GossipTrustFixedPoint(honest),
+		baseline.GossipTrustFixedPoint(reported)); err != nil {
+		return nil, err
+	}
+
+	// EigenTrust with a handful of honest pre-trusted peers.
+	var pre []int
+	for i := 0; i < cfg.N && len(pre) < 5; i++ {
+		if !asg.Colluder[i] {
+			pre = append(pre, i)
+		}
+	}
+	etRef, err := baseline.EigenTrust(honest, baseline.EigenTrustConfig{Alpha: 0.15, PreTrusted: pre})
+	if err != nil {
+		return nil, err
+	}
+	etAtk, err := baseline.EigenTrust(reported, baseline.EigenTrustConfig{Alpha: 0.15, PreTrusted: pre})
+	if err != nil {
+		return nil, err
+	}
+	if err := add("eigen-trust", etRef.Reputation, etAtk.Reputation); err != nil {
+		return nil, err
+	}
+
+	// PowerTrust.
+	ptRef, err := baseline.PowerTrust(honest, 10)
+	if err != nil {
+		return nil, err
+	}
+	ptAtk, err := baseline.PowerTrust(reported, 10)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("power-trust", ptRef, ptAtk); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// normalizedRMSE scales both vectors to mean 1 before comparing, so schemes
+// whose reputations live on different scales (EigenTrust sums to 1) compare
+// fairly.
+func normalizedRMSE(ref, atk []float64) (float64, error) {
+	if len(ref) != len(atk) || len(ref) == 0 {
+		return 0, fmt.Errorf("sim: vector shape mismatch")
+	}
+	normalize := func(xs []float64) []float64 {
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		out := make([]float64, len(xs))
+		if sum == 0 {
+			return out
+		}
+		mean := sum / float64(len(xs))
+		for i, x := range xs {
+			out[i] = x / mean
+		}
+		return out
+	}
+	a, b := normalize(ref), normalize(atk)
+	total := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		total += d * d
+	}
+	return math.Sqrt(total / float64(len(a))), nil
+}
+
+// overlap returns |a ∩ b| / |a| for id slices.
+func overlap(a, b []int) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	set := make(map[int]bool, len(b))
+	for _, id := range b {
+		set[id] = true
+	}
+	hits := 0
+	for _, id := range a {
+		if set[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(a))
+}
+
+// BaselineTable formats the cross-scheme comparison.
+func BaselineTable(rows []BaselineRow) *Table {
+	t := &Table{
+		Title:   "Collusion resilience across schemes (same attack, same data)",
+		Columns: []string{"scheme", "norm_rmse", "top_overlap"},
+	}
+	for _, r := range rows {
+		t.Append(r.Scheme, r.NormRMSE, r.TopOverlap)
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRunBaselineCollusion(t *testing.T) {
+	rows, err := RunBaselineCollusion(BaselineCollusionConfig{N: 120, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 schemes", len(rows))
+	}
+	byScheme := map[string]BaselineRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		if r.NormRMSE < 0 {
+			t.Fatalf("negative RMSE %+v", r)
+		}
+		if r.TopOverlap < 0 || r.TopOverlap > 1 {
+			t.Fatalf("overlap out of range %+v", r)
+		}
+	}
+	dgt := byScheme["differential-gossip-trust"]
+	gt := byScheme["gossip-trust"]
+	// The paper's claim in head-to-head form: weighted DGT moves less than
+	// plain averaging under the same attack.
+	if dgt.NormRMSE >= gt.NormRMSE {
+		t.Fatalf("DGT RMSE %v not below GossipTrust %v", dgt.NormRMSE, gt.NormRMSE)
+	}
+	if dgt.TopOverlap < gt.TopOverlap-1e-9 {
+		t.Fatalf("DGT ranking survival %v below GossipTrust %v", dgt.TopOverlap, gt.TopOverlap)
+	}
+}
+
+func TestRunBaselineCollusionValidation(t *testing.T) {
+	if _, err := RunBaselineCollusion(BaselineCollusionConfig{N: -3}); err == nil {
+		t.Fatal("negative N accepted")
+	}
+}
+
+func TestBaselineTable(t *testing.T) {
+	rows := []BaselineRow{{Scheme: "x", NormRMSE: 0.1, TopOverlap: 0.9}}
+	var buf bytes.Buffer
+	if err := BaselineTable(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	if o := overlap([]int{1, 2, 3}, []int{3, 4, 5}); o < 0.33 || o > 0.34 {
+		t.Fatalf("overlap = %v", o)
+	}
+	if o := overlap(nil, []int{1}); o != 0 {
+		t.Fatalf("empty overlap = %v", o)
+	}
+}
+
+func TestNormalizedRMSE(t *testing.T) {
+	// Scale invariance: multiplying one vector by a constant changes
+	// nothing after normalisation.
+	a := []float64{1, 2, 3}
+	b := []float64{2, 4, 6}
+	v, err := normalizedRMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-12 {
+		t.Fatalf("scale-invariant RMSE = %v", v)
+	}
+	if _, err := normalizedRMSE(a, []float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

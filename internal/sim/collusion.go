@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+
+	"diffgossip/internal/collusion"
+	"diffgossip/internal/core"
+	"diffgossip/internal/metrics"
+	"diffgossip/internal/trust"
+)
+
+// CollusionConfig parameterises Figures 5 and 6: the average RMS error
+// (eq. 18) that colluding reporters induce in the globally calibrated local
+// reputations, across the colluding fraction and group size.
+type CollusionConfig struct {
+	// N is the network size. The paper does not state the size used for
+	// these figures; the harness defaults to 500, where the full N×N
+	// reputation matrices of variant 4 stay cheap. Raise it with -n.
+	N int
+	// Fractions is the colluding-share sweep (default 10%..70%).
+	Fractions []float64
+	// GroupSizes is the G sweep; {1} reproduces Figure 6.
+	GroupSizes []int
+	// Density is the non-neighbour transaction density of the workload.
+	Density float64
+	// Epsilon is the gossip tolerance.
+	Epsilon float64
+	// Weights are the confidence-weight parameters; zero value uses the
+	// library default (a=10, b=1).
+	Weights trust.WeightParams
+	// Unweighted switches the aggregation to unit weights (a=1) — the
+	// GossipTrust-style baseline of eq. (12), for the old-vs-new contrast.
+	Unweighted bool
+	// Seed drives everything.
+	Seed uint64
+}
+
+// CollusionRow is one point of Figure 5 or 6.
+type CollusionRow struct {
+	N          int
+	Fraction   float64
+	GroupSize  int
+	AvgRMSErr  float64
+	Converged  bool
+	NumGroups  int
+	NumLiars   int
+	StepsHon   int // gossip steps of the honest (reference) run
+	StepsAtk   int // gossip steps of the attacked run
+	analytical float64
+}
+
+// RunCollusion regenerates Figure 5 (group sizes > 1) or Figure 6
+// (GroupSizes = {1}).
+func RunCollusion(cfg CollusionConfig) ([]CollusionRow, error) {
+	if cfg.N == 0 {
+		cfg.N = 500
+	}
+	if err := checkPositive("network size", cfg.N); err != nil {
+		return nil, err
+	}
+	if len(cfg.Fractions) == 0 {
+		cfg.Fractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	}
+	if len(cfg.GroupSizes) == 0 {
+		cfg.GroupSizes = []int{5, 10, 20}
+	}
+	if cfg.Density == 0 {
+		cfg.Density = 0.2
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-5
+	}
+	weights := cfg.Weights
+	if weights == (trust.WeightParams{}) {
+		weights = trust.DefaultWeightParams
+	}
+	if cfg.Unweighted {
+		weights = trust.WeightParams{A: 1, B: 1}
+	}
+
+	g, err := buildPA(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	honest, err := experimentWorkload(g, cfg.Density, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	params := core.Params{Epsilon: cfg.Epsilon, Weights: weights, Seed: cfg.Seed + 2, Workers: -1}
+
+	// Reference run: reputations without colluders — shared by every
+	// scenario since the honest matrix does not change.
+	ref, err := core.GCLRAllFromReports(g, honest, honest, params)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []CollusionRow
+	for _, gs := range cfg.GroupSizes {
+		for _, frac := range cfg.Fractions {
+			model := collusion.Model{
+				N:         cfg.N,
+				Fraction:  frac,
+				GroupSize: gs,
+				Seed:      cfg.Seed + 3 + uint64(gs)*131 + uint64(frac*1000),
+			}
+			asg, err := model.Assign()
+			if err != nil {
+				return nil, err
+			}
+			reported, err := asg.Reported(honest)
+			if err != nil {
+				return nil, err
+			}
+			attacked, err := core.GCLRAllFromReports(g, honest, reported, params)
+			if err != nil {
+				return nil, err
+			}
+			rms, err := metrics.AvgRMSRelError(attacked.Reputation, ref.Reputation)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CollusionRow{
+				N:         cfg.N,
+				Fraction:  frac,
+				GroupSize: gs,
+				AvgRMSErr: rms,
+				Converged: ref.Converged && attacked.Converged,
+				NumGroups: len(asg.Members),
+				NumLiars:  asg.NumColluders(),
+				StepsHon:  ref.Steps,
+				StepsAtk:  attacked.Steps,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FactorRow compares the analytic collusion damping of eq. (17) with the
+// measured ratio of weighted to unweighted estimation error at one observer.
+type FactorRow struct {
+	Observer       int
+	AnalyticFactor float64
+	MeasuredOld    float64 // mean |Δ| with unit weights
+	MeasuredNew    float64 // mean |Δ| with confidence weights
+	MeasuredFactor float64 // MeasuredNew / MeasuredOld
+}
+
+// RunCollusionFactor checks eq. (17) empirically: for a fixed attack, the
+// error of the weighted aggregation should shrink relative to the unweighted
+// one by roughly N / (N + Σ(w−1)) at each observer.
+func RunCollusionFactor(n int, fraction float64, groupSize int, seed uint64) ([]FactorRow, error) {
+	if n == 0 {
+		n = 300
+	}
+	if err := checkPositive("network size", n); err != nil {
+		return nil, err
+	}
+	g, err := buildPA(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	honest, err := experimentWorkload(g, 0.2, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := collusion.Model{N: n, Fraction: fraction, GroupSize: groupSize, Seed: seed + 2}.Assign()
+	if err != nil {
+		return nil, err
+	}
+	reported, err := asg.Reported(honest)
+	if err != nil {
+		return nil, err
+	}
+
+	weighted := core.Params{Epsilon: 1e-5, Weights: trust.DefaultWeightParams, Seed: seed + 3}
+	unweighted := core.Params{Epsilon: 1e-5, Weights: trust.WeightParams{A: 1, B: 1}, Seed: seed + 3}
+
+	wRef, err := core.GCLRAllFromReports(g, honest, honest, weighted)
+	if err != nil {
+		return nil, err
+	}
+	wAtk, err := core.GCLRAllFromReports(g, honest, reported, weighted)
+	if err != nil {
+		return nil, err
+	}
+	uRef, err := core.GCLRAllFromReports(g, honest, honest, unweighted)
+	if err != nil {
+		return nil, err
+	}
+	uAtk, err := core.GCLRAllFromReports(g, honest, reported, unweighted)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FactorRow
+	for _, o := range []int{0, n / 4, n / 2, 3 * n / 4, n - 1} {
+		var oldSum, newSum float64
+		for j := 0; j < n; j++ {
+			oldSum += math.Abs(uAtk.Reputation[o][j] - uRef.Reputation[o][j])
+			newSum += math.Abs(wAtk.Reputation[o][j] - wRef.Reputation[o][j])
+		}
+		row := FactorRow{
+			Observer:       o,
+			AnalyticFactor: collusion.DampingFactor(honest, o, honest.InteractedWith(o), trust.DefaultWeightParams),
+			MeasuredOld:    oldSum / float64(n),
+			MeasuredNew:    newSum / float64(n),
+		}
+		if row.MeasuredOld > 0 {
+			row.MeasuredFactor = row.MeasuredNew / row.MeasuredOld
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"diffgossip/internal/gossip"
+)
+
+// Fig3Config parameterises the Figure 3 experiment: gossip steps to
+// convergence across network sizes and error bounds, differential push
+// against the normal-push baseline.
+type Fig3Config struct {
+	// Sizes is the N sweep; default DefaultSizes.
+	Sizes []int
+	// Epsilons is the ξ sweep; default DefaultEpsilons.
+	Epsilons []float64
+	// Protocols to compare; default {DifferentialPush, NormalPush}.
+	Protocols []gossip.Protocol
+	// Trials averages step counts over this many seeds (default 1; the
+	// paper reports single runs).
+	Trials int
+	// Seed drives graph construction, workloads and gossip.
+	Seed uint64
+}
+
+// Fig3Row is one point of Figure 3.
+type Fig3Row struct {
+	N         int
+	Epsilon   float64
+	Protocol  string
+	Steps     float64 // mean over trials
+	Converged bool    // false if any trial hit the step budget
+	Messages  float64 // mean total messages, for cross-checking Table 2
+}
+
+// RunFig3 regenerates Figure 3.
+func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes
+	}
+	if len(cfg.Epsilons) == 0 {
+		cfg.Epsilons = DefaultEpsilons
+	}
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = []gossip.Protocol{gossip.DifferentialPush, gossip.NormalPush}
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	var rows []Fig3Row
+	for _, n := range cfg.Sizes {
+		if err := checkPositive("network size", n); err != nil {
+			return nil, err
+		}
+		for _, eps := range cfg.Epsilons {
+			for _, proto := range cfg.Protocols {
+				row := Fig3Row{N: n, Epsilon: eps, Protocol: proto.String(), Converged: true}
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + uint64(trial)*1000003
+					g, err := buildPA(n, seed)
+					if err != nil {
+						return nil, err
+					}
+					xs := uniformValues(n, seed+1)
+					res, err := gossip.Average(gossip.Config{
+						Graph:    g,
+						Protocol: proto,
+						Epsilon:  eps,
+						Seed:     seed + 2,
+					}, xs)
+					if err != nil {
+						return nil, err
+					}
+					row.Steps += float64(res.Steps)
+					row.Messages += float64(res.Messages.Total())
+					if !res.Converged {
+						row.Converged = false
+					}
+				}
+				row.Steps /= float64(cfg.Trials)
+				row.Messages /= float64(cfg.Trials)
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig4Config parameterises Figure 4: steps vs ξ under packet loss.
+type Fig4Config struct {
+	// N is the network size; the paper uses 10,000.
+	N int
+	// Epsilons is the ξ sweep; default DefaultEpsilons.
+	Epsilons []float64
+	// LossProbs is the packet-loss sweep; default {0, 0.1, 0.2, 0.3}.
+	LossProbs []float64
+	// Trials averages over seeds (default 1).
+	Trials int
+	// Seed drives everything.
+	Seed uint64
+}
+
+// Fig4Row is one point of Figure 4.
+type Fig4Row struct {
+	N         int
+	Epsilon   float64
+	LossProb  float64
+	Steps     float64
+	Converged bool
+	LostFrac  float64 // fraction of pushes dropped (diagnostic)
+}
+
+// RunFig4 regenerates Figure 4.
+func RunFig4(cfg Fig4Config) ([]Fig4Row, error) {
+	if cfg.N == 0 {
+		cfg.N = 10000
+	}
+	if err := checkPositive("network size", cfg.N); err != nil {
+		return nil, err
+	}
+	if len(cfg.Epsilons) == 0 {
+		cfg.Epsilons = DefaultEpsilons
+	}
+	if len(cfg.LossProbs) == 0 {
+		cfg.LossProbs = []float64{0, 0.1, 0.2, 0.3}
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	var rows []Fig4Row
+	for _, loss := range cfg.LossProbs {
+		for _, eps := range cfg.Epsilons {
+			row := Fig4Row{N: cfg.N, Epsilon: eps, LossProb: loss, Converged: true}
+			var gossipMsgs, lostMsgs float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.Seed + uint64(trial)*7919
+				g, err := buildPA(cfg.N, seed)
+				if err != nil {
+					return nil, err
+				}
+				xs := uniformValues(cfg.N, seed+1)
+				res, err := gossip.Average(gossip.Config{
+					Graph:    g,
+					Epsilon:  eps,
+					LossProb: loss,
+					Seed:     seed + 2,
+				}, xs)
+				if err != nil {
+					return nil, err
+				}
+				row.Steps += float64(res.Steps)
+				gossipMsgs += float64(res.Messages.Gossip)
+				lostMsgs += float64(res.Messages.Lost)
+				if !res.Converged {
+					row.Converged = false
+				}
+			}
+			row.Steps /= float64(cfg.Trials)
+			if gossipMsgs > 0 {
+				row.LostFrac = lostMsgs / gossipMsgs
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ScalingRow supports the Theorem 5.1/5.2 empirical check: the ratio
+// steps/(log2 N)² should stay bounded as N grows if convergence is
+// O((log2 N)² + log2 1/ξ).
+type ScalingRow struct {
+	N          int
+	Steps      int
+	Log2NSq    float64
+	Normalized float64 // Steps / (log2 N)²
+}
+
+// RunScaling measures convergence steps across sizes at fixed ξ.
+func RunScaling(sizes []int, epsilon float64, seed uint64) ([]ScalingRow, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultSizes
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-4
+	}
+	var rows []ScalingRow
+	for _, n := range sizes {
+		g, err := buildPA(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		xs := uniformValues(n, seed+1)
+		res, err := gossip.Average(gossip.Config{Graph: g, Epsilon: epsilon, Seed: seed + 2}, xs)
+		if err != nil {
+			return nil, err
+		}
+		l2 := log2(float64(n))
+		rows = append(rows, ScalingRow{
+			N:          n,
+			Steps:      res.Steps,
+			Log2NSq:    l2 * l2,
+			Normalized: float64(res.Steps) / (l2 * l2),
+		})
+	}
+	return rows, nil
+}

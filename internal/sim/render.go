@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a generic text table for CLI rendering.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Append adds one row; cells are stringified with %v.
+func (t *Table) Append(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	if strings.Contains(s, ".") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (no quoting needed: all cells are
+// numbers, protocol names or booleans).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig3Table formats Figure 3 rows.
+func Fig3Table(rows []Fig3Row) *Table {
+	t := &Table{
+		Title:   "Figure 3: gossip steps to convergence vs N and ξ",
+		Columns: []string{"N", "epsilon", "protocol", "steps", "converged"},
+	}
+	for _, r := range rows {
+		t.Append(r.N, fmt.Sprintf("%g", r.Epsilon), r.Protocol, r.Steps, r.Converged)
+	}
+	return t
+}
+
+// Fig4Table formats Figure 4 rows.
+func Fig4Table(rows []Fig4Row) *Table {
+	t := &Table{
+		Title:   "Figure 4: gossip steps vs ξ under packet loss (N=10000)",
+		Columns: []string{"loss", "epsilon", "steps", "lost_frac", "converged"},
+	}
+	for _, r := range rows {
+		t.Append(r.LossProb, fmt.Sprintf("%g", r.Epsilon), r.Steps, r.LostFrac, r.Converged)
+	}
+	return t
+}
+
+// Fig5Table formats collusion rows (Figures 5 and 6).
+func Fig5Table(rows []CollusionRow, title string) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"N", "colluding%", "group", "avg_rms_err", "liars", "groups"},
+	}
+	for _, r := range rows {
+		t.Append(r.N, fmt.Sprintf("%.0f", r.Fraction*100), r.GroupSize, r.AvgRMSErr, r.NumLiars, r.NumGroups)
+	}
+	return t
+}
+
+// Table1Table formats the worked example like the paper's Table 1.
+func Table1Table(res *Table1Result) *Table {
+	n := len(res.Degrees)
+	cols := make([]string, n+1)
+	cols[0] = "node"
+	for i := 0; i < n; i++ {
+		cols[i+1] = fmt.Sprintf("%d", i+1)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Table 1: aggregated value per iteration (true mean %.4f)", res.TrueMean),
+		Columns: cols,
+	}
+	degRow := make([]any, n+1)
+	degRow[0] = "degree"
+	kRow := make([]any, n+1)
+	kRow[0] = "k"
+	for i := 0; i < n; i++ {
+		degRow[i+1] = res.Degrees[i]
+		kRow[i+1] = res.Ks[i]
+	}
+	t.Append(degRow...)
+	t.Append(kRow...)
+	for it, vals := range res.Values {
+		row := make([]any, n+1)
+		row[0] = fmt.Sprintf("itr=%d", it+1)
+		for i, v := range vals {
+			row[i+1] = v
+		}
+		t.Append(row...)
+	}
+	return t
+}
+
+// Table2Table formats the overhead table like the paper's Table 2.
+func Table2Table(rows []Table2Row) *Table {
+	// Pivot: one row per N, one column per ξ.
+	epsOrder := []float64{}
+	seen := map[float64]bool{}
+	for _, r := range rows {
+		if !seen[r.Epsilon] {
+			seen[r.Epsilon] = true
+			epsOrder = append(epsOrder, r.Epsilon)
+		}
+	}
+	cols := []string{"N"}
+	for _, e := range epsOrder {
+		cols = append(cols, fmt.Sprintf("ξ=%g", e))
+	}
+	t := &Table{
+		Title:   "Table 2: messages per node per gossip step",
+		Columns: cols,
+	}
+	byN := map[int]map[float64]float64{}
+	var nOrder []int
+	for _, r := range rows {
+		if _, ok := byN[r.N]; !ok {
+			byN[r.N] = map[float64]float64{}
+			nOrder = append(nOrder, r.N)
+		}
+		byN[r.N][r.Epsilon] = r.MessagesPerStep
+	}
+	for _, n := range nOrder {
+		cells := []any{n}
+		for _, e := range epsOrder {
+			cells = append(cells, byN[n][e])
+		}
+		t.Append(cells...)
+	}
+	return t
+}
+
+// ScalingTable formats the Theorem 5.1 flatness check.
+func ScalingTable(rows []ScalingRow) *Table {
+	t := &Table{
+		Title:   "Scaling: steps normalised by (log2 N)^2",
+		Columns: []string{"N", "steps", "(log2N)^2", "steps/(log2N)^2"},
+	}
+	for _, r := range rows {
+		t.Append(r.N, r.Steps, r.Log2NSq, r.Normalized)
+	}
+	return t
+}
+
+// FactorTable formats the eq. (17) check.
+func FactorTable(rows []FactorRow) *Table {
+	t := &Table{
+		Title:   "Collusion damping: analytic (eq. 17) vs measured",
+		Columns: []string{"observer", "analytic", "err_unweighted", "err_weighted", "measured"},
+	}
+	for _, r := range rows {
+		t.Append(r.Observer, r.AnalyticFactor, r.MeasuredOld, r.MeasuredNew, r.MeasuredFactor)
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+// Package sim is the experiment harness: one runner per table and figure of
+// the paper's evaluation (§5.3), each returning typed rows that cmd/dgsim and
+// the root benchmark suite render. Every runner is deterministic given its
+// seed.
+//
+// Experiment inventory (see DESIGN.md for the full index):
+//
+//	Table 1 — 10-node example network, per-iteration aggregated values
+//	Table 2 — messages per node per gossip step across N × ξ
+//	Fig. 3  — gossip steps to convergence vs N for several ξ
+//	Fig. 4  — gossip steps vs ξ under packet loss (N = 10,000)
+//	Fig. 5  — average RMS collusion error, group collusion
+//	Fig. 6  — average RMS collusion error, individual collusion
+//	Scaling — steps / (log2 N)² flatness check (Theorems 5.1/5.2)
+//	Factor  — analytic vs measured collusion damping (eq. 17)
+package sim
+
+import (
+	"fmt"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/trust"
+)
+
+// DefaultEpsilons is the ξ sweep the paper's Table 2 and Figures 3–4 use.
+var DefaultEpsilons = []float64{1e-2, 1e-3, 1e-4, 1e-5}
+
+// DefaultSizes is the network-size sweep of Figure 3 / Table 2.
+var DefaultSizes = []int{100, 500, 1000, 10000, 50000}
+
+// buildPA constructs the standard experiment topology: a preferential
+// attachment graph with m = 2 (the paper's minimum for its theorems).
+func buildPA(n int, seed uint64) (*graph.Graph, error) {
+	return graph.PreferentialAttachment(graph.PAConfig{N: n, M: 2, Seed: seed})
+}
+
+// uniformValues draws one direct-trust value per node — the "every node has
+// information to be averaged" setting of §5.1 used by the timing figures.
+func uniformValues(n int, seed uint64) []float64 {
+	src := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = src.Float64()
+	}
+	return out
+}
+
+// experimentWorkload builds the trust workload used by the collusion
+// experiments: overlay neighbours always transact; distant pairs transact
+// with the given density.
+func experimentWorkload(g *graph.Graph, density float64, seed uint64) (*trust.Matrix, error) {
+	w, err := trust.GenerateWorkload(trust.WorkloadConfig{
+		N:               g.N(),
+		Density:         density,
+		NeighborDensity: 1,
+		Adjacent:        g.HasEdge,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w.Matrix, nil
+}
+
+func checkPositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("sim: %s must be positive, got %d", name, v)
+	}
+	return nil
+}

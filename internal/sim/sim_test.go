@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"diffgossip/internal/gossip"
+)
+
+func TestRunFig3SmallSweep(t *testing.T) {
+	rows, err := RunFig3(Fig3Config{
+		Sizes:    []int{100, 500},
+		Epsilons: []float64{1e-2, 1e-3},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes × 2 epsilons × 2 default protocols.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Fatalf("row %+v did not converge", r)
+		}
+		if r.Steps <= 0 {
+			t.Fatalf("row %+v has no steps", r)
+		}
+	}
+	// Headline shape: differential <= normal push at the same (N, ξ).
+	byKey := map[[2]float64]map[string]float64{}
+	for _, r := range rows {
+		k := [2]float64{float64(r.N), r.Epsilon}
+		if byKey[k] == nil {
+			byKey[k] = map[string]float64{}
+		}
+		byKey[k][r.Protocol] = r.Steps
+	}
+	for k, m := range byKey {
+		if m["differential-push"] > m["normal-push"] {
+			t.Fatalf("differential slower than normal push at %v: %v", k, m)
+		}
+	}
+}
+
+func TestRunFig3TightensWithEpsilon(t *testing.T) {
+	rows, err := RunFig3(Fig3Config{
+		Sizes:     []int{1000},
+		Epsilons:  []float64{1e-2, 1e-5},
+		Protocols: []gossip.Protocol{gossip.DifferentialPush},
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Steps < rows[0].Steps {
+		t.Fatalf("tighter ξ converged faster: %+v", rows)
+	}
+}
+
+func TestRunFig3RejectsBadSize(t *testing.T) {
+	if _, err := RunFig3(Fig3Config{Sizes: []int{0}}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestRunFig4LossSweep(t *testing.T) {
+	rows, err := RunFig4(Fig4Config{
+		N:         500, // keep the test fast; the CLI uses 10000
+		Epsilons:  []float64{1e-3},
+		LossProbs: []float64{0, 0.3},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].LostFrac != 0 {
+		t.Fatalf("lossless run lost packets: %+v", rows[0])
+	}
+	if rows[1].LostFrac < 0.2 {
+		t.Fatalf("p=0.3 run lost only %v", rows[1].LostFrac)
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Fatalf("row %+v did not converge", r)
+		}
+	}
+}
+
+func TestRunTable1Structure(t *testing.T) {
+	res, err := RunTable1(Table1Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := []int{4, 4, 7, 3, 3, 2, 2, 2, 3, 2}
+	wantK := []int{1, 1, 3, 1, 1, 1, 1, 1, 1, 1}
+	for i := range wantDeg {
+		if res.Degrees[i] != wantDeg[i] {
+			t.Fatalf("degree row %v", res.Degrees)
+		}
+		if res.Ks[i] != wantK[i] {
+			t.Fatalf("k row %v", res.Ks)
+		}
+	}
+	if len(res.Values) != 8 {
+		t.Fatalf("iterations = %d, want 8", len(res.Values))
+	}
+	// Like the paper: by iteration 8 all nodes are near the common mean.
+	final := res.Values[7]
+	for i, v := range final {
+		if math.Abs(v-res.TrueMean) > 0.08 {
+			t.Fatalf("node %d at itr=8: %v, mean %v", i+1, v, res.TrueMean)
+		}
+	}
+	// And spread shrinks monotonically-ish: last spread < first spread.
+	spread := func(vals []float64) float64 {
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	if spread(res.Values[7]) >= spread(res.Values[0]) {
+		t.Fatalf("no contraction: itr1 spread %v, itr8 spread %v",
+			spread(res.Values[0]), spread(res.Values[7]))
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	rows, err := RunTable2(Table2Config{
+		Sizes:    []int{100, 1000},
+		Epsilons: []float64{1e-2, 1e-4},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper reports ~1.1–1.2 messages/node/step; allow a broad
+		// band but catch gross accounting bugs.
+		if r.MessagesPerStep < 0.8 || r.MessagesPerStep > 3 {
+			t.Fatalf("messages per node per step = %v at %+v", r.MessagesPerStep, r)
+		}
+	}
+	// Tighter ξ means more steps, so the amortised overhead must not rise.
+	if rows[1].MessagesPerStep > rows[0].MessagesPerStep+0.05 {
+		t.Fatalf("overhead grew with tighter ξ: %+v", rows[:2])
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	rows, err := RunScaling([]int{100, 1000, 10000}, 1e-3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Theorem 5.2 shape: normalised steps should not blow up with N.
+	if rows[2].Normalized > 4*rows[0].Normalized+1 {
+		t.Fatalf("normalised steps growing: %+v", rows)
+	}
+}
+
+func TestRunCollusionSmall(t *testing.T) {
+	rows, err := RunCollusion(CollusionConfig{
+		N:          120,
+		Fractions:  []float64{0.2, 0.5},
+		GroupSizes: []int{1, 5},
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Fatalf("row %+v did not converge", r)
+		}
+		if r.AvgRMSErr < 0 {
+			t.Fatalf("negative error %+v", r)
+		}
+		wantLiars := int(math.Round(r.Fraction * 120))
+		if r.NumLiars != wantLiars {
+			t.Fatalf("liars = %d, want %d", r.NumLiars, wantLiars)
+		}
+	}
+}
+
+func TestCollusionWeightedBeatsUnweighted(t *testing.T) {
+	// The paper's core robustness claim: confidence weights damp the
+	// collusion error (eq. 17). Compare the same attack under both.
+	base := CollusionConfig{
+		N:          150,
+		Fractions:  []float64{0.4},
+		GroupSizes: []int{5},
+		Seed:       8,
+	}
+	weighted, err := RunCollusion(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unw := base
+	unw.Unweighted = true
+	unweighted, err := RunCollusion(unw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted[0].AvgRMSErr > unweighted[0].AvgRMSErr {
+		t.Fatalf("weighted error %v > unweighted %v",
+			weighted[0].AvgRMSErr, unweighted[0].AvgRMSErr)
+	}
+}
+
+func TestRunCollusionFactor(t *testing.T) {
+	rows, err := RunCollusionFactor(150, 0.3, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AnalyticFactor <= 0 || r.AnalyticFactor > 1 {
+			t.Fatalf("analytic factor %v out of (0,1]", r.AnalyticFactor)
+		}
+		if r.MeasuredOld > 0 && r.MeasuredFactor > 1.2 {
+			t.Fatalf("weighted error not damped at observer %d: %+v", r.Observer, r)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.Append(1, 2.5)
+	tbl.Append("x", true)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "2.5", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n") {
+		t.Fatalf("csv header wrong: %q", buf.String())
+	}
+}
+
+func TestFormattersCoverAllExperiments(t *testing.T) {
+	f3, err := RunFig3(Fig3Config{Sizes: []int{100}, Epsilons: []float64{1e-2}, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := RunFig4(Fig4Config{N: 100, Epsilons: []float64{1e-2}, LossProbs: []float64{0.1}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := RunCollusion(CollusionConfig{N: 80, Fractions: []float64{0.2}, GroupSizes: []int{2}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := RunTable1(Table1Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunTable2(Table2Config{Sizes: []int{100}, Epsilons: []float64{1e-2}, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := RunScaling([]int{100, 200}, 1e-3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := RunCollusionFactor(100, 0.2, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := []*Table{
+		Fig3Table(f3), Fig4Table(f4), Fig5Table(col, "fig5"),
+		Table1Table(t1), Table2Table(t2), ScalingTable(sc), FactorTable(fr),
+	}
+	for i, tbl := range tables {
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Fatalf("table %d: %v", i, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("table %d rendered empty", i)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("table %d has no rows", i)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2:      "2",
+		0.1234: "0.1234",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPTransport implements Transport over TCP with gob framing. Each outbound
+// peer gets one persistent connection, dialled lazily and redialled once on
+// send failure. Inbound connections are served until the transport closes.
+type TCPTransport struct {
+	listener net.Listener
+	inbox    chan Message
+
+	mu      sync.Mutex
+	conns   map[string]*outConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// ListenTCP starts a transport bound to addr ("127.0.0.1:0" picks a free
+// port; read the actual address back with Addr).
+func ListenTCP(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		listener: ln,
+		inbox:    make(chan Message, 1024),
+		conns:    make(map[string]*outConn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// Inbox returns the receive stream.
+func (t *TCPTransport) Inbox() <-chan Message { return t.inbox }
+
+func (t *TCPTransport) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCPTransport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- msg:
+		default:
+			// Inbox full: drop rather than block the network; gossip
+			// tolerates loss by design (the sender's mass share is
+			// gone, but the agent layer sends copies of state, not
+			// mass — see agent package).
+		}
+	}
+}
+
+// Send gobs msg to the peer at addr, dialling (or redialling once) as needed.
+func (t *TCPTransport) Send(addr string, msg Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	oc, ok := t.conns[addr]
+	if !ok {
+		oc = &outConn{}
+		t.conns[addr] = oc
+	}
+	t.mu.Unlock()
+
+	msg.From = t.Addr()
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.conn == nil {
+		if err := oc.dial(addr); err != nil {
+			return err
+		}
+	}
+	if err := oc.enc.Encode(msg); err != nil {
+		// One reconnect attempt: the peer may have restarted.
+		if derr := oc.dial(addr); derr != nil {
+			return fmt.Errorf("transport: send to %s: %w (redial: %v)", addr, err, derr)
+		}
+		return oc.enc.Encode(msg)
+	}
+	return nil
+}
+
+func (oc *outConn) dial(addr string) error {
+	if oc.conn != nil {
+		oc.conn.Close()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		oc.conn, oc.enc = nil, nil
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	oc.conn = conn
+	oc.enc = gob.NewEncoder(conn)
+	return nil
+}
+
+// Close shuts the listener, all connections and the inbox.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*outConn{}
+	for conn := range t.inbound {
+		conn.Close() // unblocks the serveConn decoder
+	}
+	t.mu.Unlock()
+
+	t.listener.Close()
+	for _, oc := range conns {
+		oc.mu.Lock()
+		if oc.conn != nil {
+			oc.conn.Close()
+		}
+		oc.mu.Unlock()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return nil
+}

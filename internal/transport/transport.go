@@ -1,0 +1,175 @@
+// Package transport provides the message-passing layer under the networked
+// gossip agent (internal/agent): a Transport abstraction with two
+// implementations — an in-memory channel hub for tests and simulations, and a
+// TCP implementation (gob-framed, persistent connections) for running real
+// distributed peers.
+//
+// Addresses are opaque strings: peer names for the channel hub, host:port for
+// TCP.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is the unit of exchange between agents. Payload fields cover every
+// message the differential gossip protocol needs; Kind discriminates.
+type Message struct {
+	// From is the sender's address.
+	From string
+	// Kind discriminates the payload.
+	Kind Kind
+	// Subject identifies which reputation subject a gossip pair concerns.
+	Subject int
+	// Y, G are the gossip pair masses (KindPair).
+	Y, G float64
+	// Count is the optional rater-count mass (KindPair).
+	Count float64
+	// Degree is the sender's overlay degree (KindDegree).
+	Degree int
+	// Converged is the sender's convergence flag (KindConverged).
+	Converged bool
+}
+
+// Kind enumerates protocol message types.
+type Kind int
+
+const (
+	// KindDegree announces the sender's degree (protocol setup).
+	KindDegree Kind = iota
+	// KindPair carries a gossip share.
+	KindPair
+	// KindConverged announces or revokes convergence.
+	KindConverged
+	// KindFeedback carries a direct-trust feedback value (Algorithm 2's
+	// neighbour feedback phase).
+	KindFeedback
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindDegree:
+		return "degree"
+	case KindPair:
+		return "pair"
+	case KindConverged:
+		return "converged"
+	case KindFeedback:
+		return "feedback"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport moves messages between agents.
+type Transport interface {
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Send delivers msg to the endpoint at addr. Implementations stamp
+	// msg.From with this endpoint's address.
+	Send(addr string, msg Message) error
+	// Inbox returns the stream of received messages. The channel closes
+	// when the transport closes.
+	Inbox() <-chan Message
+	// Close releases resources and closes the inbox.
+	Close() error
+}
+
+// Hub is an in-memory switchboard connecting ChannelTransport endpoints by
+// name. Safe for concurrent use.
+type Hub struct {
+	mu        sync.RWMutex
+	endpoints map[string]*ChannelTransport
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{endpoints: make(map[string]*ChannelTransport)}
+}
+
+// Endpoint registers (or returns the existing) endpoint with the given name.
+func (h *Hub) Endpoint(name string) (*ChannelTransport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.endpoints[name]; exists {
+		return nil, fmt.Errorf("transport: endpoint %q already registered", name)
+	}
+	ep := &ChannelTransport{
+		hub:   h,
+		name:  name,
+		inbox: make(chan Message, 1024),
+	}
+	h.endpoints[name] = ep
+	return ep, nil
+}
+
+// deliver routes a message to the named endpoint.
+func (h *Hub) deliver(to string, msg Message) error {
+	h.mu.RLock()
+	ep, ok := h.endpoints[to]
+	h.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown endpoint %q", to)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return ErrClosed
+	}
+	ep.inbox <- msg
+	return nil
+}
+
+// remove unregisters a closed endpoint.
+func (h *Hub) remove(name string) {
+	h.mu.Lock()
+	delete(h.endpoints, name)
+	h.mu.Unlock()
+}
+
+// ChannelTransport is a Hub endpoint.
+type ChannelTransport struct {
+	hub   *Hub
+	name  string
+	inbox chan Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Addr returns the endpoint name.
+func (c *ChannelTransport) Addr() string { return c.name }
+
+// Send delivers msg to the named endpoint via the hub.
+func (c *ChannelTransport) Send(addr string, msg Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	msg.From = c.name
+	return c.hub.deliver(addr, msg)
+}
+
+// Inbox returns the receive stream.
+func (c *ChannelTransport) Inbox() <-chan Message { return c.inbox }
+
+// Close unregisters the endpoint and closes the inbox.
+func (c *ChannelTransport) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.hub.remove(c.name)
+	close(c.inbox)
+	return nil
+}

@@ -1,0 +1,103 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+)
+
+// BLUEEstimator implements the estimation approach of the paper's companion
+// scheme [20] ("Trust estimation in peer-to-peer network using BLUE"): a Best
+// Linear Unbiased Estimator that fuses observations from channels of
+// different, known noise variances — e.g. a node's own transaction outcomes
+// (low variance) and second-hand reports from advisors (higher variance).
+//
+// Given independent unbiased observations x_c with variances σ_c², the BLUE
+// of the underlying trust value is the inverse-variance weighted mean
+//
+//	t̂ = Σ_c x_c/σ_c² ⁄ Σ_c 1/σ_c²,   Var(t̂) = 1 ⁄ Σ_c 1/σ_c² ,
+//
+// which is the minimum-variance linear unbiased combination. Observations
+// are discounted over logical time so behaviour changes show up.
+type BLUEEstimator struct {
+	discount float64
+	// accumulated inverse-variance mass and weighted sum
+	precision float64 // Σ 1/σ²  (after discounting)
+	weighted  float64 // Σ x/σ²  (after discounting)
+	count     int
+}
+
+// NewBLUEEstimator returns a BLUE estimator whose evidence decays by discount
+// (in (0,1]; 1 disables decay) per observation.
+func NewBLUEEstimator(discount float64) (*BLUEEstimator, error) {
+	if discount <= 0 || discount > 1 {
+		return nil, fmt.Errorf("trust: BLUE discount %v out of (0,1]", discount)
+	}
+	return &BLUEEstimator{discount: discount}, nil
+}
+
+// Observe folds in one observation x with noise variance sigma2. Typical
+// usage gives direct transactions a small variance (e.g. 0.01) and
+// second-hand reports a larger one scaled by the advisor's own
+// trustworthiness.
+func (b *BLUEEstimator) Observe(x, sigma2 float64) error {
+	if x < 0 || x > 1 || math.IsNaN(x) {
+		return fmt.Errorf("trust: BLUE observation %v out of [0,1]", x)
+	}
+	if sigma2 <= 0 || math.IsNaN(sigma2) || math.IsInf(sigma2, 0) {
+		return fmt.Errorf("trust: BLUE variance %v must be positive and finite", sigma2)
+	}
+	b.precision = b.precision*b.discount + 1/sigma2
+	b.weighted = b.weighted*b.discount + x/sigma2
+	b.count++
+	return nil
+}
+
+// Value returns the current BLUE estimate clamped to [0,1]; 0 with no
+// evidence (the whitewashing-safe default shared with Estimator).
+func (b *BLUEEstimator) Value() float64 {
+	if b.precision == 0 {
+		return 0
+	}
+	return clamp01(b.weighted / b.precision)
+}
+
+// Variance returns the estimator's variance 1/Σ(1/σ²); +Inf with no
+// evidence.
+func (b *BLUEEstimator) Variance() float64 {
+	if b.precision == 0 {
+		return math.Inf(1)
+	}
+	return 1 / b.precision
+}
+
+// Count returns the number of observations folded in.
+func (b *BLUEEstimator) Count() int { return b.count }
+
+// Reset clears all evidence.
+func (b *BLUEEstimator) Reset() {
+	b.precision, b.weighted, b.count = 0, 0, 0
+}
+
+// FuseBLUE combines independent estimates (value, variance) pairs into a
+// single BLUE, e.g. a node's own estimate with advisor estimates. Entries
+// with non-positive or infinite variance are skipped; with no usable entry it
+// returns (0, +Inf).
+func FuseBLUE(values, variances []float64) (float64, float64, error) {
+	if len(values) != len(variances) {
+		return 0, 0, fmt.Errorf("trust: FuseBLUE length mismatch %d vs %d", len(values), len(variances))
+	}
+	precision := 0.0
+	weighted := 0.0
+	for i, v := range values {
+		s2 := variances[i]
+		if s2 <= 0 || math.IsInf(s2, 0) || math.IsNaN(s2) {
+			continue
+		}
+		precision += 1 / s2
+		weighted += v / s2
+	}
+	if precision == 0 {
+		return 0, math.Inf(1), nil
+	}
+	return clamp01(weighted / precision), 1 / precision, nil
+}

@@ -1,0 +1,183 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffgossip/internal/rng"
+)
+
+func TestBLUEValidation(t *testing.T) {
+	if _, err := NewBLUEEstimator(0); err == nil {
+		t.Fatal("discount 0 accepted")
+	}
+	if _, err := NewBLUEEstimator(1.1); err == nil {
+		t.Fatal("discount >1 accepted")
+	}
+	b, err := NewBLUEEstimator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct{ x, s2 float64 }{
+		{-0.1, 1}, {1.1, 1}, {math.NaN(), 1},
+		{0.5, 0}, {0.5, -1}, {0.5, math.Inf(1)}, {0.5, math.NaN()},
+	} {
+		if err := b.Observe(bad.x, bad.s2); err == nil {
+			t.Fatalf("Observe(%v, %v) accepted", bad.x, bad.s2)
+		}
+	}
+}
+
+func TestBLUEEmptyDefaults(t *testing.T) {
+	b, _ := NewBLUEEstimator(1)
+	if b.Value() != 0 {
+		t.Fatalf("empty value = %v", b.Value())
+	}
+	if !math.IsInf(b.Variance(), 1) {
+		t.Fatalf("empty variance = %v", b.Variance())
+	}
+}
+
+func TestBLUEInverseVarianceWeighting(t *testing.T) {
+	// Two observations: 0.9 with tiny variance, 0.1 with huge variance.
+	// The estimate must sit near 0.9.
+	b, _ := NewBLUEEstimator(1)
+	if err := b.Observe(0.9, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(0.1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if v := b.Value(); v < 0.85 {
+		t.Fatalf("BLUE = %v, want near 0.9", v)
+	}
+	// Exact check: (0.9/0.001 + 0.1/1)/(1/0.001 + 1/1).
+	want := (0.9/0.001 + 0.1) / (1/0.001 + 1)
+	if math.Abs(b.Value()-want) > 1e-12 {
+		t.Fatalf("BLUE = %v, want %v", b.Value(), want)
+	}
+}
+
+func TestBLUEVarianceShrinks(t *testing.T) {
+	b, _ := NewBLUEEstimator(1)
+	_ = b.Observe(0.5, 0.04)
+	v1 := b.Variance()
+	_ = b.Observe(0.5, 0.04)
+	v2 := b.Variance()
+	if v2 >= v1 {
+		t.Fatalf("variance did not shrink: %v -> %v", v1, v2)
+	}
+	if math.Abs(v2-0.02) > 1e-12 {
+		t.Fatalf("two equal observations: variance %v, want 0.02", v2)
+	}
+}
+
+func TestBLUEUnbiasedOnNoisyStream(t *testing.T) {
+	src := rng.New(7)
+	b, _ := NewBLUEEstimator(1)
+	truth := 0.65
+	for i := 0; i < 20000; i++ {
+		x := truth + 0.1*src.NormFloat64()
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		if err := b.Observe(x, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(b.Value()-truth) > 0.01 {
+		t.Fatalf("BLUE = %v, want ~%v", b.Value(), truth)
+	}
+	if b.Count() != 20000 {
+		t.Fatalf("count = %d", b.Count())
+	}
+}
+
+func TestBLUEDiscountTracksChange(t *testing.T) {
+	b, _ := NewBLUEEstimator(0.9)
+	for i := 0; i < 60; i++ {
+		_ = b.Observe(1, 0.01)
+	}
+	for i := 0; i < 60; i++ {
+		_ = b.Observe(0, 0.01)
+	}
+	if v := b.Value(); v > 0.05 {
+		t.Fatalf("discounted BLUE too sticky: %v", v)
+	}
+	b.Reset()
+	if b.Value() != 0 || b.Count() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestBLUEBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		b, _ := NewBLUEEstimator(0.95)
+		for i := 0; i < 100; i++ {
+			if err := b.Observe(src.Float64(), 0.001+src.Float64()); err != nil {
+				return false
+			}
+			if v := b.Value(); v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuseBLUE(t *testing.T) {
+	v, s2, err := FuseBLUE([]float64{0.8, 0.2}, []float64{0.01, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("fused value %v, want 0.5", v)
+	}
+	if math.Abs(s2-0.005) > 1e-12 {
+		t.Fatalf("fused variance %v, want 0.005", s2)
+	}
+}
+
+func TestFuseBLUESkipsUnusable(t *testing.T) {
+	v, s2, err := FuseBLUE([]float64{0.9, 0.1}, []float64{0.01, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.9 {
+		t.Fatalf("fused = %v, want 0.9 (inf-variance input ignored)", v)
+	}
+	if s2 != 0.01 {
+		t.Fatalf("variance = %v", s2)
+	}
+	v, s2, err = FuseBLUE(nil, nil)
+	if err != nil || v != 0 || !math.IsInf(s2, 1) {
+		t.Fatalf("empty fuse = %v, %v, %v", v, s2, err)
+	}
+}
+
+func TestFuseBLUELengthMismatch(t *testing.T) {
+	if _, _, err := FuseBLUE([]float64{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBLUEAgreesWithEstimatorOnCleanStream(t *testing.T) {
+	// On a constant-quality stream both estimators converge to the truth.
+	blue, _ := NewBLUEEstimator(1)
+	beta, _ := NewEstimator(EstimatorConfig{Prior: 0, Discount: 1})
+	for i := 0; i < 500; i++ {
+		_ = blue.Observe(0.7, 0.01)
+		_ = beta.Record(0.7)
+	}
+	if math.Abs(blue.Value()-beta.Value()) > 1e-9 {
+		t.Fatalf("estimators disagree: BLUE %v, beta %v", blue.Value(), beta.Value())
+	}
+}

@@ -1,0 +1,76 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator turns a stream of transaction outcomes with one peer into a trust
+// value in [0,1]. The paper estimates trust with a BLUE-based scheme in a
+// companion paper [20]; this estimator is a documented substitution with the
+// same interface contract: quality-monotone, bounded, and discounting stale
+// evidence so behaviour changes show up.
+//
+// Internally it is a discounted beta estimator: positive mass alpha and
+// negative mass beta accumulate per-transaction quality q ∈ [0,1] as
+// (alpha+q, beta+(1-q)), both decayed by Discount per new observation. The
+// point estimate is alpha/(alpha+beta) with a Laplace-style prior.
+type Estimator struct {
+	alpha, beta float64
+	prior       float64 // pseudo-count on each side
+	discount    float64 // multiplicative decay applied before each update
+	count       int
+}
+
+// EstimatorConfig tunes an Estimator.
+type EstimatorConfig struct {
+	// Prior is the pseudo-count added to both sides; with no observations
+	// the estimate is 0.5 when Prior > 0. The simulator uses Prior = 0 with
+	// an explicit "has transacted" bit instead, matching the paper's
+	// initial-trust-zero whitewashing defence.
+	Prior float64
+	// Discount in (0,1] decays old evidence; 1 disables discounting.
+	Discount float64
+}
+
+// NewEstimator returns an estimator with the given configuration.
+func NewEstimator(cfg EstimatorConfig) (*Estimator, error) {
+	if cfg.Prior < 0 || math.IsNaN(cfg.Prior) {
+		return nil, fmt.Errorf("trust: negative prior %v", cfg.Prior)
+	}
+	if cfg.Discount <= 0 || cfg.Discount > 1 {
+		return nil, fmt.Errorf("trust: discount %v out of (0,1]", cfg.Discount)
+	}
+	return &Estimator{prior: cfg.Prior, discount: cfg.Discount}, nil
+}
+
+// Record folds in one transaction with quality q ∈ [0,1] (1 = full requested
+// service delivered promptly, 0 = defection).
+func (e *Estimator) Record(q float64) error {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return fmt.Errorf("trust: quality %v out of [0,1]", q)
+	}
+	e.alpha = e.alpha*e.discount + q
+	e.beta = e.beta*e.discount + (1 - q)
+	e.count++
+	return nil
+}
+
+// Value returns the current trust estimate in [0,1]. With no observations and
+// no prior it returns 0 — the whitewashing-safe default.
+func (e *Estimator) Value() float64 {
+	num := e.alpha + e.prior
+	den := e.alpha + e.beta + 2*e.prior
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Count returns the number of recorded transactions.
+func (e *Estimator) Count() int { return e.count }
+
+// Reset clears all evidence.
+func (e *Estimator) Reset() {
+	e.alpha, e.beta, e.count = 0, 0, 0
+}

@@ -1,0 +1,57 @@
+package trust
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// matrixWire is the gob representation of a Matrix: a flat triple list, which
+// stays compact for the sparse matrices the system produces.
+type matrixWire struct {
+	N       int
+	I, J    []int
+	V       []float64
+	Version int
+}
+
+const wireVersion = 1
+
+// Save serialises the matrix with gob. Entries are written in deterministic
+// (row, column) order so identical matrices produce identical bytes.
+func (m *Matrix) Save(w io.Writer) error {
+	wire := matrixWire{N: m.n, Version: wireVersion}
+	for i := 0; i < m.n; i++ {
+		for _, j := range m.InteractedWith(i) {
+			wire.I = append(wire.I, i)
+			wire.J = append(wire.J, j)
+			wire.V = append(wire.V, m.rows[i][j])
+		}
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load deserialises a matrix written by Save, validating every entry.
+func Load(r io.Reader) (*Matrix, error) {
+	var wire matrixWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("trust: decode: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("trust: unsupported matrix version %d", wire.Version)
+	}
+	if wire.N < 0 || len(wire.I) != len(wire.J) || len(wire.I) != len(wire.V) {
+		return nil, fmt.Errorf("trust: malformed matrix payload")
+	}
+	m := NewMatrix(wire.N)
+	for k := range wire.I {
+		i, j := wire.I[k], wire.J[k]
+		if i < 0 || i >= wire.N || j < 0 || j >= wire.N {
+			return nil, fmt.Errorf("trust: entry (%d,%d) out of range", i, j)
+		}
+		if err := m.Set(i, j, wire.V[k]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,77 @@
+package trust
+
+import (
+	"bytes"
+	"testing"
+
+	"diffgossip/internal/rng"
+)
+
+func TestMatrixSaveLoadRoundTrip(t *testing.T) {
+	src := rng.New(5)
+	m := NewMatrix(100)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			if i != j && src.Bool(0.1) {
+				if err := m.Set(i, j, src.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 100 || got.NumEntries() != m.NumEntries() {
+		t.Fatalf("shape: %d/%d vs %d/%d", got.N(), got.NumEntries(), m.N(), m.NumEntries())
+	}
+	for i := 0; i < 100; i++ {
+		for j, v := range m.Row(i) {
+			if got.Value(i, j) != v {
+				t.Fatalf("entry (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixSaveDeterministic(t *testing.T) {
+	m := NewMatrix(10)
+	_ = m.Set(3, 4, 0.5)
+	_ = m.Set(1, 2, 0.25)
+	var a, b bytes.Buffer
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("save not deterministic")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadEmptyMatrix(t *testing.T) {
+	m := NewMatrix(7)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 7 || got.NumEntries() != 0 {
+		t.Fatalf("empty round trip: N=%d entries=%d", got.N(), got.NumEntries())
+	}
+}

@@ -1,0 +1,198 @@
+// Package trust provides the local-trust substrate of the reputation system:
+// the sparse matrix of direct-interaction trust values t_ij ∈ [0,1], the
+// transaction-driven estimator producing them, and the confidence weights
+// w_ij = a_i^(b_ij·t_ij) (paper eq. 2) used by globally calibrated local
+// reputation.
+//
+// The aggregation layer (internal/core) is agnostic to how t_ij is estimated;
+// the paper delegates estimation to a separate BLUE-based scheme [20], and
+// this package substitutes a beta-style transaction-ratio estimator with
+// exponential discounting of stale evidence, which produces values with the
+// same semantics (0 = no trust, 1 = full trust, monotone in service quality).
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is the sparse N×N local trust matrix. Entry (i,j) is the trust node
+// i places in node j from direct interaction only; absent entries mean "never
+// transacted" and are treated as 0 by the aggregation algorithms (the paper's
+// whitewashing-resistant default). Matrix is not safe for concurrent
+// mutation; the simulator engines own one per run.
+type Matrix struct {
+	n    int
+	rows []map[int]float64
+}
+
+// NewMatrix returns an empty trust matrix over n nodes.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic("trust: negative size")
+	}
+	return &Matrix{n: n, rows: make([]map[int]float64, n)}
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// Set records t_ij = v. It panics on out-of-range indices and rejects values
+// outside [0,1], which are always bugs upstream.
+func (m *Matrix) Set(i, j int, v float64) error {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("trust: index (%d,%d) out of range [0,%d)", i, j, m.n))
+	}
+	if v < 0 || v > 1 || math.IsNaN(v) {
+		return fmt.Errorf("trust: value %v out of [0,1]", v)
+	}
+	if m.rows[i] == nil {
+		m.rows[i] = make(map[int]float64)
+	}
+	m.rows[i][j] = v
+	return nil
+}
+
+// Get returns t_ij and whether node i has any direct-interaction value for j.
+func (m *Matrix) Get(i, j int) (float64, bool) {
+	if m.rows[i] == nil {
+		return 0, false
+	}
+	v, ok := m.rows[i][j]
+	return v, ok
+}
+
+// Value returns t_ij, or 0 when i has never transacted with j.
+func (m *Matrix) Value(i, j int) float64 {
+	v, _ := m.Get(i, j)
+	return v
+}
+
+// Has reports whether i has direct-interaction trust for j.
+func (m *Matrix) Has(i, j int) bool {
+	_, ok := m.Get(i, j)
+	return ok
+}
+
+// Delete removes the (i,j) entry; used when a peer's feedback is dropped
+// after prolonged absence (paper §4.1.2).
+func (m *Matrix) Delete(i, j int) {
+	if m.rows[i] != nil {
+		delete(m.rows[i], j)
+	}
+}
+
+// Row returns node i's trust entries as a copied map.
+func (m *Matrix) Row(i int) map[int]float64 {
+	out := make(map[int]float64, len(m.rows[i]))
+	for j, v := range m.rows[i] {
+		out[j] = v
+	}
+	return out
+}
+
+// RatersOf returns the sorted list of nodes holding direct trust about j and
+// their values. This is the set that starts a gossip round with weight 1 in
+// Algorithm 1.
+func (m *Matrix) RatersOf(j int) ([]int, []float64) {
+	var ids []int
+	for i := 0; i < m.n; i++ {
+		if m.rows[i] != nil {
+			if _, ok := m.rows[i][j]; ok {
+				ids = append(ids, i)
+			}
+		}
+	}
+	sort.Ints(ids)
+	vals := make([]float64, len(ids))
+	for k, i := range ids {
+		vals[k] = m.rows[i][j]
+	}
+	return ids, vals
+}
+
+// InteractedWith returns the sorted ids of every node i holds direct trust
+// about — the paper's neighbour set NS_i, since neighbourhood is defined by
+// interaction (§3, §4.1.2). This is the set whose opinions receive
+// confidence weights > 1 in the GCLR variants.
+func (m *Matrix) InteractedWith(i int) []int {
+	out := make([]int, 0, len(m.rows[i]))
+	for j := range m.rows[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumEntries returns the number of stored (i,j) pairs.
+func (m *Matrix) NumEntries() int {
+	total := 0
+	for _, r := range m.rows {
+		total += len(r)
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.n)
+	for i, r := range m.rows {
+		if r == nil {
+			continue
+		}
+		c.rows[i] = make(map[int]float64, len(r))
+		for j, v := range r {
+			c.rows[i][j] = v
+		}
+	}
+	return c
+}
+
+// ColumnMean returns the mean of column j over all N nodes (missing entries
+// count as 0) — the paper's global reputation definition, eq. (1)/(8).
+func (m *Matrix) ColumnMean(j int) float64 {
+	if m.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < m.n; i++ {
+		if m.rows[i] != nil {
+			sum += m.rows[i][j]
+		}
+	}
+	return sum / float64(m.n)
+}
+
+// ColumnRaterMean returns the mean of column j over raters only — the value
+// Algorithm 1's gossip converges to (Σ_i y_ij / Σ_i g_ij with g=1 for
+// raters).
+func (m *Matrix) ColumnRaterMean(j int) float64 {
+	sum, cnt := 0.0, 0
+	for i := 0; i < m.n; i++ {
+		if m.rows[i] != nil {
+			if v, ok := m.rows[i][j]; ok {
+				sum += v
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// ColumnSum returns (Σ_i t_ij, raterCount) for column j.
+func (m *Matrix) ColumnSum(j int) (float64, int) {
+	sum, cnt := 0.0, 0
+	for i := 0; i < m.n; i++ {
+		if m.rows[i] != nil {
+			if v, ok := m.rows[i][j]; ok {
+				sum += v
+				cnt++
+			}
+		}
+	}
+	return sum, cnt
+}

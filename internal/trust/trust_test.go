@@ -1,0 +1,325 @@
+package trust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffgossip/internal/rng"
+)
+
+func TestMatrixSetGet(t *testing.T) {
+	m := NewMatrix(5)
+	if err := m.Set(1, 2, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Get(1, 2)
+	if !ok || v != 0.7 {
+		t.Fatalf("Get(1,2) = %v,%v", v, ok)
+	}
+	if _, ok := m.Get(2, 1); ok {
+		t.Fatal("matrix symmetric without being set")
+	}
+	if m.Value(4, 4) != 0 {
+		t.Fatal("missing entry not zero")
+	}
+}
+
+func TestMatrixRejectsBadValues(t *testing.T) {
+	m := NewMatrix(3)
+	for _, v := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := m.Set(0, 1, v); err == nil {
+			t.Fatalf("Set accepted %v", v)
+		}
+	}
+}
+
+func TestMatrixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range Set")
+		}
+	}()
+	_ = NewMatrix(2).Set(0, 5, 0.5)
+}
+
+func TestMatrixDelete(t *testing.T) {
+	m := NewMatrix(3)
+	_ = m.Set(0, 1, 0.4)
+	m.Delete(0, 1)
+	if m.Has(0, 1) {
+		t.Fatal("entry survived Delete")
+	}
+	m.Delete(2, 0) // deleting absent entry is a no-op
+}
+
+func TestRatersOf(t *testing.T) {
+	m := NewMatrix(6)
+	_ = m.Set(4, 2, 0.9)
+	_ = m.Set(1, 2, 0.3)
+	_ = m.Set(1, 3, 0.5)
+	ids, vals := m.RatersOf(2)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 4 {
+		t.Fatalf("RatersOf(2) ids = %v", ids)
+	}
+	if vals[0] != 0.3 || vals[1] != 0.9 {
+		t.Fatalf("RatersOf(2) vals = %v", vals)
+	}
+	if ids, _ := m.RatersOf(0); ids != nil {
+		t.Fatalf("RatersOf(0) = %v, want none", ids)
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	m := NewMatrix(4)
+	_ = m.Set(0, 3, 0.2)
+	_ = m.Set(1, 3, 0.6)
+	if got := m.ColumnMean(3); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("ColumnMean = %v, want 0.2", got)
+	}
+	if got := m.ColumnRaterMean(3); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("ColumnRaterMean = %v, want 0.4", got)
+	}
+	sum, cnt := m.ColumnSum(3)
+	if sum != 0.8 || cnt != 2 {
+		t.Fatalf("ColumnSum = %v,%d", sum, cnt)
+	}
+	if m.ColumnRaterMean(0) != 0 {
+		t.Fatal("empty column rater mean not 0")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(3)
+	_ = m.Set(0, 1, 0.5)
+	c := m.Clone()
+	_ = c.Set(0, 1, 0.9)
+	if m.Value(0, 1) != 0.5 {
+		t.Fatal("clone shares storage")
+	}
+	if c.NumEntries() != 1 || m.NumEntries() != 1 {
+		t.Fatal("entry counts wrong")
+	}
+}
+
+func TestRowCopy(t *testing.T) {
+	m := NewMatrix(3)
+	_ = m.Set(1, 0, 0.25)
+	r := m.Row(1)
+	r[0] = 0.99
+	if m.Value(1, 0) != 0.25 {
+		t.Fatal("Row returned live map")
+	}
+}
+
+func TestWeightParamsValidate(t *testing.T) {
+	if err := DefaultWeightParams.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []WeightParams{{A: 0.5, B: 1}, {A: math.NaN(), B: 1}, {A: 2, B: -1}, {A: math.Inf(1), B: 1}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", p)
+		}
+	}
+}
+
+func TestWeightBounds(t *testing.T) {
+	p := DefaultWeightParams
+	if w := p.Weight(0); w != 1 {
+		t.Fatalf("Weight(0) = %v, want 1", w)
+	}
+	if w := p.Weight(1); math.Abs(w-10) > 1e-12 {
+		t.Fatalf("Weight(1) = %v, want 10", w)
+	}
+}
+
+func TestWeightMonotoneAndAtLeastOne(t *testing.T) {
+	p := WeightParams{A: 7, B: 1.3}
+	f := func(raw uint32) bool {
+		t1 := float64(raw%1000) / 999
+		t2 := float64((raw/1000)%1000) / 999
+		w1, w2 := p.Weight(t1), p.Weight(t2)
+		if w1 < 1 || w2 < 1 {
+			return false
+		}
+		if t1 < t2 && w1 > w2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightsMapDefaultsToOne(t *testing.T) {
+	m := NewMatrix(5)
+	_ = m.Set(0, 2, 1.0)
+	ws := Weights(m, 0, []int{1, 2, 3}, DefaultWeightParams)
+	if ws[1] != 1 || ws[3] != 1 {
+		t.Fatalf("non-interacted weights = %v", ws)
+	}
+	if math.Abs(ws[2]-10) > 1e-12 {
+		t.Fatalf("weight for trusted neighbour = %v, want 10", ws[2])
+	}
+}
+
+func TestWeightedColumnDegeneratesToGlobal(t *testing.T) {
+	// With all weights 1 (no direct trust at the observer), eq. (5)
+	// degenerates to eq. (1): the plain column mean.
+	m := NewMatrix(10)
+	src := rng.New(4)
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue // observer has no outgoing trust
+		}
+		_ = m.Set(i, 7, src.Float64())
+	}
+	got := WeightedColumn(m, 3, 7, []int{0, 1, 2}, DefaultWeightParams, false)
+	want := m.ColumnMean(7)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightedColumn = %v, ColumnMean = %v", got, want)
+	}
+}
+
+func TestWeightedColumnBoostsTrustedOpinion(t *testing.T) {
+	// Observer 0 fully trusts neighbour 1; neighbour 1 rates node 2 high
+	// while everyone else rates it low. The weighted estimate must exceed
+	// the unweighted mean.
+	m := NewMatrix(6)
+	_ = m.Set(0, 1, 1.0) // observer trusts 1
+	_ = m.Set(1, 2, 1.0)
+	for i := 3; i < 6; i++ {
+		_ = m.Set(i, 2, 0.1)
+	}
+	weighted := WeightedColumn(m, 0, 2, []int{1}, DefaultWeightParams, true)
+	sum, cnt := m.ColumnSum(2)
+	unweighted := sum / float64(cnt)
+	if weighted <= unweighted {
+		t.Fatalf("weighted %v <= unweighted %v", weighted, unweighted)
+	}
+	if weighted < 0 || weighted > 1 {
+		t.Fatalf("weighted reputation %v out of [0,1]", weighted)
+	}
+}
+
+func TestWeightedColumnEmpty(t *testing.T) {
+	m := NewMatrix(4)
+	if got := WeightedColumn(m, 0, 1, []int{2, 3}, DefaultWeightParams, true); got != 0 {
+		t.Fatalf("empty-matrix weighted column = %v", got)
+	}
+}
+
+func TestWeightedColumnStaysInUnitInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 5 + int(seed%20)
+		m := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && src.Bool(0.4) {
+					_ = m.Set(i, j, src.Float64())
+				}
+			}
+		}
+		o := src.Intn(n)
+		j := src.Intn(n)
+		nbrs := src.Sample(n, 3)
+		v := WeightedColumn(m, o, j, nbrs, DefaultWeightParams, true)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorConfigValidation(t *testing.T) {
+	if _, err := NewEstimator(EstimatorConfig{Prior: -1, Discount: 1}); err == nil {
+		t.Fatal("negative prior accepted")
+	}
+	if _, err := NewEstimator(EstimatorConfig{Prior: 0, Discount: 0}); err == nil {
+		t.Fatal("discount 0 accepted")
+	}
+	if _, err := NewEstimator(EstimatorConfig{Prior: 0, Discount: 1.5}); err == nil {
+		t.Fatal("discount >1 accepted")
+	}
+}
+
+func TestEstimatorZeroDefault(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Prior: 0, Discount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Value() != 0 {
+		t.Fatalf("fresh estimator value = %v, want 0 (whitewash defence)", e.Value())
+	}
+}
+
+func TestEstimatorConverges(t *testing.T) {
+	e, _ := NewEstimator(EstimatorConfig{Prior: 0, Discount: 1})
+	for i := 0; i < 100; i++ {
+		_ = e.Record(0.8)
+	}
+	if v := e.Value(); math.Abs(v-0.8) > 1e-9 {
+		t.Fatalf("estimator converged to %v, want 0.8", v)
+	}
+	if e.Count() != 100 {
+		t.Fatalf("count = %d", e.Count())
+	}
+}
+
+func TestEstimatorDiscountTracksChange(t *testing.T) {
+	e, _ := NewEstimator(EstimatorConfig{Prior: 0, Discount: 0.9})
+	for i := 0; i < 50; i++ {
+		_ = e.Record(1)
+	}
+	high := e.Value()
+	for i := 0; i < 50; i++ {
+		_ = e.Record(0)
+	}
+	low := e.Value()
+	if high < 0.95 {
+		t.Fatalf("after good streak value = %v", high)
+	}
+	if low > 0.05 {
+		t.Fatalf("discounted estimator too sticky: %v after defection streak", low)
+	}
+}
+
+func TestEstimatorRejectsBadQuality(t *testing.T) {
+	e, _ := NewEstimator(EstimatorConfig{Prior: 0, Discount: 1})
+	for _, q := range []float64{-0.1, 1.01, math.NaN()} {
+		if err := e.Record(q); err == nil {
+			t.Fatalf("Record accepted %v", q)
+		}
+	}
+}
+
+func TestEstimatorBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		e, _ := NewEstimator(EstimatorConfig{Prior: 1, Discount: 0.95})
+		for i := 0; i < 200; i++ {
+			if err := e.Record(src.Float64()); err != nil {
+				return false
+			}
+			if v := e.Value(); v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	e, _ := NewEstimator(EstimatorConfig{Prior: 0, Discount: 1})
+	_ = e.Record(1)
+	e.Reset()
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,88 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightParams holds the per-node parameters of the paper's confidence
+// weight, eq. (2): w_ij = a_i^(b_ij · t_ij).
+//
+// A is the node's base (a_i >= 1), tunable by the overall quality of service
+// it receives from the network; B is the per-neighbour exponent scale b_ij.
+// The paper treats both as constants per node, which we default to here, but
+// the API accepts per-edge overrides so the "dynamically adjusted" extension
+// the paper mentions is expressible.
+type WeightParams struct {
+	A float64 // base a_i; must be >= 1 so that w >= 1 always
+	B float64 // default exponent scale b_ij
+}
+
+// DefaultWeightParams mirrors the constants used throughout the experiments:
+// a = 10, b = 1, giving w ∈ [1,10] as trust goes 0 → 1.
+var DefaultWeightParams = WeightParams{A: 10, B: 1}
+
+// Validate rejects parameter settings that would break the invariant
+// w_ij >= 1 on which the collusion analysis (eq. 17) depends.
+func (p WeightParams) Validate() error {
+	if p.A < 1 || math.IsNaN(p.A) || math.IsInf(p.A, 0) {
+		return fmt.Errorf("trust: weight base a=%v must be >= 1", p.A)
+	}
+	if p.B < 0 || math.IsNaN(p.B) || math.IsInf(p.B, 0) {
+		return fmt.Errorf("trust: weight scale b=%v must be >= 0", p.B)
+	}
+	return nil
+}
+
+// Weight returns w = a^(b·t) for a single trust value.
+func (p WeightParams) Weight(t float64) float64 {
+	return math.Pow(p.A, p.B*t)
+}
+
+// Weights computes node i's confidence weight for every neighbour in nbrs
+// given the local trust matrix. Nodes i has never transacted with get weight
+// exactly 1, as eq. (6) requires.
+func Weights(m *Matrix, i int, nbrs []int, p WeightParams) map[int]float64 {
+	out := make(map[int]float64, len(nbrs))
+	for _, v := range nbrs {
+		if t, ok := m.Get(i, v); ok {
+			out[v] = p.Weight(t)
+		} else {
+			out[v] = 1
+		}
+	}
+	return out
+}
+
+// WeightedColumn evaluates the paper's eq. (4)/(6) reference value directly
+// (centralised, no gossip): the globally calibrated local reputation of node
+// j as seen by node o, over the full matrix. The gossip algorithms must
+// converge to this; tests and the collusion experiments compare against it.
+//
+//	Rep_{o,j} = ( Σ_{i∈NS_o} (w_oi − 1)·t_ij + Σ_i t_ij )
+//	          / ( Σ_{i∈NS_o} (w_oi − 1) + N_d )
+//
+// where N_d is the number of raters of j when raterDenominator is true
+// (matching Algorithm 2's count gossip) or the full N otherwise (matching
+// the eq. (6) derivation). The two coincide when every node has rated j.
+func WeightedColumn(m *Matrix, o, j int, nbrs []int, p WeightParams, raterDenominator bool) float64 {
+	sumT, raters := m.ColumnSum(j)
+	num := sumT
+	den := float64(raters)
+	if !raterDenominator {
+		den = float64(m.N())
+	}
+	for _, i := range nbrs {
+		t, ok := m.Get(o, i)
+		if !ok {
+			continue // weight 1 contributes nothing beyond the Σ t_ij term
+		}
+		w := p.Weight(t)
+		num += (w - 1) * m.Value(i, j)
+		den += w - 1
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,107 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+
+	"diffgossip/internal/rng"
+)
+
+// WorkloadConfig describes a synthetic trust workload: each node j has a true
+// decency level D_j ~ Beta(Alpha, BetaP); each (i,j) pair that has transacted
+// yields a noisy observation t_ij = clamp(D_j + Normal(0, Noise)). The
+// observed-pair structure is controlled by Density, biased so that neighbours
+// on the overlay are more likely to have transacted (paper §3: neighbourhood
+// follows interaction).
+type WorkloadConfig struct {
+	// N is the node count.
+	N int
+	// Density is the probability an arbitrary ordered pair (i,j) has
+	// transacted.
+	Density float64
+	// NeighborDensity is the (higher) probability for overlay neighbours;
+	// pairs are classified by the Adjacent callback. Ignored when Adjacent
+	// is nil.
+	NeighborDensity float64
+	// Adjacent reports overlay adjacency; may be nil.
+	Adjacent func(i, j int) bool
+	// Alpha, BetaP parameterise the decency prior Beta(Alpha, BetaP);
+	// zero values default to Beta(4, 2) (mostly decent population).
+	Alpha, BetaP float64
+	// Noise is the observation noise standard deviation (default 0.05).
+	Noise float64
+	// FreeRiderFrac makes this fraction of nodes free riders with decency
+	// drawn from Beta(1, 8) (near zero contribution).
+	FreeRiderFrac float64
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// Workload is a generated trust scenario.
+type Workload struct {
+	// Matrix is the direct-interaction trust matrix.
+	Matrix *Matrix
+	// Decency is each node's ground-truth decency level.
+	Decency []float64
+	// FreeRider flags the nodes drawn from the free-rider prior.
+	FreeRider []bool
+}
+
+// GenerateWorkload builds a Workload from cfg.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("trust: workload N=%d", cfg.N)
+	}
+	if cfg.Density < 0 || cfg.Density > 1 || cfg.NeighborDensity < 0 || cfg.NeighborDensity > 1 {
+		return nil, fmt.Errorf("trust: workload density out of [0,1]")
+	}
+	if cfg.FreeRiderFrac < 0 || cfg.FreeRiderFrac > 1 {
+		return nil, fmt.Errorf("trust: free rider fraction out of [0,1]")
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 4
+	}
+	if cfg.BetaP == 0 {
+		cfg.BetaP = 2
+	}
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.05
+	}
+	src := rng.New(cfg.Seed)
+	w := &Workload{
+		Matrix:    NewMatrix(cfg.N),
+		Decency:   make([]float64, cfg.N),
+		FreeRider: make([]bool, cfg.N),
+	}
+	for j := 0; j < cfg.N; j++ {
+		if src.Bool(cfg.FreeRiderFrac) {
+			w.FreeRider[j] = true
+			w.Decency[j] = src.Beta(1, 8)
+		} else {
+			w.Decency[j] = src.Beta(cfg.Alpha, cfg.BetaP)
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if i == j {
+				continue
+			}
+			p := cfg.Density
+			if cfg.Adjacent != nil && cfg.Adjacent(i, j) {
+				p = cfg.NeighborDensity
+			}
+			if !src.Bool(p) {
+				continue
+			}
+			v := clamp01(w.Decency[j] + cfg.Noise*src.NormFloat64())
+			if err := w.Matrix.Set(i, j, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+func clamp01(x float64) float64 {
+	return math.Max(0, math.Min(1, x))
+}
