@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"diffgossip/internal/sim"
 )
 
 func TestRunEachExperimentQuick(t *testing.T) {
@@ -52,6 +57,42 @@ func TestRunAllQuick(t *testing.T) {
 	for _, want := range []string{"Table 1", "Table 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Scaling", "damping"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("all-run missing %q", want)
+		}
+	}
+}
+
+func TestBenchJSONWellFormed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	// Quick sizes keep the benchmark run test-fast.
+	if err := runBench(path, 1, 200, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report sim.BenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("BENCH json does not parse: %v", err)
+	}
+	if report.Schema != "diffgossip-bench/v1" {
+		t.Fatalf("schema = %q", report.Schema)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(report.Benchmarks))
+	}
+	for _, b := range report.Benchmarks {
+		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
+			t.Fatalf("malformed row %+v", b)
+		}
+		if b.NsPerStep <= 0 {
+			t.Fatalf("row %q has no timing", b.Name)
+		}
+		if b.MsgsPerNodePerStep <= 0 {
+			t.Fatalf("row %q has no message metric", b.Name)
+		}
+		if !b.Converged {
+			t.Fatalf("row %q did not converge", b.Name)
 		}
 	}
 }

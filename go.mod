@@ -1,0 +1,3 @@
+module diffgossip
+
+go 1.24

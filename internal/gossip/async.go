@@ -56,6 +56,7 @@ func AsyncAverage(cfg Config, xs []float64) (AsyncResult, error) {
 
 	maxRounds := cfg.maxSteps() * 4 // async needs more activations than sync steps
 	res := AsyncResult{}
+	nbrs := make([]int, 0, 16) // reused fan-out scratch
 	for round := 1; round <= maxRounds; round++ {
 		for a := 0; a < n; a++ {
 			i := src.Intn(n)
@@ -68,7 +69,8 @@ func AsyncAverage(cfg Config, xs []float64) (AsyncResult, error) {
 			f := 1 / float64(k+1)
 			shareY, shareG := y[i]*f, g[i]*f
 			y[i], g[i] = shareY, shareG
-			for _, t := range cfg.Graph.RandomNeighbors(i, k, src) {
+			nbrs = cfg.Graph.AppendRandomNeighbors(nbrs[:0], i, k, src)
+			for _, t := range nbrs {
 				if cfg.LossProb > 0 && src.Bool(cfg.LossProb) {
 					y[i] += shareY
 					g[i] += shareG

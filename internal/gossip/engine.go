@@ -34,10 +34,12 @@ type Engine struct {
 	selfConv []bool // node announced its own convergence
 	stopped  []bool // node and all neighbours converged; no longer pushes
 
-	// scratch buffers reused across steps
+	// scratch buffers reused across steps; nbrs holds each node's sampled
+	// fan-out targets so steady-state Step never touches the heap
 	next      []Pair
 	nextCount []float64
 	extRecv   []int
+	nbrs      []int
 
 	msgs Messages
 	// trace of the max per-node ratio change each step, for diagnostics
@@ -119,6 +121,9 @@ func (e *Engine) ChargeSetup(n int) { e.msgs.Setup += n }
 // Steps returns the number of steps executed so far.
 func (e *Engine) Steps() int { return e.steps }
 
+// Messages returns the transmission tally accumulated so far.
+func (e *Engine) Messages() Messages { return e.msgs }
+
 // MassY returns the total Y mass in the network; it is invariant across
 // steps (mass conservation, Proposition A.1).
 func (e *Engine) MassY() float64 {
@@ -192,7 +197,8 @@ func (e *Engine) Step() bool {
 		if e.nextCount != nil {
 			e.nextCount[i] += countShare
 		}
-		for _, t := range g.RandomNeighbors(i, k, e.src) {
+		e.nbrs = g.AppendRandomNeighbors(e.nbrs[:0], i, k, e.src)
+		for _, t := range e.nbrs {
 			e.msgs.Gossip++
 			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
 				// Lost push: no ack, so the sender re-absorbs the

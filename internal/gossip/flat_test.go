@@ -1,0 +1,392 @@
+package gossip
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+)
+
+// refVectorEngine is a faithful copy of the pre-flat-memory implementation:
+// per-row heap allocations, a zeroing pass, three separate axpy passes per
+// routed share, and a standalone full-column convergence scan. It exists so
+// tests can prove the flat, fused engine is bit-identical to the old layout.
+type refVectorEngine struct {
+	cfg      Config
+	n        int
+	ks       []int
+	src      *rng.Source
+	steps    int
+	y, g     [][]float64
+	count    [][]float64
+	prevR    [][]float64
+	selfConv []bool
+	stopped  []bool
+	active   []bool
+	nextY    [][]float64
+	nextG    [][]float64
+	nextC    [][]float64
+	extRecv  []int
+	incoming [][]push
+	l1       []float64
+	hasW     []bool
+}
+
+func refAlloc(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	return out
+}
+
+func refCopy(m [][]float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = append([]float64(nil), m[i]...)
+	}
+	return out
+}
+
+func newRefVectorEngine(cfg Config, y0, g0, c0 [][]float64) *refVectorEngine {
+	n := cfg.Graph.N()
+	e := &refVectorEngine{
+		cfg:      cfg,
+		n:        n,
+		ks:       cfg.fanouts(),
+		src:      rng.New(cfg.Seed),
+		y:        refCopy(y0, n),
+		g:        refCopy(g0, n),
+		prevR:    refAlloc(n),
+		selfConv: make([]bool, n),
+		stopped:  make([]bool, n),
+		nextY:    refAlloc(n),
+		nextG:    refAlloc(n),
+		extRecv:  make([]int, n),
+		active:   make([]bool, n),
+		incoming: make([][]push, n),
+		l1:       make([]float64, n),
+		hasW:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if e.g[i][j] > 0 {
+				e.active[j] = true
+			}
+			e.prevR[i][j] = ratioOr(e.y[i][j], e.g[i][j])
+		}
+	}
+	if c0 != nil {
+		e.count = refCopy(c0, n)
+		e.nextC = refAlloc(n)
+	}
+	return e
+}
+
+func refZero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func refAxpy(dst, src []float64, f float64) {
+	for i := range dst {
+		// Pinned like the production kernels, so the reference is
+		// FMA-contraction-proof on every platform too.
+		dst[i] += float64(src[i] * f)
+	}
+}
+
+func (e *refVectorEngine) step() bool {
+	g := e.cfg.Graph
+	for i := range e.incoming {
+		e.incoming[i] = e.incoming[i][:0]
+		e.extRecv[i] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		if e.stopped[i] || g.Degree(i) == 0 {
+			e.incoming[i] = append(e.incoming[i], push{src: i, f: 1})
+			continue
+		}
+		k := e.ks[i]
+		f := 1 / float64(k+1)
+		e.incoming[i] = append(e.incoming[i], push{src: i, f: f})
+		for _, t := range g.RandomNeighbors(i, k, e.src) {
+			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
+				e.incoming[i] = append(e.incoming[i], push{src: i, f: f})
+				continue
+			}
+			e.incoming[t] = append(e.incoming[t], push{src: i, f: f})
+			e.extRecv[t]++
+		}
+	}
+
+	e.steps++
+	for i := 0; i < e.n; i++ {
+		refZero(e.nextY[i])
+		refZero(e.nextG[i])
+		if e.nextC != nil {
+			refZero(e.nextC[i])
+		}
+		for _, p := range e.incoming[i] {
+			refAxpy(e.nextY[i], e.y[p.src], p.f)
+			refAxpy(e.nextG[i], e.g[p.src], p.f)
+			if e.nextC != nil {
+				refAxpy(e.nextC[i], e.count[p.src], p.f)
+			}
+		}
+		l1 := 0.0
+		hasWeight := true
+		for j := 0; j < e.n; j++ {
+			r := ratioOr(e.nextY[i][j], e.nextG[i][j])
+			l1 += math.Abs(r - e.prevR[i][j])
+			e.prevR[i][j] = r
+			if e.active[j] && e.nextG[i][j] == 0 {
+				hasWeight = false
+			}
+		}
+		e.l1[i] = l1
+		e.hasW[i] = hasWeight
+	}
+	for i := 0; i < e.n; i++ {
+		e.y[i], e.nextY[i] = e.nextY[i], e.y[i]
+		e.g[i], e.nextG[i] = e.nextG[i], e.g[i]
+		if e.nextC != nil {
+			e.count[i], e.nextC[i] = e.nextC[i], e.count[i]
+		}
+	}
+
+	nxi := float64(e.n) * e.cfg.Epsilon
+	for i := 0; i < e.n; i++ {
+		heard := e.extRecv[i] >= 1 || e.selfConv[i] || e.stopped[i]
+		conv := e.hasW[i] && heard && e.l1[i] <= nxi && e.steps >= e.cfg.MinSteps
+		if conv != e.selfConv[i] {
+			e.selfConv[i] = conv
+		}
+	}
+	running := false
+	for i := 0; i < e.n; i++ {
+		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0) && allConverged(e.selfConv, g.Neighbors(i))
+		if !e.stopped[i] {
+			running = true
+		}
+	}
+	return running
+}
+
+func (e *refVectorEngine) run() VectorResult {
+	budget := e.cfg.maxSteps()
+	running := true
+	for running && e.steps < budget {
+		running = e.step()
+	}
+	res := VectorResult{Steps: e.steps, Converged: !running, Estimates: refAlloc(e.n)}
+	for i := 0; i < e.n; i++ {
+		for j := 0; j < e.n; j++ {
+			if e.g[i][j] > 0 {
+				res.Estimates[i][j] = e.y[i][j] / e.g[i][j]
+			}
+		}
+	}
+	if e.count != nil {
+		res.Counts = refAlloc(e.n)
+		for i := 0; i < e.n; i++ {
+			for j := 0; j < e.n; j++ {
+				if e.g[i][j] > 0 {
+					res.Counts[i][j] = e.count[i][j] / e.g[i][j]
+				}
+			}
+		}
+	}
+	return res
+}
+
+// buildSparseVectorInputs rates only every stride-th subject (by everybody),
+// leaving the other columns with no weight mass anywhere.
+func buildSparseVectorInputs(n, stride int, seed uint64) (y0, g0 [][]float64) {
+	src := rng.New(seed)
+	y0, g0 = alloc(n), alloc(n)
+	for j := 0; j < n; j += stride {
+		for i := 0; i < n; i++ {
+			y0[i][j] = src.Float64()
+			g0[i][j] = 1
+		}
+	}
+	return y0, g0
+}
+
+// TestFlatLayoutMatchesOldLayout pins the headline refactor guarantee: the
+// flat-memory, fused, active-indexed engine produces bit-identical results —
+// same step count, same convergence, same estimate bits — as the old
+// row-allocated three-pass layout, across dense, sparse, lossy and counted
+// configurations.
+func TestFlatLayoutMatchesOldLayout(t *testing.T) {
+	type scenario struct {
+		name   string
+		n      int
+		sparse bool
+		loss   float64
+		counts bool
+	}
+	for _, sc := range []scenario{
+		{name: "dense", n: 60},
+		{name: "dense-loss", n: 60, loss: 0.15},
+		{name: "sparse", n: 80, sparse: true},
+		{name: "sparse-loss", n: 80, sparse: true, loss: 0.1},
+		{name: "dense-counts", n: 40, counts: true},
+		{name: "sparse-counts", n: 50, sparse: true, counts: true},
+	} {
+		t.Run(sc.name, func(t *testing.T) {
+			g := graph.MustPA(sc.n, 2, 500)
+			var y0, g0 [][]float64
+			if sc.sparse {
+				y0, g0 = buildSparseVectorInputs(sc.n, 7, 501)
+			} else {
+				y0, g0 = buildVectorInputs(sc.n, 501)
+			}
+			var c0 [][]float64
+			if sc.counts {
+				c0 = alloc(sc.n)
+				for i := 0; i < sc.n; i++ {
+					for j := 0; j < sc.n; j++ {
+						if g0[i][j] > 0 {
+							c0[i][j] = 1
+						}
+					}
+				}
+			}
+			cfg := Config{Graph: g, Epsilon: 1e-7, Seed: 502, LossProb: sc.loss}
+
+			e, err := NewVectorEngine(cfg, y0, g0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c0 != nil {
+				if err := e.EnableCountGossip(c0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := e.Run()
+			want := newRefVectorEngine(cfg, y0, g0, c0).run()
+
+			if got.Steps != want.Steps || got.Converged != want.Converged {
+				t.Fatalf("run shape differs: steps %d/%v vs %d/%v",
+					got.Steps, got.Converged, want.Steps, want.Converged)
+			}
+			for i := 0; i < sc.n; i++ {
+				for j := 0; j < sc.n; j++ {
+					if got.Estimates[i][j] != want.Estimates[i][j] {
+						t.Fatalf("estimate[%d][%d]: %v (flat) vs %v (old layout)",
+							i, j, got.Estimates[i][j], want.Estimates[i][j])
+					}
+					if c0 != nil && got.Counts[i][j] != want.Counts[i][j] {
+						t.Fatalf("count[%d][%d]: %v (flat) vs %v (old layout)",
+							i, j, got.Counts[i][j], want.Counts[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVectorWorkerSweepBitIdentical is the determinism contract stated in the
+// engine docs: Workers ∈ {1, 4, GOMAXPROCS} (and the auto setting) all
+// produce the same estimate bits, because routing is sequential and every
+// destination folds its shares in routing order.
+func TestVectorWorkerSweepBitIdentical(t *testing.T) {
+	n := 90
+	g := graph.MustPA(n, 2, 510)
+	y0, g0 := buildVectorInputs(n, 511)
+	run := func(workers int) VectorResult {
+		e, err := NewVectorEngine(Config{
+			Graph: g, Epsilon: 1e-7, Seed: 512, Workers: workers, LossProb: 0.05,
+		}, y0, g0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run()
+	}
+	base := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), -1} {
+		got := run(workers)
+		if got.Steps != base.Steps {
+			t.Fatalf("workers=%d: steps %d vs %d", workers, got.Steps, base.Steps)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.Estimates[i][j] != base.Estimates[i][j] {
+					t.Fatalf("workers=%d: estimate[%d][%d] differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineStepZeroAllocs pins the scalar engine's zero-allocation
+// steady-state invariant.
+func TestEngineStepZeroAllocs(t *testing.T) {
+	n := 400
+	g := graph.MustPA(n, 2, 520)
+	src := rng.New(521)
+	xs := make([]float64, n)
+	g0 := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64()
+		g0[i] = 1
+	}
+	e, err := NewEngine(Config{Graph: g, Epsilon: 1e-12, Seed: 522, MinSteps: 1 << 30}, xs, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e.Step() // warm the fan-out scratch buffer
+	}
+	if allocs := testing.AllocsPerRun(30, func() { e.Step() }); allocs != 0 {
+		t.Fatalf("Engine.Step allocated %v times per step in steady state", allocs)
+	}
+}
+
+// TestVectorStepZeroAllocs pins the vector engine's zero-allocation
+// steady-state invariant, with and without count gossip and under loss.
+func TestVectorStepZeroAllocs(t *testing.T) {
+	n := 120
+	g := graph.MustPA(n, 2, 530)
+	y0, g0 := buildVectorInputs(n, 531)
+	c0 := alloc(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c0[i][j] = 1
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		counts bool
+		loss   float64
+	}{
+		{name: "plain"},
+		{name: "loss", loss: 0.2},
+		{name: "counts", counts: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewVectorEngine(Config{
+				Graph: g, Epsilon: 1e-12, Seed: 532, MinSteps: 1 << 30, LossProb: tc.loss,
+			}, y0, g0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.counts {
+				if err := e.EnableCountGossip(c0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				e.Step()
+			}
+			if allocs := testing.AllocsPerRun(20, func() { e.Step() }); allocs != 0 {
+				t.Fatalf("VectorEngine.Step allocated %v times per step in steady state", allocs)
+			}
+		})
+	}
+}

@@ -83,7 +83,10 @@ type Config struct {
 	MinSteps int
 	// Workers parallelises the vector engine's per-step work across this
 	// many goroutines (the accumulation is deterministic regardless).
-	// 0 or 1 runs sequentially; negative selects GOMAXPROCS.
+	// 0 or 1 runs sequentially; negative selects GOMAXPROCS. Note the
+	// convention differs from the sim sweep runners' Workers fields
+	// (Fig3Config and friends), where 0 selects GOMAXPROCS and 1 is the
+	// sequential setting.
 	Workers int
 }
 

@@ -1,0 +1,136 @@
+package gossip
+
+import (
+	"testing"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+)
+
+// BenchmarkVectorStep measures the steady-state per-step cost of the vector
+// engine on the dense all-subjects workload (every node rates every subject),
+// the Fig3/Table2-class shape at sizes the paper's collusion figures use.
+func BenchmarkVectorStep(b *testing.B) {
+	for _, n := range []int{300, 1000, 2000} {
+		b.Run(byN(n), func(b *testing.B) {
+			g := graph.MustPA(n, 2, 170)
+			y0, g0 := buildVectorInputs(n, 171)
+			e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-12, Seed: 172, MinSteps: 1 << 30}, y0, g0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Step() // warm scratch buffers before measuring steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkVectorStepSparse measures the sparse-trust shape: only a small
+// fraction of subjects carry any weight mass, so an active-subject index can
+// skip the unrated columns.
+func BenchmarkVectorStepSparse(b *testing.B) {
+	for _, n := range []int{1000, 2000} {
+		b.Run(byN(n), func(b *testing.B) {
+			g := graph.MustPA(n, 2, 180)
+			src := rng.New(181)
+			y0, g0 := alloc(n), alloc(n)
+			// ~5% of subjects rated, by everybody (dense columns, sparse
+			// column set).
+			for j := 0; j < n; j += 20 {
+				for i := 0; i < n; i++ {
+					y0[i][j] = src.Float64()
+					g0[i][j] = 1
+				}
+			}
+			e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-12, Seed: 182, MinSteps: 1 << 30}, y0, g0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Step()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkVectorStepCounts is the Algorithm-2 shape: the count component
+// rides along with every push.
+func BenchmarkVectorStepCounts(b *testing.B) {
+	n := 1000
+	g := graph.MustPA(n, 2, 190)
+	y0, g0 := buildVectorInputs(n, 191)
+	c0 := alloc(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c0[i][j] = 1
+		}
+	}
+	e, err := NewVectorEngine(Config{Graph: g, Epsilon: 1e-12, Seed: 192, MinSteps: 1 << 30}, y0, g0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.EnableCountGossip(c0); err != nil {
+		b.Fatal(err)
+	}
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkScalarStep isolates the scalar engine's per-step cost at the
+// paper's large-N sweep sizes — the Fig3/Table2 hot path.
+func BenchmarkScalarStep(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(byN(n), func(b *testing.B) {
+			g := graph.MustPA(n, 2, 200)
+			src := rng.New(201)
+			xs := make([]float64, n)
+			g0 := make([]float64, n)
+			for i := range xs {
+				xs[i] = src.Float64()
+				g0[i] = 1
+			}
+			e, err := NewEngine(Config{Graph: g, Epsilon: 1e-12, Seed: 202, MinSteps: 1 << 30}, xs, g0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Step()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+func byN(n int) string {
+	if n >= 1000 {
+		return "N=" + itoa(n/1000) + "k"
+	}
+	return "N=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -81,6 +81,7 @@ func Spread(g *graph.Graph, source int, p SpreadProtocol, seed uint64, roundLimi
 
 	res := SpreadResult{}
 	newly := make([]int, 0, n)
+	nbrs := make([]int, 0, 16) // reused fan-out scratch
 	for round := 1; round <= roundLimit && numInformed < n; round++ {
 		newly = newly[:0]
 		switch p {
@@ -93,7 +94,8 @@ func Spread(g *graph.Graph, source int, p SpreadProtocol, seed uint64, roundLimi
 				if p == SpreadDifferentialPush {
 					k = ks[u]
 				}
-				for _, v := range g.RandomNeighbors(u, k, src) {
+				nbrs = g.AppendRandomNeighbors(nbrs[:0], u, k, src)
+				for _, v := range nbrs {
 					res.Messages++
 					if !informed[v] {
 						newly = append(newly, v)

@@ -2,7 +2,6 @@ package gossip
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
@@ -22,6 +21,20 @@ import (
 // after hearing from at least one other node, and stops once it and all its
 // neighbours have announced.
 //
+// Memory layout: every N×N matrix (y, g, count, prevR and their double
+// buffers) is backed by a single contiguous []float64 block; the [][]float64
+// fields are row views buf[i*n:(i+1)*n] into it, so row traversals are
+// unit-stride and the whole matrix is one allocation instead of N. Step
+// performs zero heap allocations in steady state: fan-out targets are drawn
+// into a reused scratch buffer (graph.AppendRandomNeighbors), routed shares
+// into reused per-destination lists, and rows move between the current and
+// next buffer by view swapping.
+//
+// Sparse trust workloads are handled by an active-subject index: a column
+// nobody rated (no initial weight mass anywhere) carries no campaign, cannot
+// influence any estimate, and is skipped by the accumulation and the
+// convergence scan alike.
+//
 // Memory is Θ(N²); the experiment harness uses it for the collusion figures
 // at moderate N and falls back to the scalar engine for the large-N timing
 // figures, whose per-subject dynamics are identical.
@@ -32,7 +45,7 @@ type VectorEngine struct {
 	src   *rng.Source
 	steps int
 
-	y, g  [][]float64 // [node][subject] masses
+	y, g  [][]float64 // [node][subject] masses, rows into contiguous blocks
 	count [][]float64 // optional rater-count mass
 	prevR [][]float64 // previous-step ratios
 
@@ -42,12 +55,24 @@ type VectorEngine struct {
 	// subject j; only active subjects gate a node's convergence (a column
 	// nobody rated carries no campaign and must not block termination).
 	active []bool
+	// activeIdx lists the active subjects in ascending order; the hot path
+	// iterates it instead of all N columns when the workload is sparse.
+	// denseActive short-circuits the indirection when every subject is
+	// rated (the Fig3/Table2-class workloads).
+	activeIdx   []int
+	denseActive bool
 
 	nextY, nextG, nextC [][]float64
 	extRecv             []int
 	incoming            [][]push
 	l1                  []float64
 	hasWeight           []bool
+	// recomputed[i] marks rows rewritten this step; untouched rows (a
+	// stopped node that heard nothing keeps its exact mass) skip the Θ(N)
+	// accumulate-and-scan entirely and are not view-swapped.
+	recomputed []bool
+	nbrs       []int // scratch for fan-out target sampling
+	wg         sync.WaitGroup
 
 	msgs Messages
 	// vectorCost scales the per-push message accounting: pushing an
@@ -76,20 +101,38 @@ func NewVectorEngine(cfg Config, y0, g0 [][]float64) (*VectorEngine, error) {
 	if len(y0) != n || len(g0) != n {
 		return nil, fmt.Errorf("gossip: initial matrices have %d/%d rows, want %d", len(y0), len(g0), n)
 	}
+	y, err := deepCopy(y0, n)
+	if err != nil {
+		return nil, err
+	}
+	g, err := deepCopy(g0, n)
+	if err != nil {
+		return nil, err
+	}
 	e := &VectorEngine{
 		cfg:          cfg,
 		n:            n,
 		ks:           cfg.fanouts(),
 		src:          rng.New(cfg.Seed),
-		y:            deepCopy(y0, n),
-		g:            deepCopy(g0, n),
+		y:            y,
+		g:            g,
 		prevR:        alloc(n),
 		selfConv:     make([]bool, n),
 		stopped:      make([]bool, n),
 		nextY:        alloc(n),
 		nextG:        alloc(n),
 		extRecv:      make([]int, n),
+		incoming:     make([][]push, n),
+		l1:           make([]float64, n),
+		hasWeight:    make([]bool, n),
+		recomputed:   make([]bool, n),
 		perPushUnits: 1,
+	}
+	// A node can receive at most one share from each neighbour, one self
+	// share, and k_i loss-returned shares per step, so per-destination push
+	// lists can be sized once, up front — Step never grows them.
+	for i := 0; i < n; i++ {
+		e.incoming[i] = make([]push, 0, 1+e.ks[i]+cfg.Graph.Degree(i))
 	}
 	e.active = make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -104,24 +147,60 @@ func NewVectorEngine(cfg Config, y0, g0 [][]float64) (*VectorEngine, error) {
 		}
 		e.msgs.Setup += cfg.Graph.Degree(i)
 	}
+	for j, a := range e.active {
+		if a {
+			e.activeIdx = append(e.activeIdx, j)
+		}
+	}
+	e.denseActive = len(e.activeIdx) == n
+	// Sparse mode never rewrites inactive columns, so pin them to their
+	// initial values in both buffers: rows then carry identical bits for
+	// those subjects whichever buffer is current, and the MassY invariant
+	// holds for unrated subjects too (their mass simply never moves).
+	if !e.denseActive {
+		for i := 0; i < n; i++ {
+			for j, a := range e.active {
+				if !a {
+					e.nextY[i][j] = e.y[i][j]
+				}
+			}
+		}
+	}
+	// Seed hasWeight so rows that stay untouched from step one (isolated
+	// nodes) report the same flag the full scan would compute.
+	for i := 0; i < n; i++ {
+		hw := true
+		for _, j := range e.activeIdx {
+			if e.g[i][j] == 0 {
+				hw = false
+				break
+			}
+		}
+		e.hasWeight[i] = hw
+	}
 	return e, nil
 }
 
-func deepCopy(m [][]float64, n int) [][]float64 {
-	out := make([][]float64, n)
+// deepCopy copies an N×N matrix into a single contiguous backing block and
+// returns its row views. Ragged input rows are reported as an error, matching
+// the validation style of the rest of the constructor.
+func deepCopy(m [][]float64, n int) ([][]float64, error) {
+	out := alloc(n)
 	for i := range out {
 		if len(m[i]) != n {
-			panic(fmt.Sprintf("gossip: row %d has length %d, want %d", i, len(m[i]), n))
+			return nil, fmt.Errorf("gossip: row %d has length %d, want %d", i, len(m[i]), n)
 		}
-		out[i] = append([]float64(nil), m[i]...)
+		copy(out[i], m[i])
 	}
-	return out
+	return out, nil
 }
 
+// alloc returns an N×N zero matrix: one contiguous block, rows as views.
 func alloc(n int) [][]float64 {
+	buf := make([]float64, n*n)
 	out := make([][]float64, n)
 	for i := range out {
-		out[i] = make([]float64, n)
+		out[i] = buf[i*n : (i+1)*n : (i+1)*n]
 	}
 	return out
 }
@@ -141,8 +220,21 @@ func (e *VectorEngine) EnableCountGossip(count0 [][]float64) error {
 	if e.steps > 0 {
 		return fmt.Errorf("gossip: EnableCountGossip after stepping")
 	}
-	e.count = deepCopy(count0, e.n)
+	count, err := deepCopy(count0, e.n)
+	if err != nil {
+		return err
+	}
+	e.count = count
 	e.nextC = alloc(e.n)
+	if !e.denseActive {
+		for i := 0; i < e.n; i++ {
+			for j, a := range e.active {
+				if !a {
+					e.nextC[i][j] = e.count[i][j]
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -153,6 +245,9 @@ func (e *VectorEngine) CountVectorMessages() { e.perPushUnits = e.n }
 
 // ChargeSetup adds extra setup messages to the tally.
 func (e *VectorEngine) ChargeSetup(n int) { e.msgs.Setup += n }
+
+// Messages returns the transmission tally accumulated so far.
+func (e *VectorEngine) Messages() Messages { return e.msgs }
 
 // MassY returns Σ_i y_i[j] for subject j (invariant across steps).
 func (e *VectorEngine) MassY(j int) float64 {
@@ -192,9 +287,6 @@ func (e *VectorEngine) Step() bool {
 	g := e.cfg.Graph
 
 	// Phase 1: routing.
-	if e.incoming == nil {
-		e.incoming = make([][]push, e.n)
-	}
 	for i := range e.incoming {
 		e.incoming[i] = e.incoming[i][:0]
 		e.extRecv[i] = 0
@@ -208,7 +300,8 @@ func (e *VectorEngine) Step() bool {
 		k := e.ks[i]
 		f := 1 / float64(k+1)
 		e.incoming[i] = append(e.incoming[i], push{src: i, f: f}) // self share
-		for _, t := range g.RandomNeighbors(i, k, e.src) {
+		e.nbrs = g.AppendRandomNeighbors(e.nbrs[:0], i, k, e.src)
+		for _, t := range e.nbrs {
 			e.msgs.Gossip += e.perPushUnits
 			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
 				e.msgs.Lost += e.perPushUnits
@@ -222,37 +315,11 @@ func (e *VectorEngine) Step() bool {
 
 	// Phase 2: accumulation (parallel over destinations).
 	e.steps++
-	if e.l1 == nil {
-		e.l1 = make([]float64, e.n)
-		e.hasWeight = make([]bool, e.n)
-	}
-	e.parallelFor(func(i int) {
-		zero(e.nextY[i])
-		zero(e.nextG[i])
-		if e.nextC != nil {
-			zero(e.nextC[i])
-		}
-		for _, p := range e.incoming[i] {
-			axpy(e.nextY[i], e.y[p.src], p.f)
-			axpy(e.nextG[i], e.g[p.src], p.f)
-			if e.nextC != nil {
-				axpy(e.nextC[i], e.count[p.src], p.f)
-			}
-		}
-		l1 := 0.0
-		hasWeight := true
-		for j := 0; j < e.n; j++ {
-			r := ratioOr(e.nextY[i][j], e.nextG[i][j])
-			l1 += math.Abs(r - e.prevR[i][j])
-			e.prevR[i][j] = r
-			if e.active[j] && e.nextG[i][j] == 0 {
-				hasWeight = false
-			}
-		}
-		e.l1[i] = l1
-		e.hasWeight[i] = hasWeight
-	})
+	e.parallelAccumulate()
 	for i := 0; i < e.n; i++ {
+		if !e.recomputed[i] {
+			continue
+		}
 		e.y[i], e.nextY[i] = e.nextY[i], e.y[i]
 		e.g[i], e.nextG[i] = e.nextG[i], e.g[i]
 		if e.nextC != nil {
@@ -281,20 +348,100 @@ func (e *VectorEngine) Step() bool {
 	return running
 }
 
-// parallelFor runs fn(i) for every node index, fanning out across the
-// configured worker count.
-func (e *VectorEngine) parallelFor(fn func(i int)) {
+// accumulate rebuilds destination i's next-step row from its routed shares
+// and runs the ratio/L1 convergence scan over the active subjects, all in one
+// sweep: the first share initialises the row (no zeroing pass), middle shares
+// accumulate, and the scan rides the final share. With counts enabled the
+// three masses accumulate together per share and the scan runs as its own
+// pass (counts take no part in convergence).
+func (e *VectorEngine) accumulate(i int) {
+	pushes := e.incoming[i]
+	if len(pushes) == 1 && pushes[0].src == i && pushes[0].f == 1 {
+		// Untouched row: the node kept its entire mass and received
+		// nothing, so y/g/count are bit-identical to last step, every
+		// ratio matches prevR exactly, and the L1 delta is exactly the
+		// zero a full recompute would produce. hasWeight keeps its last
+		// computed value for the same reason.
+		e.l1[i] = 0
+		e.recomputed[i] = false
+		return
+	}
+	e.recomputed[i] = true
+	yi, gi := e.nextY[i], e.nextG[i]
+	pr := e.prevR[i]
+	last := len(pushes) - 1
+	if e.nextC != nil {
+		ci := e.nextC[i]
+		p := pushes[0]
+		if e.denseActive {
+			mulRow3(yi, gi, ci, e.y[p.src], e.g[p.src], e.count[p.src], p.f)
+			for _, p := range pushes[1:] {
+				mulAddRow3(yi, gi, ci, e.y[p.src], e.g[p.src], e.count[p.src], p.f)
+			}
+			e.l1[i], e.hasWeight[i] = scanRow(yi, gi, pr)
+		} else {
+			idx := e.activeIdx
+			mulAt3(yi, gi, ci, e.y[p.src], e.g[p.src], e.count[p.src], p.f, idx)
+			for _, p := range pushes[1:] {
+				mulAddAt3(yi, gi, ci, e.y[p.src], e.g[p.src], e.count[p.src], p.f, idx)
+			}
+			e.l1[i], e.hasWeight[i] = scanAt(yi, gi, pr, idx)
+		}
+		return
+	}
+	if e.denseActive {
+		p := pushes[0]
+		switch last {
+		case 0:
+			e.l1[i], e.hasWeight[i] = mulScanRow(yi, gi, e.y[p.src], e.g[p.src], p.f, pr)
+		case 1:
+			// Self share plus exactly one received share — the most
+			// common shape — collapses to a single sweep.
+			q := pushes[1]
+			e.l1[i], e.hasWeight[i] = mul2ScanRow(yi, gi,
+				e.y[p.src], e.g[p.src], p.f, e.y[q.src], e.g[q.src], q.f, pr)
+		default:
+			mulRow2(yi, gi, e.y[p.src], e.g[p.src], p.f)
+			for _, p := range pushes[1:last] {
+				mulAddRow2(yi, gi, e.y[p.src], e.g[p.src], p.f)
+			}
+			p = pushes[last]
+			e.l1[i], e.hasWeight[i] = mulAddScanRow(yi, gi, e.y[p.src], e.g[p.src], p.f, pr)
+		}
+		return
+	}
+	idx := e.activeIdx
+	p := pushes[0]
+	switch last {
+	case 0:
+		e.l1[i], e.hasWeight[i] = mulScanAt(yi, gi, e.y[p.src], e.g[p.src], p.f, pr, idx)
+	case 1:
+		q := pushes[1]
+		e.l1[i], e.hasWeight[i] = mul2ScanAt(yi, gi,
+			e.y[p.src], e.g[p.src], p.f, e.y[q.src], e.g[q.src], q.f, pr, idx)
+	default:
+		mulAt2(yi, gi, e.y[p.src], e.g[p.src], p.f, idx)
+		for _, p := range pushes[1:last] {
+			mulAddAt2(yi, gi, e.y[p.src], e.g[p.src], p.f, idx)
+		}
+		p = pushes[last]
+		e.l1[i], e.hasWeight[i] = mulAddScanAt(yi, gi, e.y[p.src], e.g[p.src], p.f, pr, idx)
+	}
+}
+
+// parallelAccumulate fans accumulate(i) out across the configured worker
+// count. Ranges are spawned as plain method goroutines (no closures), so the
+// parallel path stays allocation-free once the runtime has warmed its
+// goroutine pool.
+func (e *VectorEngine) parallelAccumulate() {
 	workers := e.cfg.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || e.n < 2*workers {
-		for i := 0; i < e.n; i++ {
-			fn(i)
-		}
+		e.accumulateRange(0, e.n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (e.n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -305,28 +452,21 @@ func (e *VectorEngine) parallelFor(fn func(i int)) {
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
+		e.wg.Add(1)
+		go e.accumulateRangeDone(lo, hi)
 	}
-	wg.Wait()
+	e.wg.Wait()
 }
 
-func zero(xs []float64) {
-	for i := range xs {
-		xs[i] = 0
+func (e *VectorEngine) accumulateRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.accumulate(i)
 	}
 }
 
-// axpy adds f·src to dst element-wise.
-func axpy(dst, src []float64, f float64) {
-	for i := range dst {
-		dst[i] += src[i] * f
-	}
+func (e *VectorEngine) accumulateRangeDone(lo, hi int) {
+	defer e.wg.Done()
+	e.accumulateRange(lo, hi)
 }
 
 // Run drives Step to completion.

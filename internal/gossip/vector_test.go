@@ -33,6 +33,21 @@ func TestVectorEngineShapeChecks(t *testing.T) {
 	if _, err := NewVectorEngine(cfg, alloc(4), bad); err == nil {
 		t.Fatal("negative weight accepted")
 	}
+	ragged := alloc(4)
+	ragged[1] = ragged[1][:2]
+	if _, err := NewVectorEngine(cfg, ragged, alloc(4)); err == nil {
+		t.Fatal("ragged y0 row accepted")
+	}
+	if _, err := NewVectorEngine(cfg, alloc(4), ragged); err == nil {
+		t.Fatal("ragged g0 row accepted")
+	}
+	e, err := NewVectorEngine(cfg, alloc(4), alloc(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableCountGossip(ragged); err == nil {
+		t.Fatal("ragged count row accepted")
+	}
 }
 
 func TestVectorAverageAllSubjects(t *testing.T) {

@@ -219,14 +219,31 @@ func (g *Graph) RandomNeighbor(u int, src *rng.Source) int {
 // RandomNeighbors returns k neighbours of u chosen uniformly at random
 // without replacement (all of them if k >= deg(u)).
 func (g *Graph) RandomNeighbors(u, k int, src *rng.Source) []int {
-	nbrs := g.adj[u]
-	if len(nbrs) == 0 || k <= 0 {
+	if len(g.adj[u]) == 0 || k <= 0 {
 		return nil
 	}
-	idx := src.Sample(len(nbrs), k)
-	out := make([]int, len(idx))
-	for i, j := range idx {
-		out[i] = nbrs[j]
+	c := k
+	if d := len(g.adj[u]); c > d {
+		c = d
 	}
-	return out
+	return g.AppendRandomNeighbors(make([]int, 0, c), u, k, src)
+}
+
+// AppendRandomNeighbors appends k neighbours of u chosen uniformly at random
+// without replacement (all of them if k >= deg(u)) to dst and returns the
+// extended slice. It consumes exactly the same draws as RandomNeighbors, so
+// engines can switch between the two without perturbing a seeded run, and it
+// allocates nothing when dst has enough capacity — the gossip hot path calls
+// it once per active node per step with a reused scratch buffer.
+func (g *Graph) AppendRandomNeighbors(dst []int, u, k int, src *rng.Source) []int {
+	nbrs := g.adj[u]
+	if len(nbrs) == 0 || k <= 0 {
+		return dst
+	}
+	base := len(dst)
+	dst = src.SampleInto(dst, len(nbrs), k)
+	for i := base; i < len(dst); i++ {
+		dst[i] = nbrs[dst[i]]
+	}
+	return dst
 }

@@ -415,3 +415,42 @@ func TestAssortativityInRange(t *testing.T) {
 		t.Fatalf("assortativity = %v", r)
 	}
 }
+
+func TestAppendRandomNeighborsMatchesRandomNeighbors(t *testing.T) {
+	g := MustPA(120, 3, 31)
+	for seed := uint64(0); seed < 10; seed++ {
+		for u := 0; u < g.N(); u += 7 {
+			for _, k := range []int{1, 2, g.Degree(u), g.Degree(u) + 3} {
+				a, b := rng.New(seed), rng.New(seed)
+				want := g.RandomNeighbors(u, k, a)
+				got := g.AppendRandomNeighbors(nil, u, k, b)
+				if len(got) != len(want) {
+					t.Fatalf("u=%d k=%d: len %d vs %d", u, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("u=%d k=%d: [%d] = %d vs %d", u, k, i, got[i], want[i])
+					}
+				}
+				if a.Uint64() != b.Uint64() {
+					t.Fatalf("u=%d k=%d: rng streams diverged", u, k)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendRandomNeighborsReusesBuffer(t *testing.T) {
+	g := MustPA(60, 2, 33)
+	src := rng.New(9)
+	buf := make([]int, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = g.AppendRandomNeighbors(buf[:0], 3, 2, src)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRandomNeighbors allocated %v times per run with a warm buffer", allocs)
+	}
+	if got := g.AppendRandomNeighbors([]int{-5}, 3, 1, src); len(got) != 2 || got[0] != -5 {
+		t.Fatalf("append semantics broken: %v", got)
+	}
+}

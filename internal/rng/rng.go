@@ -106,13 +106,23 @@ func (s *Source) Bool(p float64) bool {
 
 // Perm returns a uniform random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
+	return s.PermInto(make([]int, 0, n), n)
+}
+
+// PermInto appends a uniform random permutation of [0, n) to dst and returns
+// the extended slice. It consumes exactly the same draws as Perm, so the two
+// are interchangeable without perturbing a seeded stream, and it allocates
+// nothing when dst has capacity for n more elements.
+func (s *Source) PermInto(dst []int, n int) []int {
+	base := len(dst)
+	for i := 0; i < n; i++ {
 		j := s.Intn(i + 1)
+		dst = append(dst, 0)
+		p := dst[base:]
 		p[i] = p[j]
 		p[j] = i
 	}
-	return p
+	return dst
 }
 
 // Shuffle permutes xs uniformly in place.
@@ -124,27 +134,65 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 }
 
 // Sample returns k distinct uniform indices from [0, n) in selection order.
-// If k >= n it returns a permutation of all n indices. It allocates O(k)
-// when k is small relative to n (Floyd's algorithm) and O(n) otherwise.
+// If k >= n it returns a permutation of all n indices.
 func (s *Source) Sample(n, k int) []int {
-	if k >= n {
-		return s.Perm(n)
-	}
 	if k <= 0 {
 		return nil
 	}
+	c := k
+	if c > n {
+		c = n
+	}
+	return s.SampleInto(make([]int, 0, c), n, k)
+}
+
+// sampleScanMax is the largest k for which SampleInto's duplicate detection
+// uses a linear scan over the selection so far; beyond it the O(k²) scan
+// loses to a map (callers like collusion placement sample k proportional to
+// N, not a per-node fan-out).
+const sampleScanMax = 64
+
+// SampleInto appends k distinct uniform indices from [0, n), in selection
+// order, to dst and returns the extended slice (all n indices, permuted, when
+// k >= n). It consumes exactly the same draws as Sample — the two are
+// interchangeable mid-stream — and for small k (gossip fan-outs: a handful,
+// tens for the largest hubs) it allocates nothing when dst has enough
+// capacity, which is what lets the gossip engines resample targets every step
+// without touching the heap: duplicate detection is a linear scan over the
+// entries appended so far. Large k falls back to map-based detection —
+// membership checks draw nothing, so the switch cannot perturb the stream.
+func (s *Source) SampleInto(dst []int, n, k int) []int {
+	if k >= n {
+		return s.PermInto(dst, n)
+	}
+	if k <= 0 {
+		return dst
+	}
 	// Floyd's algorithm: k distinct values without building [0,n).
-	chosen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	base := len(dst)
+	if k > sampleScanMax {
+		chosen := make(map[int]struct{}, k)
+		for j := n - k; j < n; j++ {
+			t := s.Intn(j + 1)
+			if _, dup := chosen[t]; dup {
+				t = j
+			}
+			chosen[t] = struct{}{}
+			dst = append(dst, t)
+		}
+		return dst
+	}
 	for j := n - k; j < n; j++ {
 		t := s.Intn(j + 1)
-		if _, dup := chosen[t]; dup {
-			t = j
+		for _, prev := range dst[base:] {
+			if prev == t {
+				t = j
+				break
+			}
 		}
-		chosen[t] = struct{}{}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 // NormFloat64 returns a standard normal variate (Marsaglia polar method).

@@ -280,3 +280,84 @@ func BenchmarkIntn(b *testing.B) {
 		_ = s.Intn(1000)
 	}
 }
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	// SampleInto must be a drop-in for Sample: identical output AND
+	// identical stream consumption, so engines can adopt the caller-buffer
+	// variant without perturbing seeded runs.
+	for seed := uint64(0); seed < 30; seed++ {
+		for _, nk := range [][2]int{{10, 3}, {7, 7}, {5, 9}, {100, 1}, {64, 20}, {3, 0}} {
+			n, k := nk[0], nk[1]
+			a, b := New(seed), New(seed)
+			want := a.Sample(n, k)
+			buf := make([]int, 0, 128)
+			got := b.SampleInto(buf, n, k)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d n=%d k=%d: len %d vs %d", seed, n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d n=%d k=%d: [%d] = %d vs %d", seed, n, k, i, got[i], want[i])
+				}
+			}
+			// Post-state check: both streams must have advanced equally.
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("seed %d n=%d k=%d: streams diverged after call", seed, n, k)
+			}
+		}
+	}
+}
+
+func TestSampleIntoAppends(t *testing.T) {
+	s := New(5)
+	dst := []int{-1, -2}
+	out := s.SampleInto(dst, 10, 3)
+	if len(out) != 5 || out[0] != -1 || out[1] != -2 {
+		t.Fatalf("SampleInto clobbered prefix: %v", out)
+	}
+	seen := map[int]bool{}
+	for _, v := range out[2:] {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample suffix %v", out[2:])
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, n := range []int{0, 1, 2, 13, 50} {
+			a, b := New(seed), New(seed)
+			want := a.Perm(n)
+			got := b.PermInto(make([]int, 0, n), n)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d n=%d: len %d vs %d", seed, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d n=%d: [%d] = %d vs %d", seed, n, i, got[i], want[i])
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("seed %d n=%d: streams diverged", seed, n)
+			}
+		}
+	}
+}
+
+func TestSampleIntoZeroAlloc(t *testing.T) {
+	s := New(11)
+	buf := make([]int, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = s.SampleInto(buf[:0], 50, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("SampleInto allocated %v times per run", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		buf = s.PermInto(buf[:0], 40)
+	})
+	if allocs != 0 {
+		t.Fatalf("PermInto allocated %v times per run", allocs)
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"diffgossip/internal/gossip"
+	"diffgossip/internal/rng"
+)
+
+// BenchConfig parameterises the perf-trajectory benchmark that cmd/dgsim's
+// -bench-json flag runs: one Fig3/Table2-class scalar workload at large N and
+// two vector workloads (dense and sparse) at moderate N, each driven to
+// convergence while measuring wall time, message overhead and heap
+// allocations.
+type BenchConfig struct {
+	// N is the scalar workload size (default 10,000; Figure 3's upper
+	// midrange).
+	N int
+	// VectorN is the vector workload size (default 1,000).
+	VectorN int
+	// Epsilon is the convergence bound (default 1e-3).
+	Epsilon float64
+	// Seed drives everything.
+	Seed uint64
+}
+
+// BenchResult is one benchmark row of the perf report.
+type BenchResult struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// Steps is the gossip steps the run took to converge.
+	Steps int `json:"steps"`
+	// NsPerStep is wall time divided by steps.
+	NsPerStep float64 `json:"ns_per_step"`
+	// MsgsPerNodePerStep is the paper's Table 2 overhead metric.
+	MsgsPerNodePerStep float64 `json:"msgs_per_node_per_step"`
+	// AllocsPerStep is heap allocations per steady-state gossip step:
+	// engine construction, the first (scratch-warming) step and final
+	// result assembly are all excluded, so the engines' zero-allocation
+	// Step contract shows up as an exact 0 here.
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	// Converged is false if the run hit its step budget instead.
+	Converged bool `json:"converged"`
+}
+
+// BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
+// the trajectory; later PRs append BENCH_2.json and so on for comparison).
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       uint64        `json:"seed"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchStepBudget bounds a benchmark run that fails to converge.
+const benchStepBudget = 1 << 17
+
+// measureEngine drives step (one engine's Step method) to convergence and
+// converts the observations into a BenchResult. The first step runs outside
+// the timed window so one-time scratch growth is not charged to the
+// steady-state numbers, and the engine's Run-time result assembly never runs
+// at all — the window contains gossip steps and nothing else.
+func measureEngine(name string, n int, step func() bool, msgs func() gossip.Messages) BenchResult {
+	steps := 1
+	running := step()
+	var m0, m1 runtime.MemStats
+	var elapsed time.Duration
+	measured := 0
+	if running {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for running && steps < benchStepBudget {
+			running = step()
+			steps++
+			measured++
+		}
+		elapsed = time.Since(start)
+		runtime.ReadMemStats(&m1)
+	}
+	res := BenchResult{Name: name, N: n, Steps: steps, Converged: !running}
+	res.MsgsPerNodePerStep = msgs().PerNodePerStep(n, steps)
+	if measured > 0 {
+		res.NsPerStep = float64(elapsed.Nanoseconds()) / float64(measured)
+		res.AllocsPerStep = float64(m1.Mallocs-m0.Mallocs) / float64(measured)
+	}
+	return res
+}
+
+// RunBench runs the benchmark suite and assembles the report.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	if cfg.N == 0 {
+		cfg.N = 10000
+	}
+	if cfg.VectorN == 0 {
+		cfg.VectorN = 1000
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-3
+	}
+	if err := checkPositive("network size", cfg.N); err != nil {
+		return nil, err
+	}
+	if err := checkPositive("vector network size", cfg.VectorN); err != nil {
+		return nil, err
+	}
+	report := &BenchReport{
+		Schema:     "diffgossip-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
+	}
+
+	// Scalar engine, Fig3/Table2-class workload: average a value per node
+	// over the PA overlay at large N.
+	{
+		g, err := buildPA(cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		xs := uniformValues(cfg.N, cfg.Seed+1)
+		g0 := make([]float64, cfg.N)
+		for i := range g0 {
+			g0[i] = 1
+		}
+		e, err := gossip.NewEngine(gossip.Config{
+			Graph: g, Epsilon: cfg.Epsilon, Seed: cfg.Seed + 2,
+		}, xs, g0)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks,
+			measureEngine(fmt.Sprintf("scalar-engine/N=%d", cfg.N), cfg.N, e.Step, e.Messages))
+	}
+
+	// Vector engine, dense: every node rates every subject.
+	{
+		res, err := benchVector(cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+
+	// Vector engine, sparse: 5% of subjects rated, exercising the
+	// active-subject index.
+	{
+		res, err := benchVector(cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	return report, nil
+}
+
+func benchVector(cfg BenchConfig, sparse bool) (BenchResult, error) {
+	n := cfg.VectorN
+	g, err := buildPA(n, cfg.Seed+10)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	src := rng.New(cfg.Seed + 11)
+	y0 := make([][]float64, n)
+	g0 := make([][]float64, n)
+	buf := make([]float64, 2*n*n)
+	for i := 0; i < n; i++ {
+		y0[i] = buf[2*i*n : (2*i+1)*n]
+		g0[i] = buf[(2*i+1)*n : (2*i+2)*n]
+	}
+	stride := 1
+	name := fmt.Sprintf("vector-engine/N=%d", n)
+	if sparse {
+		stride = 20
+		name = fmt.Sprintf("vector-engine-sparse/N=%d", n)
+	}
+	for j := 0; j < n; j += stride {
+		for i := 0; i < n; i++ {
+			y0[i][j] = src.Float64()
+			g0[i][j] = 1
+		}
+	}
+	e, err := gossip.NewVectorEngine(gossip.Config{
+		Graph: g, Epsilon: cfg.Epsilon, Seed: cfg.Seed + 12,
+	}, y0, g0)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return measureEngine(name, n, e.Step, e.Messages), nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

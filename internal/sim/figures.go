@@ -2,7 +2,16 @@ package sim
 
 import (
 	"diffgossip/internal/gossip"
+	"diffgossip/internal/graph"
 )
+
+// The sweep runners in this file fan their configuration grids out across
+// worker goroutines. Determinism is preserved by construction: every cell's
+// randomness comes from rng.Source.Split applied in enumeration order before
+// the workers start (see splitSeeds), each cell writes only its own result
+// slot, and cross-trial aggregation happens sequentially afterwards in trial
+// order. Running with Workers=1 and Workers=GOMAXPROCS yields bit-identical
+// rows.
 
 // Fig3Config parameterises the Figure 3 experiment: gossip steps to
 // convergence across network sizes and error bounds, differential push
@@ -19,6 +28,11 @@ type Fig3Config struct {
 	Trials int
 	// Seed drives graph construction, workloads and gossip.
 	Seed uint64
+	// Workers spreads the (size, trial) grid across goroutines; 0 (or
+	// negative) selects GOMAXPROCS, 1 runs sequentially. Results are
+	// identical either way. (Note: gossip.Config.Workers uses the opposite
+	// convention — there 0 is sequential and negative is GOMAXPROCS.)
+	Workers int
 }
 
 // Fig3Row is one point of Figure 3.
@@ -31,7 +45,17 @@ type Fig3Row struct {
 	Messages  float64 // mean total messages, for cross-checking Table 2
 }
 
-// RunFig3 regenerates Figure 3.
+// fig3Run is one engine run's contribution to a row, accumulated over trials.
+type fig3Run struct {
+	steps     float64
+	messages  float64
+	converged bool
+}
+
+// RunFig3 regenerates Figure 3. The unit of parallel work is one
+// (size, trial) pair: the cell builds its graph and workload once and runs
+// every (ξ, protocol) combination on them, preserving the paired-comparison
+// design (both protocols see the same graph, values and gossip seed).
 func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg.Sizes = DefaultSizes
@@ -45,33 +69,61 @@ func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1
 	}
-	var rows []Fig3Row
 	for _, n := range cfg.Sizes {
 		if err := checkPositive("network size", n); err != nil {
 			return nil, err
 		}
-		for _, eps := range cfg.Epsilons {
-			for _, proto := range cfg.Protocols {
+	}
+
+	ne, np := len(cfg.Epsilons), len(cfg.Protocols)
+	cellCount := len(cfg.Sizes) * cfg.Trials
+	seeds := splitSeeds(cfg.Seed, cellCount)
+	partial := make([][]fig3Run, cellCount) // [cell][eps*np+proto]
+
+	err := forEachCell(cfg.Workers, cellCount, func(cell int) error {
+		n := cfg.Sizes[cell/cfg.Trials]
+		cs := seeds[cell]
+		g, err := buildPA(n, cs.graph)
+		if err != nil {
+			return err
+		}
+		xs := uniformValues(n, cs.values)
+		runs := make([]fig3Run, ne*np)
+		for ei, eps := range cfg.Epsilons {
+			for pi, proto := range cfg.Protocols {
+				res, err := gossip.Average(gossip.Config{
+					Graph:    g,
+					Protocol: proto,
+					Epsilon:  eps,
+					Seed:     cs.gossip,
+				}, xs)
+				if err != nil {
+					return err
+				}
+				runs[ei*np+pi] = fig3Run{
+					steps:     float64(res.Steps),
+					messages:  float64(res.Messages.Total()),
+					converged: res.Converged,
+				}
+			}
+		}
+		partial[cell] = runs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig3Row
+	for si, n := range cfg.Sizes {
+		for ei, eps := range cfg.Epsilons {
+			for pi, proto := range cfg.Protocols {
 				row := Fig3Row{N: n, Epsilon: eps, Protocol: proto.String(), Converged: true}
 				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + uint64(trial)*1000003
-					g, err := buildPA(n, seed)
-					if err != nil {
-						return nil, err
-					}
-					xs := uniformValues(n, seed+1)
-					res, err := gossip.Average(gossip.Config{
-						Graph:    g,
-						Protocol: proto,
-						Epsilon:  eps,
-						Seed:     seed + 2,
-					}, xs)
-					if err != nil {
-						return nil, err
-					}
-					row.Steps += float64(res.Steps)
-					row.Messages += float64(res.Messages.Total())
-					if !res.Converged {
+					run := partial[si*cfg.Trials+trial][ei*np+pi]
+					row.Steps += run.steps
+					row.Messages += run.messages
+					if !run.converged {
 						row.Converged = false
 					}
 				}
@@ -96,6 +148,11 @@ type Fig4Config struct {
 	Trials int
 	// Seed drives everything.
 	Seed uint64
+	// Workers spreads the (loss, ξ, trial) grid across goroutines; 0 (or
+	// negative) selects GOMAXPROCS, 1 runs sequentially. Results are
+	// identical for any worker count. (Note: gossip.Config.Workers uses
+	// the opposite convention — there 0 is sequential.)
+	Workers int
 }
 
 // Fig4Row is one point of Figure 4.
@@ -108,7 +165,18 @@ type Fig4Row struct {
 	LostFrac  float64 // fraction of pushes dropped (diagnostic)
 }
 
-// RunFig4 regenerates Figure 4.
+// fig4Run is one engine run's contribution to a row.
+type fig4Run struct {
+	steps      float64
+	gossipMsgs float64
+	lostMsgs   float64
+	converged  bool
+}
+
+// RunFig4 regenerates Figure 4. Seeds are split per trial, so every
+// (loss, ξ) pair of the same trial sees the same graph, values and gossip
+// stream — the sweep compares loss levels on paired runs, as the sequential
+// version did.
 func RunFig4(cfg Fig4Config) ([]Fig4Row, error) {
 	if cfg.N == 0 {
 		cfg.N = 10000
@@ -125,31 +193,62 @@ func RunFig4(cfg Fig4Config) ([]Fig4Row, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1
 	}
+
+	ne := len(cfg.Epsilons)
+	seeds := splitSeeds(cfg.Seed, cfg.Trials)
+	// Build each trial's graph and workload once, up front; every
+	// (loss, ξ) cell of the trial shares them read-only (the engine never
+	// mutates its graph), so the parallel grain stays one cell per run
+	// without rebuilding identical PA graphs per cell.
+	graphs := make([]*graph.Graph, cfg.Trials)
+	values := make([][]float64, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		g, err := buildPA(cfg.N, seeds[trial].graph)
+		if err != nil {
+			return nil, err
+		}
+		graphs[trial] = g
+		values[trial] = uniformValues(cfg.N, seeds[trial].values)
+	}
+	cellCount := len(cfg.LossProbs) * ne * cfg.Trials
+	partial := make([]fig4Run, cellCount)
+
+	err := forEachCell(cfg.Workers, cellCount, func(cell int) error {
+		trial := cell % cfg.Trials
+		eps := cfg.Epsilons[(cell/cfg.Trials)%ne]
+		loss := cfg.LossProbs[cell/(cfg.Trials*ne)]
+		res, err := gossip.Average(gossip.Config{
+			Graph:    graphs[trial],
+			Epsilon:  eps,
+			LossProb: loss,
+			Seed:     seeds[trial].gossip,
+		}, values[trial])
+		if err != nil {
+			return err
+		}
+		partial[cell] = fig4Run{
+			steps:      float64(res.Steps),
+			gossipMsgs: float64(res.Messages.Gossip),
+			lostMsgs:   float64(res.Messages.Lost),
+			converged:  res.Converged,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Fig4Row
-	for _, loss := range cfg.LossProbs {
-		for _, eps := range cfg.Epsilons {
+	for li, loss := range cfg.LossProbs {
+		for ei, eps := range cfg.Epsilons {
 			row := Fig4Row{N: cfg.N, Epsilon: eps, LossProb: loss, Converged: true}
 			var gossipMsgs, lostMsgs float64
 			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + uint64(trial)*7919
-				g, err := buildPA(cfg.N, seed)
-				if err != nil {
-					return nil, err
-				}
-				xs := uniformValues(cfg.N, seed+1)
-				res, err := gossip.Average(gossip.Config{
-					Graph:    g,
-					Epsilon:  eps,
-					LossProb: loss,
-					Seed:     seed + 2,
-				}, xs)
-				if err != nil {
-					return nil, err
-				}
-				row.Steps += float64(res.Steps)
-				gossipMsgs += float64(res.Messages.Gossip)
-				lostMsgs += float64(res.Messages.Lost)
-				if !res.Converged {
+				run := partial[(li*ne+ei)*cfg.Trials+trial]
+				row.Steps += run.steps
+				gossipMsgs += run.gossipMsgs
+				lostMsgs += run.lostMsgs
+				if !run.converged {
 					row.Converged = false
 				}
 			}
@@ -173,7 +272,8 @@ type ScalingRow struct {
 	Normalized float64 // Steps / (log2 N)²
 }
 
-// RunScaling measures convergence steps across sizes at fixed ξ.
+// RunScaling measures convergence steps across sizes at fixed ξ, one worker
+// per size.
 func RunScaling(sizes []int, epsilon float64, seed uint64) ([]ScalingRow, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultSizes
@@ -181,24 +281,36 @@ func RunScaling(sizes []int, epsilon float64, seed uint64) ([]ScalingRow, error)
 	if epsilon <= 0 {
 		epsilon = 1e-4
 	}
-	var rows []ScalingRow
 	for _, n := range sizes {
-		g, err := buildPA(n, seed)
-		if err != nil {
+		if err := checkPositive("network size", n); err != nil {
 			return nil, err
 		}
-		xs := uniformValues(n, seed+1)
-		res, err := gossip.Average(gossip.Config{Graph: g, Epsilon: epsilon, Seed: seed + 2}, xs)
+	}
+	seeds := splitSeeds(seed, len(sizes))
+	rows := make([]ScalingRow, len(sizes))
+	err := forEachCell(0, len(sizes), func(cell int) error {
+		n := sizes[cell]
+		cs := seeds[cell]
+		g, err := buildPA(n, cs.graph)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		xs := uniformValues(n, cs.values)
+		res, err := gossip.Average(gossip.Config{Graph: g, Epsilon: epsilon, Seed: cs.gossip}, xs)
+		if err != nil {
+			return err
 		}
 		l2 := log2(float64(n))
-		rows = append(rows, ScalingRow{
+		rows[cell] = ScalingRow{
 			N:          n,
 			Steps:      res.Steps,
 			Log2NSq:    l2 * l2,
 			Normalized: float64(res.Steps) / (l2 * l2),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

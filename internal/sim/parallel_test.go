@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepsBitIdenticalAcrossWorkers pins the parallel harness contract:
+// because every cell's randomness is split off deterministically before
+// dispatch, sweep results are bit-identical for any worker count.
+func TestSweepsBitIdenticalAcrossWorkers(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	t.Run("fig3", func(t *testing.T) {
+		base := Fig3Config{
+			Sizes:    []int{60, 120},
+			Epsilons: []float64{1e-2, 1e-3},
+			Trials:   2,
+			Seed:     21,
+		}
+		var want []Fig3Row
+		for i, w := range workerCounts {
+			cfg := base
+			cfg.Workers = w
+			rows, err := RunFig3(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = rows
+			} else if !reflect.DeepEqual(rows, want) {
+				t.Fatalf("workers=%d: rows differ from sequential run\n%+v\nvs\n%+v", w, rows, want)
+			}
+		}
+	})
+
+	t.Run("fig4", func(t *testing.T) {
+		base := Fig4Config{
+			N:         80,
+			Epsilons:  []float64{1e-2, 1e-3},
+			LossProbs: []float64{0, 0.2},
+			Trials:    2,
+			Seed:      22,
+		}
+		var want []Fig4Row
+		for i, w := range workerCounts {
+			cfg := base
+			cfg.Workers = w
+			rows, err := RunFig4(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = rows
+			} else if !reflect.DeepEqual(rows, want) {
+				t.Fatalf("workers=%d: rows differ from sequential run", w)
+			}
+		}
+	})
+
+	t.Run("table2", func(t *testing.T) {
+		base := Table2Config{
+			Sizes:    []int{60, 120, 200},
+			Epsilons: []float64{1e-2, 1e-3},
+			Seed:     23,
+		}
+		var want []Table2Row
+		for i, w := range workerCounts {
+			cfg := base
+			cfg.Workers = w
+			rows, err := RunTable2(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = rows
+			} else if !reflect.DeepEqual(rows, want) {
+				t.Fatalf("workers=%d: rows differ from sequential run", w)
+			}
+		}
+	})
+}
+
+// TestFig3PairedProtocols checks that the parallel restructure kept the
+// paired-comparison design: both protocols of a cell must see the same graph
+// and workload, which the step-count ordering (differential ≤ normal on PA
+// graphs) relies on.
+func TestFig3PairedProtocols(t *testing.T) {
+	rows, err := RunFig3(Fig3Config{
+		Sizes:    []int{150},
+		Epsilons: []float64{1e-3},
+		Seed:     31,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Protocol != "differential-push" || rows[1].Protocol != "normal-push" {
+		t.Fatalf("unexpected protocol order: %+v", rows)
+	}
+}
+
+func TestForEachCellReportsLowestError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 3} {
+		err := forEachCell(workers, 8, func(cell int) error {
+			if cell >= 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachCellVisitsEveryCell(t *testing.T) {
+	var visited atomic.Int64
+	seen := make([]atomic.Bool, 37)
+	if err := forEachCell(5, 37, func(cell int) error {
+		if seen[cell].Swap(true) {
+			t.Errorf("cell %d visited twice", cell)
+		}
+		visited.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != 37 {
+		t.Fatalf("visited %d cells, want 37", visited.Load())
+	}
+}

@@ -17,6 +17,9 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"diffgossip/internal/graph"
 	"diffgossip/internal/rng"
@@ -66,6 +69,75 @@ func experimentWorkload(g *graph.Graph, density float64, seed uint64) (*trust.Ma
 func checkPositive(name string, v int) error {
 	if v <= 0 {
 		return fmt.Errorf("sim: %s must be positive, got %d", name, v)
+	}
+	return nil
+}
+
+// cellSeeds is the per-configuration randomness of a parallel sweep: each
+// independent unit of work (one graph + workload + gossip run family) gets
+// its own seeds, derived by splitting a parent stream in enumeration order
+// BEFORE any worker starts. Every cell is therefore a pure function of
+// (sweep seed, cell index), and sweep results are bit-identical regardless
+// of how many workers execute the cells or in what order they finish.
+type cellSeeds struct {
+	graph, values, gossip uint64
+}
+
+// splitSeeds derives count cellSeeds from one parent seed, in order.
+func splitSeeds(seed uint64, count int) []cellSeeds {
+	parent := rng.New(seed)
+	out := make([]cellSeeds, count)
+	for i := range out {
+		child := parent.Split()
+		out[i] = cellSeeds{
+			graph:  child.Uint64(),
+			values: child.Uint64(),
+			gossip: child.Uint64(),
+		}
+	}
+	return out
+}
+
+// forEachCell runs fn(cell) for every cell index across the given number of
+// workers (0 or negative selects GOMAXPROCS). Each fn call must write only
+// into its own pre-allocated result slot; forEachCell returns the error of
+// the lowest-indexed failing cell, so error reporting is deterministic too.
+func forEachCell(workers, count int, fn func(cell int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for c := 0; c < count; c++ {
+			if err := fn(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, count)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= count {
+					return
+				}
+				errs[c] = fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -83,6 +83,11 @@ type Table2Config struct {
 	Protocol gossip.Protocol
 	// Seed drives everything.
 	Seed uint64
+	// Workers spreads the size sweep across goroutines; 0 (or negative)
+	// selects GOMAXPROCS, 1 runs sequentially. Results are identical
+	// either way. (Note: gossip.Config.Workers uses the opposite
+	// convention — there 0 is sequential and negative is GOMAXPROCS.)
+	Workers int
 }
 
 // Table2Row is one cell of Table 2.
@@ -96,7 +101,10 @@ type Table2Row struct {
 
 // RunTable2 regenerates Table 2: the amortised number of message transfers
 // per node per gossip step (setup pushes + gossip pushes + convergence
-// announcements, divided by N × steps).
+// announcements, divided by N × steps). The unit of parallel work is one
+// network size: the cell builds its graph once and measures every ξ on it,
+// with seeds split per cell so results are bit-identical for any worker
+// count (see the determinism note at the top of figures.go).
 func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg.Sizes = DefaultSizes
@@ -104,34 +112,44 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 	if len(cfg.Epsilons) == 0 {
 		cfg.Epsilons = DefaultEpsilons
 	}
-	var rows []Table2Row
 	for _, n := range cfg.Sizes {
 		if err := checkPositive("network size", n); err != nil {
 			return nil, err
 		}
-		g, err := buildPA(n, cfg.Seed)
+	}
+	ne := len(cfg.Epsilons)
+	seeds := splitSeeds(cfg.Seed, len(cfg.Sizes))
+	rows := make([]Table2Row, len(cfg.Sizes)*ne)
+	err := forEachCell(cfg.Workers, len(cfg.Sizes), func(cell int) error {
+		n := cfg.Sizes[cell]
+		cs := seeds[cell]
+		g, err := buildPA(n, cs.graph)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		xs := uniformValues(n, cfg.Seed+1)
-		for _, eps := range cfg.Epsilons {
+		xs := uniformValues(n, cs.values)
+		for ei, eps := range cfg.Epsilons {
 			res, err := gossip.Average(gossip.Config{
 				Graph:    g,
 				Protocol: cfg.Protocol,
 				Epsilon:  eps,
-				Seed:     cfg.Seed + 2,
+				Seed:     cs.gossip,
 			}, xs)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rows = append(rows, Table2Row{
+			rows[cell*ne+ei] = Table2Row{
 				N:               n,
 				Epsilon:         eps,
 				MessagesPerStep: res.Messages.PerNodePerStep(n, res.Steps),
 				Steps:           res.Steps,
 				Converged:       res.Converged,
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
