@@ -14,6 +14,8 @@ package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +36,7 @@ func main() {
 		epsilon = flag.Float64("epsilon", 1e-4, "convergence tolerance ξ")
 		timeout = flag.Duration("timeout", 2*time.Minute, "give up after this long")
 		tick    = flag.Duration("tick", 20*time.Millisecond, "gossip tick interval")
-		seed    = flag.Uint64("seed", 0, "seed for neighbour selection (0 = from listen addr)")
+		seed    = flag.Uint64("seed", 0, "seed for neighbour selection (0 = draw a random seed and print it)")
 	)
 	flag.Parse()
 
@@ -58,18 +60,22 @@ func run(listen, peers string, value, weight float64, subject int,
 		return fmt.Errorf("no -peers given")
 	}
 
+	// Default seed: drawn randomly and printed, so every run is reproducible
+	// with -seed. (Hashing the bound listen address, as earlier versions
+	// did, is silently nondeterministic with an ephemeral port like
+	// 127.0.0.1:0 — the OS picks a different port, hence a different seed,
+	// each run.)
+	if seed == 0 {
+		seed = randomSeed()
+		fmt.Printf("seed %d (rerun with -seed %d to reproduce)\n", seed, seed)
+	}
+
 	tr, err := transport.ListenTCP(listen)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
 	fmt.Printf("listening on %s, gossiping with %d neighbours\n", tr.Addr(), len(clean))
-
-	if seed == 0 {
-		for _, c := range tr.Addr() {
-			seed = seed*31 + uint64(c)
-		}
-	}
 	a, err := agent.New(agent.Config{
 		Transport:    tr,
 		Neighbors:    clean,
@@ -94,4 +100,14 @@ func run(listen, peers string, value, weight float64, subject int,
 	fmt.Printf("converged: estimate %.6f (ticks %d, shares sent %d, lost %d)\n",
 		res.Estimate, res.Ticks, res.SharesSent, res.SharesLost)
 	return nil
+}
+
+// randomSeed draws a nonzero random seed, falling back to the clock if the
+// system entropy source is unavailable.
+func randomSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
 }

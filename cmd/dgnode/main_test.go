@@ -7,6 +7,23 @@ import (
 	"time"
 )
 
+// TestRandomSeedNonzeroAndVarying: the default seed is drawn explicitly (and
+// printed) rather than hashed from the bound listen address, which was
+// silently nondeterministic for ephemeral-port listens like 127.0.0.1:0.
+func TestRandomSeedNonzeroAndVarying(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 8; i++ {
+		s := randomSeed()
+		if s == 0 {
+			t.Fatal("randomSeed returned 0, which would re-trigger derivation")
+		}
+		seen[s] = true
+	}
+	if len(seen) == 1 {
+		t.Fatal("randomSeed returned the same value 8 times")
+	}
+}
+
 func TestRunRejectsNoPeers(t *testing.T) {
 	if err := run("127.0.0.1:0", "", 0.5, 1, 0, 1e-3, time.Second, time.Millisecond, 1); err == nil {
 		t.Fatal("empty peer list accepted")

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffgossip/internal/rng"
+)
+
+// loadgenReport is the JSON document -loadgen prints: HTTP-level ingest and
+// query throughput against a live dgserve, plus the final epoch's metadata.
+// (The engine-level and service-level numbers live in the dgsim -bench-json
+// report; this measures the full HTTP stack.)
+type loadgenReport struct {
+	N            int           `json:"n"`
+	Writers      int           `json:"writers"`
+	Readers      int           `json:"readers"`
+	Duration     time.Duration `json:"duration_ns"`
+	IngestOps    int64         `json:"ingest_ops"`
+	IngestPerSec float64       `json:"ingest_per_sec"`
+	QueryOps     int64         `json:"query_ops"`
+	QueryPerSec  float64       `json:"query_per_sec"`
+	Errors       int64         `json:"errors"`
+	FinalEpoch   epochResponse `json:"final_epoch"`
+}
+
+// runLoadgen drives concurrent feedback writers and reputation readers
+// against a dgserve instance for the configured duration, then forces a
+// final epoch and reports throughput.
+func runLoadgen(c runConfig, out io.Writer) error {
+	base := c.target
+	if base == "" {
+		svc, err := c.newService()
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: newServer(svc)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(out, "loadgen: in-process dgserve at %s (N=%d, epoch %v)\n", base, c.n, c.epoch)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        c.writers + c.readers,
+		MaxIdleConnsPerHost: c.writers + c.readers,
+	}}
+
+	var ingest, query, errs atomic.Int64
+	start := time.Now()
+	deadline := start.Add(c.duration)
+	var wg sync.WaitGroup
+
+	for w := 0; w < c.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(0x10000 + w))
+			var body bytes.Buffer
+			for time.Now().Before(deadline) {
+				body.Reset()
+				fmt.Fprintf(&body, `{"rater":%d,"subject":%d,"value":%.6f}`,
+					src.Intn(c.n), src.Intn(c.n), src.Float64())
+				resp, err := client.Post(base+"/v1/feedback", "application/json", &body)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errs.Add(1)
+					continue
+				}
+				ingest.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < c.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			src := rng.New(uint64(0x20000 + r))
+			for time.Now().Before(deadline) {
+				url := fmt.Sprintf("%s/v1/reputation/%d", base, src.Intn(c.n))
+				if src.Bool(0.25) { // every fourth read asks for the GCLR view
+					url = fmt.Sprintf("%s?as=%d", url, src.Intn(c.n))
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				query.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Rates divide by the measured window, not the configured -duration:
+	// spawn overhead and requests in flight at the deadline are real time.
+	elapsed := time.Since(start)
+
+	// Fold everything that is still pending and grab the final epoch state.
+	resp, err := client.Post(base+"/v1/epoch", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("final epoch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return fmt.Errorf("final epoch: status %d: %s", resp.StatusCode, b)
+	}
+	var final epochResponse
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		resp.Body.Close()
+		return fmt.Errorf("final epoch: %w", err)
+	}
+	resp.Body.Close()
+
+	secs := elapsed.Seconds()
+	report := loadgenReport{
+		N:            c.n,
+		Writers:      c.writers,
+		Readers:      c.readers,
+		Duration:     elapsed,
+		IngestOps:    ingest.Load(),
+		IngestPerSec: float64(ingest.Load()) / secs,
+		QueryOps:     query.Load(),
+		QueryPerSec:  float64(query.Load()) / secs,
+		Errors:       errs.Load(),
+		FinalEpoch:   final,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

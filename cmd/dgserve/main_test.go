@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/service"
+)
+
+func newTestServer(t *testing.T, n int, interval time.Duration) (*httptest.Server, *service.Service) {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: n, M: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{
+		Graph:         g,
+		Params:        core.Params{Epsilon: 1e-6, Seed: 11},
+		EpochInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp
+}
+
+func TestFeedbackEpochQueryFlow(t *testing.T) {
+	ts, _ := newTestServer(t, 40, 0)
+
+	// Two ratings of subject 7 (mean 0.6), plus rater 3's direct trust in
+	// node 5 — the high rater — which its GCLR view will upweight.
+	resp, body := postJSON(t, ts.URL+"/v1/feedback", `{"rater":5,"subject":7,"value":0.9}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("feedback status %d: %s", resp.StatusCode, body)
+	}
+	var fb feedbackResponse
+	if err := json.Unmarshal(body, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Seq != 1 || fb.Pending != 1 || fb.Epoch != 0 {
+		t.Fatalf("feedback response %+v", fb)
+	}
+	postJSON(t, ts.URL+"/v1/feedback", `{"rater":6,"subject":7,"value":0.3}`)
+	postJSON(t, ts.URL+"/v1/feedback", `{"rater":3,"subject":5,"value":0.9}`)
+
+	// Not yet visible: reads serve the epoch-0 snapshot.
+	var rep reputationResponse
+	getJSON(t, ts.URL+"/v1/reputation/7", &rep)
+	if rep.Reputation != 0 || rep.Epoch != 0 {
+		t.Fatalf("pre-epoch read %+v", rep)
+	}
+
+	// Force an epoch, then the rater-mean appears.
+	resp, body = postJSON(t, ts.URL+"/v1/epoch", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch status %d: %s", resp.StatusCode, body)
+	}
+	var ep epochResponse
+	if err := json.Unmarshal(body, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if !ep.Ran || ep.Epoch != 1 || ep.Seq != 3 || ep.Pending != 0 || !ep.Converged {
+		t.Fatalf("epoch response %+v", ep)
+	}
+	getJSON(t, ts.URL+"/v1/reputation/7", &rep)
+	if math.Abs(rep.Reputation-0.6) > 1e-2 || rep.Raters != 2 || rep.Epoch != 1 {
+		t.Fatalf("post-epoch read %+v", rep)
+	}
+
+	// Personalised view: rater 3 trusts node 5, which rated 0.9, so its
+	// confidence-weighted GCLR view sits above the plain rater mean.
+	var personal reputationResponse
+	getJSON(t, ts.URL+"/v1/reputation/7?as=3", &personal)
+	if !personal.Personal || personal.As == nil || *personal.As != 3 {
+		t.Fatalf("personal read %+v", personal)
+	}
+	if personal.Reputation <= rep.Reputation {
+		t.Fatalf("GCLR view %v not above global %v", personal.Reputation, rep.Reputation)
+	}
+
+	// Idempotent epoch: nothing pending, ran=false, same epoch.
+	_, body = postJSON(t, ts.URL+"/v1/epoch", "")
+	if err := json.Unmarshal(body, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Ran || ep.Epoch != 1 {
+		t.Fatalf("no-op epoch response %+v", ep)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 10, 0)
+	for name, check := range map[string]func() *http.Response{
+		"non-json feedback": func() *http.Response {
+			r, _ := postJSON(t, ts.URL+"/v1/feedback", "not json")
+			return r
+		},
+		"unknown field": func() *http.Response {
+			r, _ := postJSON(t, ts.URL+"/v1/feedback", `{"rater":1,"subject":2,"value":0.5,"bogus":1}`)
+			return r
+		},
+		"out-of-range rater": func() *http.Response {
+			r, _ := postJSON(t, ts.URL+"/v1/feedback", `{"rater":99,"subject":2,"value":0.5}`)
+			return r
+		},
+		"value above 1": func() *http.Response {
+			r, _ := postJSON(t, ts.URL+"/v1/feedback", `{"rater":1,"subject":2,"value":1.5}`)
+			return r
+		},
+		"non-numeric subject": func() *http.Response {
+			return getJSON(t, ts.URL+"/v1/reputation/abc", nil)
+		},
+		"bad as param": func() *http.Response {
+			return getJSON(t, ts.URL+"/v1/reputation/2?as=xyz", nil)
+		},
+	} {
+		if resp := check(); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/reputation/99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("out-of-range subject: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 10, 0)
+	var h map[string]any
+	if resp := getJSON(t, ts.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if h["ok"] != true {
+		t.Fatalf("healthz body %v", h)
+	}
+}
+
+// TestConcurrentHTTPTraffic hammers POST /v1/feedback and GET /v1/reputation
+// over real HTTP while the background scheduler runs epochs — the HTTP-layer
+// face of the service's concurrency contract (run under -race in CI). Every
+// read must see a complete snapshot: a consistent (epoch, seq) pair with the
+// reputation value in range.
+func TestConcurrentHTTPTraffic(t *testing.T) {
+	const n = 30
+	ts, svc := newTestServer(t, n, 2*time.Millisecond)
+	client := ts.Client()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(100 + w))
+			for i := 0; i < 150; i++ {
+				body := fmt.Sprintf(`{"rater":%d,"subject":%d,"value":%.4f}`,
+					src.Intn(n), src.Intn(n), src.Float64())
+				resp, err := client.Post(ts.URL+"/v1/feedback", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("feedback status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			src := rng.New(uint64(200 + r))
+			for i := 0; i < 150; i++ {
+				var rep reputationResponse
+				resp, err := client.Get(fmt.Sprintf("%s/v1/reputation/%d", ts.URL, src.Intn(n)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&rep)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.Reputation < 0 || rep.Reputation > 1 {
+					t.Errorf("reputation %v out of [0,1]", rep.Reputation)
+					return
+				}
+				if rep.Seq > 0 && rep.Epoch == 0 {
+					t.Errorf("torn snapshot over HTTP: seq %d at epoch 0", rep.Seq)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Everything folds; the final state matches the exact reference.
+	if _, _, err := svc.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	snap := svc.Snapshot()
+	if snap.Seq != 600 {
+		t.Fatalf("final seq %d, want 600", snap.Seq)
+	}
+	for j := 0; j < n; j++ {
+		if math.Abs(snap.Global[j]-core.GlobalRef(snap.Trust, j)) > 1e-2 {
+			t.Fatalf("subject %d deviates from GlobalReference", j)
+		}
+	}
+}
+
+func TestLoadgenSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := runLoadgen(runConfig{
+		n: 60, m: 2, graphSeed: 7, seed: 1, epsilon: 1e-5,
+		epoch: 5 * time.Millisecond, workers: 1,
+		duration: 200 * time.Millisecond, writers: 2, readers: 2,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The report is the last JSON object in the output (a banner line
+	// precedes it).
+	txt := out.String()
+	idx := strings.Index(txt, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON report in output: %q", txt)
+	}
+	var report loadgenReport
+	if err := json.Unmarshal([]byte(txt[idx:]), &report); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, txt)
+	}
+	if report.IngestOps == 0 || report.QueryOps == 0 {
+		t.Fatalf("loadgen did no work: %+v", report)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", report.Errors)
+	}
+	if report.FinalEpoch.Epoch == 0 {
+		t.Fatalf("no epoch ever ran: %+v", report.FinalEpoch)
+	}
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"diffgossip/internal/service"
+	"diffgossip/internal/store"
+)
+
+// server wraps a reputation service with the HTTP/JSON API:
+//
+//	POST /v1/feedback                    {"rater":i,"subject":j,"value":v}
+//	GET  /v1/reputation/{subject}        global reputation
+//	GET  /v1/reputation/{subject}?as=i   GCLR personalised view for rater i
+//	GET  /v1/epoch                       current snapshot metadata
+//	POST /v1/epoch                       force an epoch now
+//	GET  /healthz                        liveness + last epoch error
+//
+// Reads are served lock-free from the published snapshot; feedback becomes
+// visible at the next epoch (see the internal/service consistency model).
+type server struct {
+	svc *service.Service
+	mux *http.ServeMux
+}
+
+func newServer(svc *service.Service) *server {
+	s := &server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /v1/reputation/{subject}", s.handleReputation)
+	s.mux.HandleFunc("GET /v1/epoch", s.handleEpochGet)
+	s.mux.HandleFunc("POST /v1/epoch", s.handleEpochPost)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// feedbackRequest is the POST /v1/feedback body.
+type feedbackRequest struct {
+	Rater   int     `json:"rater"`
+	Subject int     `json:"subject"`
+	Value   float64 `json:"value"`
+}
+
+// feedbackResponse acknowledges an accepted feedback entry. The entry is
+// durable in the ledger but not yet visible to reads — hence 202 Accepted —
+// and will be folded once Snapshot.Seq reaches Seq.
+type feedbackResponse struct {
+	Seq     uint64 `json:"seq"`
+	Pending int    `json:"pending"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad feedback body: %w", err))
+		return
+	}
+	seq, err := s.svc.Submit(req.Rater, req.Subject, req.Value)
+	if err != nil {
+		// Validation failures are the caller's fault; anything else (WAL
+		// I/O) is a server-side failure the client should retry.
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrInvalidFeedback) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, feedbackResponse{
+		Seq:     seq,
+		Pending: s.svc.Pending(),
+		Epoch:   s.svc.Snapshot().Epoch,
+	})
+}
+
+// reputationResponse answers a reputation query. Epoch and Seq identify the
+// snapshot the value came from; Raters is the number of distinct raters
+// backing it (0 means "no evidence", not "bad reputation").
+type reputationResponse struct {
+	Subject    int     `json:"subject"`
+	Reputation float64 `json:"reputation"`
+	Raters     int     `json:"raters"`
+	Epoch      uint64  `json:"epoch"`
+	Seq        uint64  `json:"seq"`
+	// As and Personal are set on ?as=rater queries: the GCLR view of the
+	// subject from that rater's perspective.
+	As       *int `json:"as,omitempty"`
+	Personal bool `json:"personal,omitempty"`
+}
+
+func (s *server) handleReputation(w http.ResponseWriter, r *http.Request) {
+	subject, err := strconv.Atoi(r.PathValue("subject"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad subject: %w", err))
+		return
+	}
+	resp := reputationResponse{Subject: subject}
+	var snap *store.Snapshot
+	if as := r.URL.Query().Get("as"); as != "" {
+		rater, err := strconv.Atoi(as)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad as=%q: %w", as, err))
+			return
+		}
+		resp.As, resp.Personal = &rater, true
+		resp.Reputation, snap, err = s.svc.PersonalReputation(rater, subject)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+	} else {
+		resp.Reputation, snap, err = s.svc.Reputation(subject)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+	}
+	resp.Raters = snap.Raters[subject]
+	resp.Epoch, resp.Seq = snap.Epoch, snap.Seq
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// epochResponse is the GET/POST /v1/epoch answer: the published snapshot's
+// metadata plus the current ingest backlog.
+type epochResponse struct {
+	Epoch           uint64 `json:"epoch"`
+	Seq             uint64 `json:"seq"`
+	Pending         int    `json:"pending"`
+	N               int    `json:"n"`
+	Steps           int    `json:"steps"`
+	Converged       bool   `json:"converged"`
+	ElapsedNs       int64  `json:"elapsed_ns"`
+	CreatedUnixNano int64  `json:"created_unix_nano"`
+	// Ran reports, on POST /v1/epoch responses, whether an epoch actually
+	// recomputed (false = nothing pending, snapshot unchanged).
+	Ran bool `json:"ran"`
+}
+
+func epochInfo(snap *store.Snapshot, pending int) epochResponse {
+	return epochResponse{
+		Epoch:           snap.Epoch,
+		Seq:             snap.Seq,
+		Pending:         pending,
+		N:               snap.N,
+		Steps:           snap.Steps,
+		Converged:       snap.Converged,
+		ElapsedNs:       snap.ElapsedNs,
+		CreatedUnixNano: snap.CreatedUnixNano,
+	}
+}
+
+func (s *server) handleEpochGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, epochInfo(s.svc.Snapshot(), s.svc.Pending()))
+}
+
+func (s *server) handleEpochPost(w http.ResponseWriter, r *http.Request) {
+	snap, ran, err := s.svc.RunEpoch()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := epochInfo(snap, s.svc.Pending())
+	resp.Ran = ran
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":    true,
+		"epoch": s.svc.Snapshot().Epoch,
+		"n":     s.svc.N(),
+	})
+}

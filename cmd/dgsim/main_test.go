@@ -75,12 +75,13 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v1" {
+	if report.Schema != "diffgossip-bench/v2" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 3 {
-		t.Fatalf("benchmarks = %d, want 3", len(report.Benchmarks))
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d, want 4 (scalar, vector, vector-sparse, service)", len(report.Benchmarks))
 	}
+	var serviceRows int
 	for _, b := range report.Benchmarks {
 		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
 			t.Fatalf("malformed row %+v", b)
@@ -88,11 +89,21 @@ func TestBenchJSONWellFormed(t *testing.T) {
 		if b.NsPerStep <= 0 {
 			t.Fatalf("row %q has no timing", b.Name)
 		}
-		if b.MsgsPerNodePerStep <= 0 {
-			t.Fatalf("row %q has no message metric", b.Name)
-		}
 		if !b.Converged {
 			t.Fatalf("row %q did not converge", b.Name)
 		}
+		if strings.HasPrefix(b.Name, "service/") {
+			serviceRows++
+			if b.IngestPerSec <= 0 || b.QueryPerSec <= 0 || b.EpochNs <= 0 {
+				t.Fatalf("service row missing throughput metrics: %+v", b)
+			}
+			continue // the service row reports throughput, not messages
+		}
+		if b.MsgsPerNodePerStep <= 0 {
+			t.Fatalf("row %q has no message metric", b.Name)
+		}
+	}
+	if serviceRows != 1 {
+		t.Fatalf("service rows = %d, want 1", serviceRows)
 	}
 }

@@ -32,6 +32,13 @@
 // GlobalReference and GCLRReference evaluate the exact fixed points
 // centrally, for testing and error measurement.
 //
+// # Long-running service
+//
+// Service wraps the aggregation engines in a continuously available
+// reputation service: an append-only feedback ledger, a background epoch
+// scheduler, and lock-free snapshot reads. See NewService, the cmd/dgserve
+// HTTP daemon, and the examples/service example.
+//
 // # Distributed deployment
 //
 // The same protocol runs over real sockets: see the internal/agent and

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/trust"
+)
+
+// TestConcurrentIngestQueryEpochs hammers Submit and the read path from many
+// goroutines while the background scheduler recomputes epochs, then checks:
+//
+//   - every observed snapshot is internally consistent — the published
+//     global values match the exact fixed point (GlobalRef) of the *same*
+//     snapshot's frozen trust matrix, so a torn snapshot (globals from one
+//     epoch paired with trust state from another) would be caught;
+//   - epochs only move forward under concurrency;
+//   - after ingest stops and a final epoch folds everything, reputations
+//     match GlobalReference for the full feedback history within ε tolerance.
+//
+// Run under -race (the CI race job does) this is the service's concurrency
+// contract test.
+func TestConcurrentIngestQueryEpochs(t *testing.T) {
+	const (
+		n        = 50
+		writers  = 4
+		readers  = 4
+		perWrite = 300
+	)
+	s := newTestService(t, n, Config{
+		Graph:         testGraph(t, n, 17),
+		Params:        core.Params{Epsilon: 1e-6, Seed: 23},
+		EpochInterval: 2 * time.Millisecond,
+	})
+
+	var stopReads atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers: each submits perWrite random (but valid) feedback entries.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(1000 + w))
+			for i := 0; i < perWrite; i++ {
+				if _, err := s.Submit(src.Intn(n), src.Intn(n), src.Float64()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: load snapshots and verify internal consistency while epochs
+	// publish underneath them.
+	var reads atomic.Int64
+	var readWg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readWg.Add(1)
+		go func(r int) {
+			defer readWg.Done()
+			src := rng.New(uint64(2000 + r))
+			var lastEpoch uint64
+			for !stopReads.Load() {
+				snap := s.Snapshot()
+				if snap.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", snap.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = snap.Epoch
+				j := src.Intn(n)
+				got, err := snap.Reputation(j)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := core.GlobalRef(snap.Trust, j)
+				if math.Abs(got-want) > epsTol {
+					t.Errorf("torn snapshot: epoch %d subject %d global %v but frozen-matrix reference %v",
+						snap.Epoch, j, got, want)
+					return
+				}
+				if _, err := snap.Personal(src.Intn(n), j, trust.DefaultWeightParams); err != nil {
+					t.Error(err)
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	wg.Wait() // all feedback submitted
+	// Let the scheduler fold the tail, then stop readers.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Pending() > 0 && time.Now().After(deadline) == false {
+		time.Sleep(time.Millisecond)
+	}
+	stopReads.Store(true)
+	readWg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("readers observed no snapshots")
+	}
+
+	// Final epoch: everything folded, estimates match the exact references.
+	if _, _, err := s.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Seq != writers*perWrite {
+		t.Fatalf("final snapshot folded seq %d, want %d", snap.Seq, writers*perWrite)
+	}
+	if !snap.Converged {
+		t.Fatal("final epoch did not converge")
+	}
+	for j := 0; j < n; j++ {
+		want := core.GlobalRef(snap.Trust, j)
+		if math.Abs(snap.Global[j]-want) > epsTol {
+			t.Errorf("subject %d: final global %v, GlobalReference %v", j, snap.Global[j], want)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package service turns the one-shot aggregation library into a long-running
+// reputation service. It owns three moving parts:
+//
+//   - the feedback ledger (internal/store.Ledger): the ingest path, cheap
+//     appends that never touch epoch state;
+//   - the epoch scheduler: a background loop (or explicit RunEpoch calls)
+//     that folds the pending feedback batch into the master trust matrix,
+//     runs a differential-gossip epoch over it with the existing
+//     gossip.VectorEngine kernels (via core.GlobalAll), and publishes the
+//     outcome as a new immutable store.Snapshot;
+//   - the published snapshot: an atomic.Pointer readers load lock-free, so
+//     query latency is independent of epoch compute.
+//
+// # Consistency model
+//
+// Reads are snapshot-consistent: every query answered between two epoch
+// publications sees exactly the state of the last published epoch — the
+// global value for subject j and the personalised GCLR view both derive from
+// the same frozen trust matrix, so a reader can never observe a torn mix of
+// epochs. Feedback becomes visible only at the next epoch boundary
+// (eventual, bounded by Config.EpochInterval); Submit returns the ledger
+// sequence number so callers can watch Snapshot.Seq to learn when their
+// write has been folded.
+//
+// With Config.Dir set, feedback is write-ahead logged as JSON lines
+// (flushed per append; fsynced at each epoch boundary) and each snapshot is
+// persisted by fsync + atomic rename, so a restarted service resumes from
+// the last published epoch and replays only the not-yet-folded tail of the
+// ledger. A process crash loses no accepted feedback; a power loss can lose
+// at most the entries accepted since the last epoch.
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/store"
+	"diffgossip/internal/trust"
+)
+
+// Config parameterises a Service.
+type Config struct {
+	// Graph is the gossip overlay the epochs run on. Required; the service
+	// never mutates it.
+	Graph *graph.Graph
+	// Params configures the per-epoch aggregation (epsilon, protocol,
+	// workers, ...). Params.Seed seeds epoch randomness: epoch e runs with a
+	// seed derived from (Seed, e), so a given feedback history is fully
+	// reproducible. The zero value gets the core defaults.
+	Params core.Params
+	// EpochInterval is the scheduler period. Zero disables the background
+	// scheduler; epochs then run only via RunEpoch.
+	EpochInterval time.Duration
+	// Dir enables persistence: the feedback ledger and latest snapshot live
+	// under this directory. Empty runs fully in memory.
+	Dir string
+}
+
+// Service is a long-running reputation service over one overlay. Submit and
+// the read methods are safe for arbitrary concurrent use; epochs are
+// serialised internally.
+type Service struct {
+	cfg    Config
+	n      int
+	ledger *store.Ledger
+
+	// epochMu serialises epochs and guards master, the only mutable trust
+	// state. Readers never take it.
+	epochMu sync.Mutex
+	master  *trust.Matrix
+	epochs  atomic.Uint64 // epochs actually computed (== published snapshot's Epoch)
+
+	snap    atomic.Pointer[store.Snapshot]
+	lastErr atomic.Pointer[epochError]
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+type epochError struct{ err error }
+
+const (
+	ledgerFile   = "ledger.jsonl"
+	snapshotFile = "snapshot.gob"
+)
+
+// New builds a Service, loading persisted state from cfg.Dir when set, and
+// starts the epoch scheduler if cfg.EpochInterval > 0. Close releases it.
+func New(cfg Config) (*Service, error) {
+	if cfg.Graph == nil || cfg.Graph.N() == 0 {
+		return nil, fmt.Errorf("service: empty graph")
+	}
+	if cfg.EpochInterval < 0 {
+		return nil, fmt.Errorf("service: negative epoch interval %v", cfg.EpochInterval)
+	}
+	n := cfg.Graph.N()
+	s := &Service{cfg: cfg, n: n, stop: make(chan struct{})}
+
+	var snap *store.Snapshot
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: data dir: %w", err)
+		}
+		var err error
+		snap, err = store.LoadSnapshotFile(snapshotPath(cfg.Dir))
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil && snap.N != n {
+			return nil, fmt.Errorf("service: persisted snapshot is for N=%d, graph has N=%d", snap.N, n)
+		}
+		ledger, replayed, err := store.OpenLedger(ledgerPath(cfg.Dir), n)
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = ledger
+		// A snapshot claiming more folded entries than the ledger ever
+		// assigned means the ledger file was truncated or swapped out from
+		// under the snapshot — refuse to serve silently-corrupt state.
+		if snap != nil && ledger.Seq() < snap.Seq {
+			ledger.Close()
+			return nil, fmt.Errorf("service: ledger ends at seq %d but snapshot has folded seq %d — ledger truncated or mismatched",
+				ledger.Seq(), snap.Seq)
+		}
+		// Entries already folded into the persisted snapshot are dropped;
+		// the tail past Snapshot.Seq waits for the next epoch.
+		var tail []store.Feedback
+		for _, fb := range replayed {
+			if snap == nil || fb.Seq > snap.Seq {
+				tail = append(tail, fb)
+			}
+		}
+		ledger.Restore(tail)
+	} else {
+		s.ledger = store.NewLedger(n)
+	}
+	if snap == nil {
+		snap = store.NewBootSnapshot(n, time.Now().UnixNano())
+	}
+	s.master = snap.Trust.Clone()
+	s.epochs.Store(snap.Epoch)
+	s.snap.Store(snap)
+
+	if cfg.EpochInterval > 0 {
+		s.wg.Add(1)
+		go s.loop()
+	}
+	return s, nil
+}
+
+func ledgerPath(dir string) string   { return filepath.Join(dir, ledgerFile) }
+func snapshotPath(dir string) string { return filepath.Join(dir, snapshotFile) }
+
+// Submit records one feedback entry ("rater now places trust value in
+// subject") and returns its ledger sequence number. The entry takes effect
+// at the next epoch; until then reads serve the current snapshot.
+func (s *Service) Submit(rater, subject int, value float64) (uint64, error) {
+	return s.ledger.Append(rater, subject, value, time.Now().UnixNano())
+}
+
+// Snapshot returns the currently published snapshot. The load is a single
+// atomic pointer read — it never blocks, regardless of concurrent ingest or
+// a running epoch — and the returned snapshot is immutable.
+func (s *Service) Snapshot() *store.Snapshot {
+	return s.snap.Load()
+}
+
+// Reputation returns subject's global reputation under the current snapshot,
+// along with the snapshot it came from.
+func (s *Service) Reputation(subject int) (float64, *store.Snapshot, error) {
+	snap := s.Snapshot()
+	v, err := snap.Reputation(subject)
+	return v, snap, err
+}
+
+// PersonalReputation returns the globally calibrated local (GCLR) view of
+// subject as seen by rater, under the current snapshot.
+func (s *Service) PersonalReputation(rater, subject int) (float64, *store.Snapshot, error) {
+	snap := s.Snapshot()
+	p := s.cfg.Params.Weights
+	if p == (trust.WeightParams{}) {
+		p = trust.DefaultWeightParams
+	}
+	v, err := snap.Personal(rater, subject, p)
+	return v, snap, err
+}
+
+// Pending returns the number of feedback entries awaiting the next epoch.
+func (s *Service) Pending() int { return s.ledger.PendingCount() }
+
+// N returns the network size.
+func (s *Service) N() int { return s.n }
+
+// Err returns the last epoch error observed by the background scheduler, or
+// nil. A successful epoch clears it.
+func (s *Service) Err() error {
+	if e := s.lastErr.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// RunEpoch folds all pending feedback into the trust state, runs one
+// differential-gossip epoch over the frozen copy, and atomically publishes
+// the resulting snapshot. It reports whether an epoch actually ran: with no
+// pending feedback the current snapshot is already up to date and is
+// returned unchanged. Epochs are serialised; concurrent callers queue.
+//
+// The epoch runs entirely off the read path — readers keep serving the old
+// snapshot until the new one is published in a single atomic store.
+func (s *Service) RunEpoch() (*store.Snapshot, bool, error) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+
+	batch := s.ledger.TakePending()
+	cur := s.snap.Load()
+	if len(batch) == 0 {
+		return cur, false, nil
+	}
+	// On ANY failure below, the batch goes back to the front of the pending
+	// window so no feedback is ever dropped: the next epoch retries it.
+	// (The fold into master is not undone — refolding the same entries in
+	// the same order is idempotent under Set's last-wins semantics.)
+	restore := func(err error) (*store.Snapshot, bool, error) {
+		s.ledger.Restore(batch)
+		return cur, false, err
+	}
+	seq := cur.Seq
+	for _, fb := range batch {
+		// Ledger entries were validated at append time; Set only fails on
+		// values outside [0,1], which therefore cannot happen here.
+		if err := s.master.Set(fb.Rater, fb.Subject, fb.Value); err != nil {
+			return restore(fmt.Errorf("service: fold seq %d: %w", fb.Seq, err))
+		}
+		seq = fb.Seq
+	}
+	frozen := s.master.Clone()
+
+	p := s.cfg.Params
+	epoch := s.epochs.Load() + 1
+	p.Seed = epochSeed(p.Seed, epoch)
+	start := time.Now()
+	res, err := core.GlobalAll(s.cfg.Graph, frozen, p)
+	if err != nil {
+		return restore(fmt.Errorf("service: epoch %d gossip: %w", epoch, err))
+	}
+	elapsed := time.Since(start)
+
+	root := p.Root // zero value = node 0, matching core's default
+	global := make([]float64, s.n)
+	copy(global, res.Reputation[root])
+	raters := make([]int, s.n)
+	for j := 0; j < s.n; j++ {
+		_, raters[j] = frozen.ColumnSum(j)
+	}
+	snap := &store.Snapshot{
+		Epoch:           epoch,
+		Seq:             seq,
+		N:               s.n,
+		Trust:           frozen,
+		Global:          global,
+		Raters:          raters,
+		Steps:           res.Steps,
+		Converged:       res.Converged,
+		ElapsedNs:       elapsed.Nanoseconds(),
+		CreatedUnixNano: time.Now().UnixNano(),
+	}
+	if s.cfg.Dir != "" {
+		// The ledger is fsynced before the snapshot is persisted, so after
+		// any crash the on-disk ledger covers everything the on-disk
+		// snapshot claims to have folded (the boot guard's invariant).
+		if err := s.ledger.Sync(); err != nil {
+			return restore(err)
+		}
+		if err := snap.SaveFile(snapshotPath(s.cfg.Dir)); err != nil {
+			return restore(err)
+		}
+	}
+	s.epochs.Store(epoch)
+	s.snap.Store(snap)
+	return snap, true, nil
+}
+
+// epochSeed mixes the base seed with the epoch number (SplitMix64-style
+// finaliser) so every epoch draws an independent, reproducible stream.
+func epochSeed(base, epoch uint64) uint64 {
+	z := base + epoch*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// loop is the background epoch scheduler.
+func (s *Service) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.EpochInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if _, _, err := s.RunEpoch(); err != nil {
+				s.lastErr.Store(&epochError{err})
+			} else {
+				s.lastErr.Store(nil)
+			}
+		}
+	}
+}
+
+// Close stops the scheduler and closes the ledger. It does not run a final
+// epoch; pending feedback stays in the write-ahead log (when persistence is
+// on) and is replayed on the next start.
+func (s *Service) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return s.ledger.Close()
+}

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+)
+
+// epsTol is the acceptance tolerance for gossip estimates vs the exact
+// references: the engines converge each node to within a few ξ of the fixed
+// point, and the core tests use the same order of magnitude.
+const epsTol = 1e-2
+
+func testGraph(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: n, M: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTestService(t *testing.T, n int, cfg Config) *Service {
+	t.Helper()
+	if cfg.Graph == nil {
+		cfg.Graph = testGraph(t, n, 7)
+	}
+	if cfg.Params.Epsilon == 0 {
+		cfg.Params = core.Params{Epsilon: 1e-6, Seed: 11}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(Config{Graph: testGraph(t, 10, 1), EpochInterval: -time.Second}); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestBootSnapshotAndEmptyEpoch(t *testing.T) {
+	s := newTestService(t, 20, Config{})
+	snap := s.Snapshot()
+	if snap.Epoch != 0 || snap.Seq != 0 || snap.N != 20 {
+		t.Fatalf("boot snapshot %+v", snap)
+	}
+	if v, _, err := s.Reputation(3); err != nil || v != 0 {
+		t.Fatalf("boot reputation = (%v, %v)", v, err)
+	}
+	// No pending feedback: RunEpoch is a no-op returning the same snapshot.
+	got, ran, err := s.RunEpoch()
+	if err != nil || ran || got != snap {
+		t.Fatalf("empty epoch = (%p, %v, %v), want (%p, false, nil)", got, ran, err, snap)
+	}
+}
+
+func TestEpochMatchesGlobalReference(t *testing.T) {
+	const n = 60
+	s := newTestService(t, n, Config{})
+	src := rng.New(99)
+	for k := 0; k < 400; k++ {
+		rater, subject := src.Intn(n), src.Intn(n)
+		if _, err := s.Submit(rater, subject, src.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, ran, err := s.RunEpoch()
+	if err != nil || !ran {
+		t.Fatalf("epoch = (ran=%v, err=%v)", ran, err)
+	}
+	if snap.Epoch != 1 || snap.Seq != 400 || !snap.Converged {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	for j := 0; j < n; j++ {
+		want := core.GlobalRef(snap.Trust, j)
+		if math.Abs(snap.Global[j]-want) > epsTol {
+			t.Errorf("subject %d: global %v, reference %v", j, snap.Global[j], want)
+		}
+	}
+	// Personal views come from the same frozen matrix.
+	for _, pair := range [][2]int{{0, 5}, {7, 12}, {59, 0}} {
+		got, pSnap, err := s.PersonalReputation(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pSnap != snap {
+			t.Fatal("personal read served a different snapshot")
+		}
+		want := core.GCLRRef(s.cfg.Graph, snap.Trust, pair[0], pair[1], s.cfg.Params)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("personal (%d,%d): got %v, want %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestFeedbackVisibleOnlyAfterEpoch(t *testing.T) {
+	s := newTestService(t, 30, Config{})
+	if _, err := s.Submit(3, 9, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := s.Reputation(9); v != 0 {
+		t.Fatalf("unfolded feedback visible: %v", v)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	snap, ran, err := s.RunEpoch()
+	if err != nil || !ran {
+		t.Fatal(err)
+	}
+	if v, _, _ := s.Reputation(9); math.Abs(v-0.8) > epsTol {
+		t.Fatalf("reputation after epoch = %v, want ≈0.8", v)
+	}
+	if snap.Raters[9] != 1 {
+		t.Fatalf("Raters[9] = %d, want 1", snap.Raters[9])
+	}
+	if s.Pending() != 0 {
+		t.Fatal("pending not drained by epoch")
+	}
+}
+
+// TestLatestFeedbackWins: multiple entries for the same (rater, subject)
+// within one epoch fold in ledger order, so the last one is the value used.
+func TestLatestFeedbackWins(t *testing.T) {
+	s := newTestService(t, 30, Config{})
+	for _, v := range []float64{0.1, 0.9, 0.4} {
+		if _, err := s.Submit(2, 6, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, _, err := s.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Trust.Value(2, 6); got != 0.4 {
+		t.Fatalf("folded value %v, want 0.4 (latest)", got)
+	}
+}
+
+func TestEpochDeterministicGivenSeed(t *testing.T) {
+	run := func() []float64 {
+		s := newTestService(t, 40, Config{})
+		src := rng.New(5)
+		for k := 0; k < 200; k++ {
+			s.Submit(src.Intn(40), src.Intn(40), src.Float64())
+		}
+		snap, _, err := s.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.Global
+	}
+	a, b := run(), run()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("subject %d: %v vs %v — epochs not reproducible", j, a[j], b[j])
+		}
+	}
+}
+
+func TestSchedulerRunsEpochs(t *testing.T) {
+	s := newTestService(t, 30, Config{
+		Graph:         testGraph(t, 30, 7),
+		Params:        core.Params{Epsilon: 1e-5, Seed: 3},
+		EpochInterval: 5 * time.Millisecond,
+	})
+	if _, err := s.Submit(1, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().Epoch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduler never published an epoch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := s.Reputation(2); math.Abs(v-0.5) > epsTol {
+		t.Fatalf("reputation = %v, want ≈0.5", v)
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 30, 7)
+	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Submit(1, 4, 0.9)
+	s1.Submit(2, 4, 0.5)
+	snap1, _, err := s1.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Submit(3, 4, 0.1) // pending, never folded before shutdown
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Snapshot()
+	if got.Epoch != snap1.Epoch || got.Seq != snap1.Seq {
+		t.Fatalf("restart published epoch %d/seq %d, want %d/%d", got.Epoch, got.Seq, snap1.Epoch, snap1.Seq)
+	}
+	if math.Abs(got.Global[4]-snap1.Global[4]) > 1e-12 {
+		t.Fatal("restart lost the published reputation")
+	}
+	if s2.Pending() != 1 {
+		t.Fatalf("restart replayed %d pending entries, want 1 (the unfolded tail)", s2.Pending())
+	}
+	snap2, ran, err := s2.RunEpoch()
+	if err != nil || !ran {
+		t.Fatal(err)
+	}
+	if snap2.Epoch != snap1.Epoch+1 || snap2.Seq != 3 {
+		t.Fatalf("post-restart epoch %d/seq %d", snap2.Epoch, snap2.Seq)
+	}
+	// The tail entry and the pre-restart folds are all reflected.
+	want := (0.9 + 0.5 + 0.1) / 3
+	if math.Abs(snap2.Global[4]-want) > epsTol {
+		t.Fatalf("reputation after replayed epoch = %v, want ≈%v", snap2.Global[4], want)
+	}
+	// Sequence numbers keep increasing across the restart.
+	if seq, err := s2.Submit(5, 6, 0.2); err != nil || seq != 4 {
+		t.Fatalf("post-restart Submit = (%d, %v), want (4, nil)", seq, err)
+	}
+}
+
+// TestBootRejectsTruncatedLedger: a snapshot claiming folded entries the
+// ledger never assigned (operator deleted/swapped ledger.jsonl) must fail
+// loudly at boot instead of serving state that can never reconcile.
+func TestBootRejectsTruncatedLedger(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 20, 7)
+	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-5, Seed: 1}, Dir: dir}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Submit(1, 2, 0.5)
+	if _, _, err := s1.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "ledger.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("truncated ledger accepted against a newer snapshot")
+	}
+}

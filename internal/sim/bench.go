@@ -5,17 +5,21 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
+	"diffgossip/internal/core"
 	"diffgossip/internal/gossip"
 	"diffgossip/internal/rng"
+	"diffgossip/internal/service"
 )
 
 // BenchConfig parameterises the perf-trajectory benchmark that cmd/dgsim's
 // -bench-json flag runs: one Fig3/Table2-class scalar workload at large N and
 // two vector workloads (dense and sparse) at moderate N, each driven to
 // convergence while measuring wall time, message overhead and heap
-// allocations.
+// allocations, plus one service-level workload measuring concurrent
+// feedback-ingest and reputation-query throughput around an epoch recompute.
 type BenchConfig struct {
 	// N is the scalar workload size (default 10,000; Figure 3's upper
 	// midrange).
@@ -45,10 +49,20 @@ type BenchResult struct {
 	AllocsPerStep float64 `json:"allocs_per_step"`
 	// Converged is false if the run hit its step budget instead.
 	Converged bool `json:"converged"`
+	// IngestPerSec and QueryPerSec are the service-level throughput numbers
+	// (service rows only): feedback submissions and snapshot reads per
+	// second under GOMAXPROCS concurrent clients.
+	IngestPerSec float64 `json:"ingest_per_sec,omitempty"`
+	QueryPerSec  float64 `json:"query_per_sec,omitempty"`
+	// EpochNs is the wall-clock time of the service row's epoch recompute
+	// (fold + gossip + publish); its gossip portion is Steps × NsPerStep.
+	EpochNs float64 `json:"epoch_ns,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
 // the trajectory; later PRs append BENCH_2.json and so on for comparison).
+// Schema v2 extends v1 additively with the service row and its
+// ingest/query-throughput fields; the engine rows are unchanged.
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go"`
@@ -110,7 +124,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v1",
+		Schema:     "diffgossip-bench/v2",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
@@ -156,7 +170,98 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
+
+	// Service layer: concurrent ingest and lock-free query throughput on
+	// top of the vector engine, with one epoch recompute in between.
+	{
+		res, err := benchService(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
 	return report, nil
+}
+
+// benchService measures the reputation service end to end at the library
+// level (cmd/dgserve's -loadgen measures the HTTP stack on top of this):
+// GOMAXPROCS writers hammer Submit, one epoch folds the backlog and runs the
+// vector-gossip recompute, then GOMAXPROCS readers hammer the published
+// snapshot with global and personalised queries. Reads never touch a lock,
+// so QueryPerSec reflects pure snapshot evaluation cost.
+func benchService(cfg BenchConfig) (BenchResult, error) {
+	n := cfg.VectorN
+	g, err := buildPA(n, cfg.Seed+20)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	svc, err := service.New(service.Config{
+		Graph:  g,
+		Params: core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 21, Workers: -1},
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svc.Close()
+
+	workers := runtime.GOMAXPROCS(0)
+	perWorker := 25 * n / workers
+	run := func(op func(src *rng.Source)) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				src := rng.New(cfg.Seed + 30 + uint64(w))
+				for i := 0; i < perWorker; i++ {
+					op(src)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	ingestElapsed := run(func(src *rng.Source) {
+		if _, err := svc.Submit(src.Intn(n), src.Intn(n), src.Float64()); err != nil {
+			panic(err) // ids and values are in range by construction
+		}
+	})
+	totalOps := float64(workers * perWorker)
+
+	snap, ran, err := svc.RunEpoch()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if !ran {
+		return BenchResult{}, fmt.Errorf("bench: service epoch had nothing to fold")
+	}
+
+	queryElapsed := run(func(src *rng.Source) {
+		j := src.Intn(n)
+		if src.Bool(0.25) { // every fourth read asks for the GCLR view
+			if _, _, err := svc.PersonalReputation(src.Intn(n), j); err != nil {
+				panic(err)
+			}
+		} else if _, _, err := svc.Reputation(j); err != nil {
+			panic(err)
+		}
+	})
+
+	res := BenchResult{
+		Name:         fmt.Sprintf("service/N=%d", n),
+		N:            n,
+		Steps:        snap.Steps,
+		Converged:    snap.Converged,
+		IngestPerSec: totalOps / ingestElapsed.Seconds(),
+		QueryPerSec:  totalOps / queryElapsed.Seconds(),
+		EpochNs:      float64(snap.ElapsedNs),
+	}
+	if snap.Steps > 0 {
+		res.NsPerStep = float64(snap.ElapsedNs) / float64(snap.Steps)
+	}
+	return res, nil
 }
 
 func benchVector(cfg BenchConfig, sparse bool) (BenchResult, error) {

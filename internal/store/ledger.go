@@ -1,0 +1,266 @@
+// Package store is the persistence substrate of the reputation service: an
+// append-only feedback ledger (the write path) and immutable, versioned
+// reputation snapshots (the read path).
+//
+// The two halves meet only at epoch boundaries. Feedback accumulates in the
+// ledger — and, when a data directory is configured, in a JSON-lines
+// write-ahead file — until the epoch scheduler (internal/service) folds the
+// pending batch into the trust state, recomputes reputations by gossip, and
+// publishes a new Snapshot. A Snapshot is frozen at construction and never
+// mutated afterwards, so readers may share one across goroutines without
+// locks; persistence uses gob (reusing trust.Matrix's wire format) with
+// atomic rename, so a crash leaves either the old snapshot or the new one,
+// never a torn file.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// ErrInvalidFeedback marks feedback rejected by validation (out-of-range ids
+// or values) as opposed to I/O failures; callers use errors.Is to map the
+// two classes to different outcomes (e.g. HTTP 400 vs 500).
+var ErrInvalidFeedback = errors.New("invalid feedback")
+
+// Feedback is one direct-interaction rating: "Rater now places trust Value in
+// Subject". When the next epoch folds it, t[Rater][Subject] = Value; the
+// latest entry per (rater, subject) pair wins, matching trust.Matrix.Set
+// semantics. Estimating Value from raw transaction outcomes is the caller's
+// concern (see trust.Estimator) — the ledger stores the estimate.
+type Feedback struct {
+	// Seq is the ledger-assigned sequence number, strictly increasing from 1.
+	Seq uint64 `json:"seq"`
+	// Rater and Subject are node ids in [0, N).
+	Rater   int `json:"rater"`
+	Subject int `json:"subject"`
+	// Value is the direct trust t_ij ∈ [0,1].
+	Value float64 `json:"value"`
+	// UnixNano is the ingest wall-clock time (0 when unknown, e.g. entries
+	// replayed from ledgers written by older builds).
+	UnixNano int64 `json:"unix_nano,omitempty"`
+}
+
+// Ledger is the append-only feedback log. Appends are cheap and concurrent
+// (one short mutex hold, no epoch work on the ingest path); the epoch
+// scheduler drains the pending window with TakePending. With a backing file
+// every append is also written as one JSON line, so the full feedback history
+// survives restarts and stays greppable.
+type Ledger struct {
+	n int
+
+	mu      sync.Mutex
+	seq     uint64
+	pending []Feedback
+	f       *os.File
+	w       *bufio.Writer
+}
+
+// NewLedger returns a memory-only ledger over n nodes.
+func NewLedger(n int) *Ledger {
+	return &Ledger{n: n}
+}
+
+// OpenLedger opens (creating if absent) the JSON-lines ledger file at path
+// and replays every existing entry, returning them in append order so the
+// caller can decide which are already reflected in a loaded snapshot (Seq ≤
+// Snapshot.Seq) and which are still pending. Subsequent appends go to both
+// memory and the file.
+func OpenLedger(path string, n int) (*Ledger, []Feedback, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open ledger: %w", err)
+	}
+	l := &Ledger{n: n, f: f}
+	replayed, goodEnd, err := l.replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// A torn final line (crash or failed flush mid-append) is cut off so the
+	// next append starts on a clean line boundary.
+	if err := f.Truncate(goodEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: truncate torn ledger tail: %w", err)
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: seek ledger: %w", err)
+	}
+	l.w = bufio.NewWriter(f)
+	return l, replayed, nil
+}
+
+// replay reads the whole file, validating every line, and returns the byte
+// offset just past the last good line. Sequence numbers must be strictly
+// increasing; the ledger resumes after the highest one seen. An
+// unterminated final line is the crash artifact of an append that never
+// completed (Append flushes a full line per entry, so nothing else can tear)
+// and is silently dropped; any malformed *complete* line is real corruption
+// and fails hard.
+func (l *Ledger) replay(r io.Reader) ([]Feedback, int64, error) {
+	var out []Feedback
+	var goodEnd int64
+	br := bufio.NewReader(r)
+	line := 0
+	for {
+		b, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("store: read ledger: %w", err)
+		}
+		if err == io.EOF {
+			// len(b) > 0 here means an unterminated torn tail: the caller
+			// truncates it away via the returned goodEnd.
+			return out, goodEnd, nil
+		}
+		line++
+		trimmed := b[:len(b)-1]
+		if len(trimmed) == 0 {
+			goodEnd += int64(len(b))
+			continue
+		}
+		var fb Feedback
+		if err := json.Unmarshal(trimmed, &fb); err != nil {
+			return nil, 0, fmt.Errorf("store: ledger line %d: %w", line, err)
+		}
+		if err := l.check(fb.Rater, fb.Subject, fb.Value); err != nil {
+			return nil, 0, fmt.Errorf("store: ledger line %d: %w", line, err)
+		}
+		if fb.Seq <= l.seq {
+			return nil, 0, fmt.Errorf("store: ledger line %d: seq %d not increasing (after %d)", line, fb.Seq, l.seq)
+		}
+		l.seq = fb.Seq
+		out = append(out, fb)
+		goodEnd += int64(len(b))
+	}
+}
+
+func (l *Ledger) check(rater, subject int, value float64) error {
+	if rater < 0 || rater >= l.n || subject < 0 || subject >= l.n {
+		return fmt.Errorf("store: feedback (%d,%d) out of range [0,%d): %w", rater, subject, l.n, ErrInvalidFeedback)
+	}
+	if value < 0 || value > 1 || math.IsNaN(value) {
+		return fmt.Errorf("store: feedback value %v out of [0,1]: %w", value, ErrInvalidFeedback)
+	}
+	return nil
+}
+
+// Append validates and records one feedback entry, returning its sequence
+// number. unixNano is the ingest timestamp (pass 0 to omit). An error means
+// the entry was NOT recorded: the write-ahead line is durably written (and
+// flushed) before any in-memory state changes, so a failed append leaves
+// both the file and the pending window exactly as they were — a client told
+// "rejected" can never have its rating silently take effect later.
+func (l *Ledger) Append(rater, subject int, value float64, unixNano int64) (uint64, error) {
+	if err := l.check(rater, subject, value); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fb := Feedback{Seq: l.seq + 1, Rater: rater, Subject: subject, Value: value, UnixNano: unixNano}
+	if l.w != nil {
+		b, err := json.Marshal(fb)
+		if err != nil {
+			return 0, fmt.Errorf("store: encode feedback: %w", err)
+		}
+		b = append(b, '\n')
+		if _, err := l.w.Write(b); err != nil {
+			return 0, fmt.Errorf("store: write ledger: %w", err)
+		}
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("store: flush ledger: %w", err)
+		}
+	}
+	l.seq = fb.Seq
+	l.pending = append(l.pending, fb)
+	return fb.Seq, nil
+}
+
+// Restore re-queues entries as pending without re-appending them to the
+// file, preserving fold order: the entries go BEFORE anything currently
+// pending, since they are older (boot-time WAL replay, or an epoch batch
+// being returned after a failed epoch). Entries must carry their original
+// Seq values.
+func (l *Ledger) Restore(entries []Feedback) {
+	if len(entries) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = append(append(make([]Feedback, 0, len(entries)+len(l.pending)), entries...), l.pending...)
+}
+
+// TakePending atomically removes and returns the pending window in append
+// order; the epoch scheduler calls it once per epoch.
+func (l *Ledger) TakePending() []Feedback {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.pending
+	l.pending = nil
+	return out
+}
+
+// PendingCount returns the number of entries awaiting the next epoch.
+func (l *Ledger) PendingCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// Sync fsyncs the backing file (no-op for memory-only ledgers). The service
+// calls it at each epoch boundary before persisting the snapshot, so that
+// after any crash the on-disk ledger is always at least as new as the
+// on-disk snapshot — the invariant the boot-time truncation guard checks.
+// Individual appends are flushed to the OS but not fsynced; a power loss can
+// drop the tail since the last epoch, which replay handles, never entries a
+// persisted snapshot claims to have folded.
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush ledger: %w", err)
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync ledger: %w", err)
+	}
+	return nil
+}
+
+// Seq returns the last assigned sequence number (0 when empty).
+func (l *Ledger) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// N returns the node-id bound the ledger validates against.
+func (l *Ledger) N() int { return l.n }
+
+// Close flushes and closes the backing file, if any.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.w != nil {
+		err = l.w.Flush()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	return err
+}

@@ -20,8 +20,21 @@ import (
 // Matrix is the sparse N×N local trust matrix. Entry (i,j) is the trust node
 // i places in node j from direct interaction only; absent entries mean "never
 // transacted" and are treated as 0 by the aggregation algorithms (the paper's
-// whitewashing-resistant default). Matrix is not safe for concurrent
-// mutation; the simulator engines own one per run.
+// whitewashing-resistant default).
+//
+// # Concurrency
+//
+// Matrix is NOT goroutine-safe: no method may run concurrently with Set or
+// Delete on the same matrix, and there is no internal locking. The two
+// supported sharing patterns are
+//
+//   - single owner: the simulator engines and the service's epoch path own
+//     one matrix each and mutate it from one goroutine at a time;
+//   - frozen snapshot: Clone the matrix and never mutate the clone — any
+//     number of goroutines may then call the read methods on it without
+//     synchronisation (this is how store.Snapshot serves lock-free reads).
+//
+// Clone is a deep copy: mutations on either side are invisible to the other.
 type Matrix struct {
 	n    int
 	rows []map[int]float64
@@ -134,7 +147,10 @@ func (m *Matrix) NumEntries() int {
 	return total
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy sharing no state with the receiver: mutating
+// either matrix never affects the other. The snapshot path relies on this —
+// a clone handed to concurrent readers must stay frozen while the original
+// keeps absorbing feedback (see the concurrency contract on Matrix).
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.n)
 	for i, r := range m.rows {

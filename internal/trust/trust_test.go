@@ -2,6 +2,7 @@ package trust
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -100,6 +101,85 @@ func TestCloneIndependent(t *testing.T) {
 	if c.NumEntries() != 1 || m.NumEntries() != 1 {
 		t.Fatal("entry counts wrong")
 	}
+}
+
+// TestCloneFrozenUnderOriginalMutation pins the snapshot-path half of the
+// concurrency contract: after Clone, mutations of the ORIGINAL — updates,
+// new rows, deletes — must be invisible to the clone.
+func TestCloneFrozenUnderOriginalMutation(t *testing.T) {
+	m := NewMatrix(4)
+	_ = m.Set(0, 1, 0.5)
+	_ = m.Set(2, 1, 0.3)
+	c := m.Clone()
+	_ = m.Set(0, 1, 0.9) // update an entry the clone holds
+	_ = m.Set(3, 1, 0.7) // populate a row that was nil at clone time
+	m.Delete(2, 1)       // drop an entry the clone holds
+	if c.Value(0, 1) != 0.5 || c.Value(2, 1) != 0.3 {
+		t.Fatal("clone saw mutations of the original")
+	}
+	if c.Has(3, 1) {
+		t.Fatal("clone saw a row created after cloning")
+	}
+	if c.NumEntries() != 2 {
+		t.Fatalf("clone has %d entries, want 2", c.NumEntries())
+	}
+	if got := c.ColumnRaterMean(1); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("clone ColumnRaterMean = %v, want 0.4", got)
+	}
+}
+
+// TestCloneEmptyAndFull covers the edge shapes the epoch path produces: the
+// empty boot matrix and a matrix with every row populated.
+func TestCloneEmptyAndFull(t *testing.T) {
+	if c := NewMatrix(0).Clone(); c.N() != 0 || c.NumEntries() != 0 {
+		t.Fatal("empty clone wrong")
+	}
+	if c := NewMatrix(5).Clone(); c.N() != 5 || c.NumEntries() != 0 {
+		t.Fatal("zero-entry clone wrong")
+	}
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			_ = m.Set(i, j, float64(i+j)/8)
+		}
+	}
+	c := m.Clone()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if c.Value(i, j) != m.Value(i, j) {
+				t.Fatalf("clone differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestCloneConcurrentReaders runs many readers over a frozen clone while the
+// original keeps mutating — exactly the service's snapshot pattern. Run
+// under -race (the CI race job does) this would catch any storage sharing.
+func TestCloneConcurrentReaders(t *testing.T) {
+	m := NewMatrix(16)
+	for i := 0; i < 16; i++ {
+		_ = m.Set(i, (i+1)%16, 0.5)
+	}
+	frozen := m.Clone()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				i, j := k%16, (k+1)%16
+				frozen.Value(i, j)
+				frozen.ColumnRaterMean(j)
+				frozen.InteractedWith(i)
+				frozen.RatersOf(j)
+			}
+		}()
+	}
+	for k := 0; k < 500; k++ {
+		_ = m.Set(k%16, k%7, 0.25) // mutate the original only
+	}
+	wg.Wait()
 }
 
 func TestRowCopy(t *testing.T) {

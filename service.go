@@ -1,0 +1,43 @@
+package diffgossip
+
+import (
+	"diffgossip/internal/service"
+	"diffgossip/internal/store"
+)
+
+// Service is the long-running form of the library: a reputation service that
+// ingests interaction feedback over time and serves reads continuously.
+// Feedback accumulates in an append-only ledger; a background epoch scheduler
+// periodically folds the pending batch into the trust state, recomputes
+// reputations with a differential-gossip epoch (the same VectorEngine kernels
+// as AggregateGlobalAll), and atomically publishes an immutable Snapshot.
+// Reads are lock-free against the published snapshot, so query latency is
+// independent of epoch compute. See cmd/dgserve for the HTTP daemon and
+// examples/service for library use.
+//
+// Consistency model: reads are snapshot-consistent — the global and
+// personalised views answered between two epoch publications all derive from
+// the same frozen trust matrix. Feedback becomes visible at the next epoch
+// boundary; Submit returns a ledger sequence number, and the write is folded
+// once Snapshot().Seq reaches it.
+type Service = service.Service
+
+// ServiceConfig configures NewService. Graph is the gossip overlay; Params
+// the per-epoch aggregation settings; EpochInterval the scheduler period
+// (zero = epochs run only via RunEpoch); Dir an optional persistence
+// directory (feedback is write-ahead logged as JSON lines and snapshots are
+// saved with atomic renames, so a restart resumes from the last epoch).
+type ServiceConfig = service.Config
+
+// Snapshot is one immutable, versioned publication of the reputation state;
+// see Service.
+type Snapshot = store.Snapshot
+
+// Feedback is one ledger entry: "Rater places trust Value in Subject".
+type Feedback = store.Feedback
+
+// NewService builds a reputation service and starts its epoch scheduler when
+// cfg.EpochInterval > 0. Close releases it.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	return service.New(cfg)
+}

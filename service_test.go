@@ -1,0 +1,90 @@
+package diffgossip_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"diffgossip"
+)
+
+// TestServicePublicAPI drives the public Service type end to end: ingest,
+// epoch, lock-free reads, and the personalised view.
+func TestServicePublicAPI(t *testing.T) {
+	g, err := diffgossip.NewPANetwork(50, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := diffgossip.NewService(diffgossip.ServiceConfig{
+		Graph:  g,
+		Params: diffgossip.Params{Epsilon: 1e-6, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if _, err := svc.Submit(4, 11, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := svc.Submit(6, 11, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq = %d, want 2", seq)
+	}
+
+	snap, ran, err := svc.RunEpoch()
+	if err != nil || !ran {
+		t.Fatalf("epoch: ran=%v err=%v", ran, err)
+	}
+	if snap.Seq != seq {
+		t.Fatalf("snapshot folded seq %d, want %d", snap.Seq, seq)
+	}
+	got, _, err := svc.Reputation(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diffgossip.GlobalReference(snap.Trust, 11)
+	if math.Abs(got-want) > 1e-2 {
+		t.Fatalf("reputation %v, reference %v", got, want)
+	}
+	if math.Abs(want-0.6) > 1e-12 {
+		t.Fatalf("reference %v, want 0.6", want)
+	}
+	if v, _, err := svc.PersonalReputation(4, 11); err != nil || v < 0 || v > 1 {
+		t.Fatalf("personal view = (%v, %v)", v, err)
+	}
+}
+
+// TestServiceSchedulerPublicAPI exercises the background scheduler through
+// the public surface.
+func TestServiceSchedulerPublicAPI(t *testing.T) {
+	g, err := diffgossip.NewPANetwork(30, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := diffgossip.NewService(diffgossip.ServiceConfig{
+		Graph:         g,
+		Params:        diffgossip.Params{Epsilon: 1e-5, Seed: 9},
+		EpochInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Submit(1, 2, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Snapshot().Epoch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduler never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, _, _ := svc.Reputation(2); math.Abs(v-0.9) > 1e-2 {
+		t.Fatalf("reputation = %v, want ≈0.9", v)
+	}
+}
