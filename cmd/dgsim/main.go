@@ -32,17 +32,25 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|fig6|scaling|factor|whitewash|baselines|profile|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|fig6|scaling|factor|whitewash|baselines|profile|churn|all")
 		seed      = flag.Uint64("seed", 42, "random seed (all experiments are deterministic given the seed)")
-		n         = flag.Int("n", 0, "override network size where applicable (fig4/fig5/fig6/factor/bench)")
+		n         = flag.Int("n", 0, "override network size where applicable (fig4/fig5/fig6/factor/churn/scenario/bench)")
 		quick     = flag.Bool("quick", false, "use reduced sweeps (N up to 1000) for fast runs")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchJSON = flag.String("bench-json", "", "run the perf benchmark instead of experiments and write the JSON report to this path (e.g. BENCH_1.json)")
+		scen      = flag.String("scenario", "", "run one churn/fault scenario instead of experiments; comma-separated spec, e.g. \"crash=0.1,join=0.1,loss=0.2,rounds=250\" (keys: target, rounds, epsilon, loss, crash, join, leave, rejoin, collude, collude-at, lie, partition, partition-span, partition-at, epoch-every)")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *seed, *n, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "dgsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scen != "" {
+		if err := runScenario(os.Stdout, *scen, *n, *seed, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "dgsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -209,13 +217,26 @@ func run(w io.Writer, exp string, seed uint64, n int, quick, csv bool) error {
 				return err
 			}
 			return render(sim.WhitewashTable(rows))
+		case "churn":
+			size := n
+			if size == 0 {
+				size = 1000
+				if quick {
+					size = 300
+				}
+			}
+			rows, err := sim.RunChurn(sim.ChurnConfig{N: size, Seed: seed})
+			if err != nil {
+				return err
+			}
+			return render(sim.ChurnTable(rows))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "scaling", "factor", "whitewash", "baselines", "profile"} {
+		for _, name := range []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "scaling", "factor", "whitewash", "baselines", "profile", "churn"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

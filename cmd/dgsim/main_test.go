@@ -12,7 +12,7 @@ import (
 )
 
 func TestRunEachExperimentQuick(t *testing.T) {
-	for _, exp := range []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "scaling", "factor", "whitewash", "baselines", "profile"} {
+	for _, exp := range []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "scaling", "factor", "whitewash", "baselines", "profile", "churn"} {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
 			// n=120 keeps the collusion/factor runs fast; quick shrinks
@@ -75,19 +75,31 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v2" {
+	if report.Schema != "diffgossip-bench/v3" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 4 {
-		t.Fatalf("benchmarks = %d, want 4 (scalar, vector, vector-sparse, service)", len(report.Benchmarks))
+	if len(report.Benchmarks) != 5 {
+		t.Fatalf("benchmarks = %d, want 5 (scalar, vector, vector-sparse, service, churn)", len(report.Benchmarks))
 	}
-	var serviceRows int
+	var serviceRows, churnRows int
 	for _, b := range report.Benchmarks {
 		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
 			t.Fatalf("malformed row %+v", b)
 		}
 		if b.NsPerStep <= 0 {
 			t.Fatalf("row %q has no timing", b.Name)
+		}
+		if strings.HasPrefix(b.Name, "churn-scenario/") {
+			// The churn row runs a fixed timeline with events spread over
+			// its whole span, so it legitimately ends unconverged.
+			churnRows++
+			if b.Events <= 0 {
+				t.Fatalf("churn row executed no events: %+v", b)
+			}
+			if b.MsgsPerNodePerStep <= 0 {
+				t.Fatalf("churn row has no message metric: %+v", b)
+			}
+			continue
 		}
 		if !b.Converged {
 			t.Fatalf("row %q did not converge", b.Name)
@@ -103,7 +115,7 @@ func TestBenchJSONWellFormed(t *testing.T) {
 			t.Fatalf("row %q has no message metric", b.Name)
 		}
 	}
-	if serviceRows != 1 {
-		t.Fatalf("service rows = %d, want 1", serviceRows)
+	if serviceRows != 1 || churnRows != 1 {
+		t.Fatalf("service rows = %d, churn rows = %d, want 1 each", serviceRows, churnRows)
 	}
 }

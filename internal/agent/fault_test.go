@@ -1,0 +1,151 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/transport"
+)
+
+// runFaultyCluster spins one agent per node over a hub whose send sides are
+// wrapped in transport.Fault, configured by the caller before the agents
+// start. It exercises the fault injector under the real asynchronous
+// protocol stack rather than in isolation.
+func runFaultyCluster(t *testing.T, g *graph.Graph, xs []float64, configure func(i int, f *transport.Fault), timeout time.Duration) []Result {
+	t.Helper()
+	h := transport.NewHub()
+	n := g.N()
+	faults := make([]*transport.Fault, n)
+	for i := 0; i < n; i++ {
+		ep, err := h.Endpoint(fmt.Sprintf("peer%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults[i] = transport.NewFault(ep, uint64(100+i))
+		configure(i, faults[i])
+	}
+	// A background ticker flushes delayed messages, standing in for the
+	// round boundaries of the synchronous simulator.
+	flushCtx, stopFlush := context.WithCancel(context.Background())
+	defer stopFlush()
+	go func() {
+		tk := time.NewTicker(3 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-flushCtx.Done():
+				return
+			case <-tk.C:
+				for _, f := range faults {
+					_ = f.Tick()
+				}
+			}
+		}
+	}()
+
+	results := make([]Result, n)
+	errs := make([]error, n)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		nbrs := make([]string, 0, g.Degree(i))
+		for _, v := range g.Neighbors(i) {
+			nbrs = append(nbrs, fmt.Sprintf("peer%d", v))
+		}
+		a, err := New(Config{
+			Transport:    faults[i],
+			Neighbors:    nbrs,
+			Y0:           xs[i],
+			G0:           1,
+			Epsilon:      1e-4,
+			TickInterval: 2 * time.Millisecond,
+			Seed:         uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, a *Agent) {
+			defer wg.Done()
+			results[i], errs[i] = a.Run(ctx)
+		}(i, a)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v (estimate %v)", i, err, results[i].Estimate)
+		}
+	}
+	return results
+}
+
+// TestClusterConvergesOverLossyFaultTransport: with drops reported
+// (ErrDropped stands in for a missing ack), every agent re-absorbs its lost
+// shares, so mass is conserved and the cluster still converges to the exact
+// average through a 25%-loss link layer — the agent-level analogue of the
+// paper's Fig. 4 robustness claim.
+func TestClusterConvergesOverLossyFaultTransport(t *testing.T) {
+	g := graph.MustPA(12, 2, 5)
+	xs := make([]float64, 12)
+	want := 0.0
+	for i := range xs {
+		xs[i] = float64(i) / 12
+		want += xs[i]
+	}
+	want /= 12
+	var faults []*transport.Fault
+	results := runFaultyCluster(t, g, xs, func(i int, f *transport.Fault) {
+		f.SetDropProb(0.25)
+		f.ReportDrops(true)
+		// Only gossip pushes are lossy; the paper's model (and the
+		// synchronous engines) treat the degree/announcement control plane
+		// as reliable, and the agents' termination protocol depends on
+		// announcements arriving eventually.
+		f.SetFilter(func(m transport.Message) bool { return m.Kind == transport.KindPair })
+		faults = append(faults, f)
+	}, 60*time.Second)
+	for i, r := range results {
+		if math.Abs(r.Estimate-want) > 0.02 {
+			t.Fatalf("agent %d estimate %v, want %v", i, r.Estimate, want)
+		}
+		if r.SharesLost == 0 {
+			t.Fatalf("agent %d saw no dropped shares at 25%% loss: %+v", i, r)
+		}
+	}
+	dropped := 0
+	for _, f := range faults {
+		d, _, _ := f.Stats()
+		dropped += d
+	}
+	if dropped == 0 {
+		t.Fatal("fault layer recorded no drops")
+	}
+}
+
+// TestClusterConvergesOverDelayingFaultTransport: delayed messages are
+// released at flush boundaries, so no mass is ever lost and convergence
+// survives heavy reordering.
+func TestClusterConvergesOverDelayingFaultTransport(t *testing.T) {
+	g := graph.Ring(8)
+	xs := []float64{0.1, 0.9, 0.3, 0.7, 0.5, 0.2, 0.8, 0.4}
+	want := 0.0
+	for _, x := range xs {
+		want += x
+	}
+	want /= float64(len(xs))
+	results := runFaultyCluster(t, g, xs, func(i int, f *transport.Fault) {
+		f.SetDelayProb(0.4)
+		f.SetFilter(func(m transport.Message) bool { return m.Kind == transport.KindPair })
+	}, 60*time.Second)
+	for i, r := range results {
+		if math.Abs(r.Estimate-want) > 0.02 {
+			t.Fatalf("agent %d estimate %v, want %v", i, r.Estimate, want)
+		}
+	}
+}

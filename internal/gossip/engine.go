@@ -33,6 +33,19 @@ type Engine struct {
 
 	selfConv []bool // node announced its own convergence
 	stopped  []bool // node and all neighbours converged; no longer pushes
+	down     []bool // node crashed or left; holds no mass, drops pushes
+
+	// Mass accounting for churn scenarios (see MassLedger): base is the
+	// construction-time total, injected accumulates mass added by
+	// Rejoin/AddNode, lost accumulates mass destroyed by crashes and
+	// heirless leaves. MassY() ≈ base.Y + injected.Y − lost.Y always.
+	base, injected, lost                Pair
+	baseCount, injectedCount, lostCount float64
+
+	// linkFault, when set, drops any push for which it returns true (the
+	// sender re-absorbs the share, as with probabilistic loss). It models
+	// partitions and lossy links in churn scenarios.
+	linkFault func(from, to int) bool
 
 	// scratch buffers reused across steps; nbrs holds each node's sampled
 	// fan-out targets so steady-state Step never touches the heap
@@ -84,6 +97,7 @@ func NewEngine(cfg Config, y0, g0 []float64) (*Engine, error) {
 		u:        make([]float64, n),
 		selfConv: make([]bool, n),
 		stopped:  make([]bool, n),
+		down:     make([]bool, n),
 		next:     make([]Pair, n),
 		extRecv:  make([]int, n),
 	}
@@ -93,6 +107,7 @@ func NewEngine(cfg Config, y0, g0 []float64) (*Engine, error) {
 		}
 		e.cur[i] = Pair{y0[i], g0[i]}
 		e.u[i] = e.cur[i].ratio()
+		e.base.add(e.cur[i])
 		// Degree exchange: one push per incident edge direction.
 		e.msgs.Setup += cfg.Graph.Degree(i)
 	}
@@ -111,6 +126,9 @@ func (e *Engine) EnableCountGossip(count0 []float64) error {
 	}
 	e.count = append([]float64(nil), count0...)
 	e.nextCount = make([]float64, e.n)
+	for _, c := range count0 {
+		e.baseCount += c
+	}
 	return nil
 }
 
@@ -176,6 +194,10 @@ func (e *Engine) Step() bool {
 
 	// Push phase.
 	for i := 0; i < e.n; i++ {
+		if e.down[i] {
+			// A departed node holds no mass and transmits nothing.
+			continue
+		}
 		if e.stopped[i] || g.Degree(i) == 0 {
 			// A stopped or isolated node retains its entire mass.
 			e.next[i].add(e.cur[i])
@@ -200,7 +222,15 @@ func (e *Engine) Step() bool {
 		e.nbrs = g.AppendRandomNeighbors(e.nbrs[:0], i, k, e.src)
 		for _, t := range e.nbrs {
 			e.msgs.Gossip++
-			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
+			// The loss draw is taken before the down/partition checks so a
+			// churn-free run consumes exactly the stream the seed implies.
+			dropped := e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb)
+			if !dropped && (e.down[t] || (e.linkFault != nil && e.linkFault(i, t))) {
+				// A push to a departed node, or across a faulted link,
+				// fails like a lost packet: no ack arrives.
+				dropped = true
+			}
+			if dropped {
 				// Lost push: no ack, so the sender re-absorbs the
 				// share (paper §5.3) and mass is conserved.
 				e.msgs.Lost++
@@ -225,6 +255,12 @@ func (e *Engine) Step() bool {
 		e.cur[i] = e.next[i]
 		if e.nextCount != nil {
 			e.count[i] = e.nextCount[i]
+		}
+		if e.down[i] {
+			// Departed nodes carry no estimate and play no part in the
+			// convergence protocol until they rejoin.
+			e.u[i] = Sentinel
+			continue
 		}
 		r := e.cur[i].ratio()
 		delta := abs(r - e.u[i])
@@ -259,8 +295,10 @@ func (e *Engine) Step() bool {
 	// is revoked. The run ends when every node pauses at once.
 	running := false
 	for i := 0; i < e.n; i++ {
-		// Isolated nodes cannot gossip and must not block termination.
-		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0) && allConverged(e.selfConv, g.Neighbors(i))
+		// Isolated and departed nodes cannot gossip and must not block
+		// termination; a departed neighbour likewise never announces, so
+		// the stop rule treats it as converged (ack-timeout semantics).
+		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0 || e.down[i]) && allConverged(e.selfConv, e.down, g.Neighbors(i))
 		if !e.stopped[i] {
 			running = true
 		}
@@ -268,9 +306,11 @@ func (e *Engine) Step() bool {
 	return running
 }
 
-func allConverged(conv []bool, nbrs []int) bool {
+// allConverged reports whether every listed neighbour either announced
+// convergence or has departed (down may be nil when churn is impossible).
+func allConverged(conv, down []bool, nbrs []int) bool {
 	for _, v := range nbrs {
-		if !conv[v] {
+		if !conv[v] && (down == nil || !down[v]) {
 			return false
 		}
 	}

@@ -51,6 +51,17 @@ type VectorEngine struct {
 
 	selfConv []bool
 	stopped  []bool
+	down     []bool // node crashed or left; holds no mass, drops pushes
+
+	// Per-subject mass accounting for churn scenarios (see MassLedger):
+	// baseY/baseG are the construction-time column totals, injY/injG
+	// accumulate mass added by Rejoin/AddNode, lostY/lostG mass destroyed
+	// by crashes and heirless leaves.
+	baseY, baseG, injY, injG, lostY, lostG []float64
+
+	// linkFault, when set, drops any push for which it returns true (the
+	// sender re-absorbs the share); models partitions and lossy links.
+	linkFault func(from, to int) bool
 	// active[j] is true when some node started with weight mass for
 	// subject j; only active subjects gate a node's convergence (a column
 	// nobody rated carries no campaign and must not block termination).
@@ -72,7 +83,9 @@ type VectorEngine struct {
 	// accumulate-and-scan entirely and are not view-swapped.
 	recomputed []bool
 	nbrs       []int // scratch for fan-out target sampling
-	wg         sync.WaitGroup
+	// wg is held by pointer so AddNode can rebuild the engine with a plain
+	// struct copy without copying a lock value.
+	wg *sync.WaitGroup
 
 	msgs Messages
 	// vectorCost scales the per-push message accounting: pushing an
@@ -119,6 +132,13 @@ func NewVectorEngine(cfg Config, y0, g0 [][]float64) (*VectorEngine, error) {
 		prevR:        alloc(n),
 		selfConv:     make([]bool, n),
 		stopped:      make([]bool, n),
+		down:         make([]bool, n),
+		baseY:        make([]float64, n),
+		baseG:        make([]float64, n),
+		injY:         make([]float64, n),
+		injG:         make([]float64, n),
+		lostY:        make([]float64, n),
+		lostG:        make([]float64, n),
 		nextY:        alloc(n),
 		nextG:        alloc(n),
 		extRecv:      make([]int, n),
@@ -126,6 +146,7 @@ func NewVectorEngine(cfg Config, y0, g0 [][]float64) (*VectorEngine, error) {
 		l1:           make([]float64, n),
 		hasWeight:    make([]bool, n),
 		recomputed:   make([]bool, n),
+		wg:           new(sync.WaitGroup),
 		perPushUnits: 1,
 	}
 	// A node can receive at most one share from each neighbour, one self
@@ -143,6 +164,8 @@ func NewVectorEngine(cfg Config, y0, g0 [][]float64) (*VectorEngine, error) {
 			if e.g[i][j] > 0 {
 				e.active[j] = true
 			}
+			e.baseY[j] += e.y[i][j]
+			e.baseG[j] += e.g[i][j]
 			e.prevR[i][j] = ratioOr(e.y[i][j], e.g[i][j])
 		}
 		e.msgs.Setup += cfg.Graph.Degree(i)
@@ -292,7 +315,7 @@ func (e *VectorEngine) Step() bool {
 		e.extRecv[i] = 0
 	}
 	for i := 0; i < e.n; i++ {
-		if e.stopped[i] || g.Degree(i) == 0 {
+		if e.down[i] || e.stopped[i] || g.Degree(i) == 0 {
 			e.incoming[i] = append(e.incoming[i], push{src: i, f: 1})
 			continue
 		}
@@ -303,7 +326,14 @@ func (e *VectorEngine) Step() bool {
 		e.nbrs = g.AppendRandomNeighbors(e.nbrs[:0], i, k, e.src)
 		for _, t := range e.nbrs {
 			e.msgs.Gossip += e.perPushUnits
-			if e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb) {
+			// Loss draw first, so churn-free runs consume the exact stream
+			// the seed implies; pushes to departed nodes or across faulted
+			// links fail like lost packets (no ack, sender re-absorbs).
+			dropped := e.cfg.LossProb > 0 && e.src.Bool(e.cfg.LossProb)
+			if !dropped && (e.down[t] || (e.linkFault != nil && e.linkFault(i, t))) {
+				dropped = true
+			}
+			if dropped {
 				e.msgs.Lost += e.perPushUnits
 				e.incoming[i] = append(e.incoming[i], push{src: i, f: f})
 				continue
@@ -332,7 +362,7 @@ func (e *VectorEngine) Step() bool {
 	nxi := float64(e.n) * e.cfg.Epsilon
 	for i := 0; i < e.n; i++ {
 		heard := e.extRecv[i] >= 1 || e.selfConv[i] || e.stopped[i]
-		conv := e.hasWeight[i] && heard && e.l1[i] <= nxi && e.steps >= e.cfg.MinSteps
+		conv := !e.down[i] && e.hasWeight[i] && heard && e.l1[i] <= nxi && e.steps >= e.cfg.MinSteps
 		if conv != e.selfConv[i] {
 			e.selfConv[i] = conv
 			e.msgs.Announce += g.Degree(i)
@@ -340,7 +370,7 @@ func (e *VectorEngine) Step() bool {
 	}
 	running := false
 	for i := 0; i < e.n; i++ {
-		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0) && allConverged(e.selfConv, g.Neighbors(i))
+		e.stopped[i] = (e.selfConv[i] || g.Degree(i) == 0 || e.down[i]) && allConverged(e.selfConv, e.down, g.Neighbors(i))
 		if !e.stopped[i] {
 			running = true
 		}

@@ -454,3 +454,83 @@ func TestAppendRandomNeighborsReusesBuffer(t *testing.T) {
 		t.Fatalf("append semantics broken: %v", got)
 	}
 }
+
+func TestAttachPreferential(t *testing.T) {
+	g := MustPA(200, 2, 7)
+	src := rng.New(11)
+	for k := 0; k < 50; k++ {
+		u := AttachPreferential(g, 2, src, nil)
+		if u != 200+k {
+			t.Fatalf("new node id %d, want %d", u, 200+k)
+		}
+		if d := g.Degree(u); d != 2 {
+			t.Fatalf("join %d got degree %d, want 2", u, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replays are bit-identical from the same seed.
+	g1, g2 := MustPA(100, 2, 3), MustPA(100, 2, 3)
+	s1, s2 := rng.New(5), rng.New(5)
+	for k := 0; k < 20; k++ {
+		AttachPreferential(g1, 2, s1, nil)
+		AttachPreferential(g2, 2, s2, nil)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("replay edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("replay edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestAttachPreferentialEligibleFilter(t *testing.T) {
+	g := MustPA(50, 2, 9)
+	down := map[int]bool{0: true, 1: true, 2: true}
+	src := rng.New(13)
+	for k := 0; k < 30; k++ {
+		u := AttachPreferential(g, 3, src, func(v int) bool { return !down[v] })
+		for _, v := range g.Neighbors(u) {
+			if down[v] {
+				t.Fatalf("join %d attached to excluded node %d", u, v)
+			}
+		}
+	}
+
+	// Hubs attract joins: the max-degree node should gather more new edges
+	// than a typical leaf over many joins.
+	degMax := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > degMax {
+			degMax = d
+		}
+	}
+	if degMax < 6 {
+		t.Fatalf("preferential joins did not concentrate on hubs (max degree %d)", degMax)
+	}
+}
+
+func TestAttachPreferentialDegenerate(t *testing.T) {
+	// Empty overlay: first join stays isolated, second bootstraps an edge.
+	g := New(1)
+	src := rng.New(1)
+	u := AttachPreferential(g, 2, src, nil)
+	if g.Degree(u) != 1 { // attaches to the lone isolated node 0
+		t.Fatalf("bootstrap join degree %d, want 1", g.Degree(u))
+	}
+	// All candidates excluded: the newcomer stays isolated.
+	v := AttachPreferential(g, 2, src, func(int) bool { return false })
+	if g.Degree(v) != 0 {
+		t.Fatalf("fully excluded join got degree %d", g.Degree(v))
+	}
+	// m larger than the candidate pool: connects to everything available.
+	w := AttachPreferential(g, 99, src, nil)
+	if g.Degree(w) != 2 {
+		t.Fatalf("m>candidates join degree %d, want 2", g.Degree(w))
+	}
+}

@@ -73,6 +73,87 @@ func PreferentialAttachment(cfg PAConfig) (*Graph, error) {
 	return g, nil
 }
 
+// AttachPreferential grows g by one node wired with up to m edges whose
+// endpoints are drawn with probability proportional to current degree —
+// the same arrival process PreferentialAttachment uses — so joins in a churn
+// scenario preserve the overlay's power-law shape. eligible, when non-nil,
+// restricts candidate endpoints (a live-membership filter: a newcomer cannot
+// discover departed peers); duplicates are resolved by resampling. When
+// fewer than m distinct eligible endpoints with positive degree exist, every
+// one of them is used; with none, the newcomer falls back to uniform choice
+// among eligible isolated nodes, and failing that stays isolated. Returns
+// the new node's id.
+func AttachPreferential(g *Graph, m int, src *rng.Source, eligible func(int) bool) int {
+	u := g.AddNode()
+	if m < 1 {
+		return u
+	}
+	ok := func(v int) bool { return v != u && (eligible == nil || eligible(v)) }
+
+	// Candidate mass: eligible nodes weighted by degree.
+	total := 0
+	candidates := 0
+	isolated := -1
+	isolatedCount := 0
+	for v := 0; v < u; v++ {
+		if !ok(v) {
+			continue
+		}
+		if d := g.Degree(v); d > 0 {
+			total += d
+			candidates++
+		} else {
+			isolatedCount++
+			isolated = v
+		}
+	}
+	if candidates == 0 {
+		// Degenerate overlay: no eligible node has an edge yet. Bootstrap
+		// with one uniform edge to an eligible isolated node if any exists.
+		if isolatedCount > 0 {
+			pick := src.Intn(isolatedCount)
+			for v := 0; v < u; v++ {
+				if ok(v) && g.Degree(v) == 0 {
+					if pick == 0 {
+						isolated = v
+						break
+					}
+					pick--
+				}
+			}
+			g.AddEdge(u, isolated) //nolint:errcheck // endpoints valid by construction
+		}
+		return u
+	}
+	if m > candidates {
+		m = candidates
+	}
+	for g.Degree(u) < m {
+		// Degree-proportional draw by prefix walk over the eligible mass.
+		// O(N) per draw is fine at event rate; duplicates resample.
+		r := src.Intn(total)
+		t := -1
+		for v := 0; v < u; v++ {
+			if !ok(v) {
+				continue
+			}
+			if d := g.Degree(v); d > 0 {
+				if r < d {
+					t = v
+					break
+				}
+				r -= d
+			}
+		}
+		if t < 0 || g.HasEdge(u, t) {
+			continue
+		}
+		g.AddEdge(u, t) //nolint:errcheck // endpoints validated above
+		total++         // the target's degree just grew; keep the mass exact
+	}
+	return u
+}
+
 // MustPA is PreferentialAttachment that panics on config error; convenient in
 // tests and benchmarks where the config is a literal.
 func MustPA(n, m int, seed uint64) *Graph {

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"diffgossip/internal/rng"
+)
+
+// Plan generates a randomized timeline: event counts are fractions of the
+// initial network size, placed uniformly over the run's rounds by a
+// dedicated split of the scenario seed. The expansion is a pure function of
+// (plan, n, rounds, stream), so a plan replays exactly.
+//
+// Rejoin events whose turn comes up before anything has departed are
+// skipped at execution time (and logged), so any combination of rates is a
+// valid plan.
+type Plan struct {
+	// JoinFrac admits round(JoinFrac·N) new nodes over the run.
+	JoinFrac float64
+	// CrashFrac crashes round(CrashFrac·N) alive nodes over the run.
+	CrashFrac float64
+	// LeaveFrac removes round(LeaveFrac·N) alive nodes gracefully.
+	LeaveFrac float64
+	// RejoinFrac whitewashes round(RejoinFrac·N) departed nodes back in.
+	RejoinFrac float64
+
+	// PartitionSpan > 0 schedules one partition of PartitionSpan rounds
+	// starting at PartitionRound, with PartitionFrac of the alive nodes in
+	// the minority cell (default 0.5).
+	PartitionSpan  int
+	PartitionRound int
+	PartitionFrac  float64
+
+	// ColludeFrac > 0 schedules one collusion-group formation at
+	// ColludeRound: the group is ColludeFrac of the alive nodes, lying with
+	// value ColludeLie. Set it explicitly — 1 is the paper's inflation
+	// attack, 0 a deflation attack; the zero value really means lie = 0.
+	ColludeFrac  float64
+	ColludeRound int
+	ColludeLie   float64
+}
+
+// zero reports whether the plan generates no events.
+func (p Plan) zero() bool {
+	return p.JoinFrac <= 0 && p.CrashFrac <= 0 && p.LeaveFrac <= 0 && p.RejoinFrac <= 0 &&
+		p.PartitionSpan <= 0 && p.ColludeFrac <= 0
+}
+
+func planCount(frac float64, n int) int {
+	if frac <= 0 {
+		return 0
+	}
+	c := int(frac*float64(n) + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// expand materialises the plan into events. Node churn events use PickNode
+// so execution-time selection tracks the evolving membership.
+func (p Plan) expand(n, rounds int, src *rng.Source) []Event {
+	if p.zero() {
+		return nil
+	}
+	var out []Event
+	emit := func(kind Kind, count int) {
+		for i := 0; i < count; i++ {
+			out = append(out, Event{Round: src.Intn(rounds), Kind: kind, Node: PickNode})
+		}
+	}
+	emit(KindCrash, planCount(p.CrashFrac, n))
+	emit(KindLeave, planCount(p.LeaveFrac, n))
+	emit(KindJoin, planCount(p.JoinFrac, n))
+	emit(KindRejoin, planCount(p.RejoinFrac, n))
+	if p.PartitionSpan > 0 {
+		out = append(out, Event{
+			Round: clampRound(p.PartitionRound, rounds),
+			Kind:  KindPartition,
+			Span:  p.PartitionSpan,
+			Frac:  p.PartitionFrac,
+		})
+	}
+	if p.ColludeFrac > 0 {
+		out = append(out, Event{
+			Round: clampRound(p.ColludeRound, rounds),
+			Kind:  KindCollude,
+			Frac:  p.ColludeFrac,
+			Value: p.ColludeLie,
+		})
+	}
+	return out
+}
+
+func clampRound(r, rounds int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= rounds {
+		return rounds - 1
+	}
+	return r
+}

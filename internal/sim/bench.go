@@ -11,6 +11,7 @@ import (
 	"diffgossip/internal/core"
 	"diffgossip/internal/gossip"
 	"diffgossip/internal/rng"
+	"diffgossip/internal/scenario"
 	"diffgossip/internal/service"
 )
 
@@ -57,12 +58,18 @@ type BenchResult struct {
 	// EpochNs is the wall-clock time of the service row's epoch recompute
 	// (fold + gossip + publish); its gossip portion is Steps × NsPerStep.
 	EpochNs float64 `json:"epoch_ns,omitempty"`
+	// Events is the number of churn/fault events the churn-scenario row
+	// executed (joins + crashes + leaves + rejoins).
+	Events int `json:"events,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
 // the trajectory; later PRs append BENCH_2.json and so on for comparison).
 // Schema v2 extends v1 additively with the service row and its
-// ingest/query-throughput fields; the engine rows are unchanged.
+// ingest/query-throughput fields; v3 adds the churn-scenario row (steps are
+// scenario rounds, ns_per_step is scenario wall time per round including
+// event application and invariant checks, events counts executed churn
+// events). Earlier rows are unchanged.
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go"`
@@ -124,7 +131,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v2",
+		Schema:     "diffgossip-bench/v3",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
@@ -180,7 +187,52 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
+
+	// Churn scenario: the acceptance-class workload — 10% crash + 10% join
+	// over the run under 20% packet loss — timed end to end, per-round
+	// invariant checks included.
+	{
+		res, err := benchChurn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
 	return report, nil
+}
+
+// benchChurn times one deterministic churn scenario on the scalar engine.
+func benchChurn(cfg BenchConfig) (BenchResult, error) {
+	sc := scenario.Config{
+		Target:   scenario.TargetScalar,
+		N:        cfg.N,
+		Rounds:   300,
+		Epsilon:  cfg.Epsilon,
+		LossProb: 0.2,
+		Seed:     cfg.Seed + 30,
+		Plan:     scenario.Plan{CrashFrac: 0.1, JoinFrac: 0.1},
+	}
+	start := time.Now()
+	res, err := scenario.Run(sc)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	elapsed := time.Since(start)
+	if len(res.Violations) > 0 {
+		return BenchResult{}, fmt.Errorf("bench: churn scenario violated invariants: %s", res.Violations[0])
+	}
+	out := BenchResult{
+		Name:      fmt.Sprintf("churn-scenario/N=%d", cfg.N),
+		N:         cfg.N,
+		Steps:     res.Rounds,
+		Converged: res.Converged,
+		Events:    res.Joins + res.Crashes + res.Leaves + res.Rejoins,
+	}
+	out.MsgsPerNodePerStep = res.Messages.PerNodePerStep(res.N, res.Rounds)
+	if res.Rounds > 0 {
+		out.NsPerStep = float64(elapsed.Nanoseconds()) / float64(res.Rounds)
+	}
+	return out, nil
 }
 
 // benchService measures the reputation service end to end at the library

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+
+	"diffgossip/internal/scenario"
+)
+
+// ChurnConfig parameterises the churn sweep: a Figure-4-style grid of packet
+// loss × membership churn, each cell one deterministic scenario run (10%
+// churn means 10% of the initial nodes crash AND 10% join over the run,
+// placed uniformly over the timeline). It extends the paper's robustness
+// story — Fig. 4 varies loss on a static overlay — with the dynamic
+// membership dimension the P2P setting implies.
+type ChurnConfig struct {
+	// N is the initial network size (default 1000).
+	N int
+	// Rounds is the scenario length (default 250).
+	Rounds int
+	// LossProbs is the packet-loss sweep; default {0, 0.1, 0.2, 0.3}.
+	LossProbs []float64
+	// ChurnFracs is the churn sweep; default {0, 0.05, 0.1, 0.2}.
+	ChurnFracs []float64
+	// Epsilon is the convergence bound ξ (default 1e-3).
+	Epsilon float64
+	// Trials averages over seeds (default 1).
+	Trials int
+	// Seed drives everything.
+	Seed uint64
+	// Workers spreads the grid across goroutines; 0 (or negative) selects
+	// GOMAXPROCS, 1 runs sequentially. Results are identical either way.
+	Workers int
+}
+
+// ChurnRow is one point of the loss × churn grid.
+type ChurnRow struct {
+	N          int
+	LossProb   float64
+	ChurnFrac  float64
+	Rounds     float64 // mean rounds executed
+	Converged  bool    // false if any trial was still running at the end
+	FinalErr   float64 // mean worst deviation from the mass reference
+	MaxMassErr float64 // worst mass-conservation drift across trials
+	Violations int     // total invariant violations (0 on a healthy engine)
+}
+
+// RunChurn runs the churn grid. Each (loss, churn, trial) cell derives its
+// own seeds by splitting the sweep seed in enumeration order, so rows are
+// bit-identical for any worker count.
+func RunChurn(cfg ChurnConfig) ([]ChurnRow, error) {
+	if cfg.N == 0 {
+		cfg.N = 1000
+	}
+	if err := checkPositive("network size", cfg.N); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 250
+	}
+	if len(cfg.LossProbs) == 0 {
+		cfg.LossProbs = []float64{0, 0.1, 0.2, 0.3}
+	}
+	if len(cfg.ChurnFracs) == 0 {
+		cfg.ChurnFracs = []float64{0, 0.05, 0.1, 0.2}
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-3
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+
+	nc := len(cfg.ChurnFracs)
+	cellCount := len(cfg.LossProbs) * nc * cfg.Trials
+	seeds := splitSeeds(cfg.Seed, cellCount)
+	partial := make([]*scenario.Result, cellCount)
+
+	err := forEachCell(cfg.Workers, cellCount, func(cell int) error {
+		churn := cfg.ChurnFracs[(cell/cfg.Trials)%nc]
+		loss := cfg.LossProbs[cell/(cfg.Trials*nc)]
+		res, err := scenario.Run(scenario.Config{
+			Target:   scenario.TargetScalar,
+			N:        cfg.N,
+			Rounds:   cfg.Rounds,
+			Epsilon:  cfg.Epsilon,
+			LossProb: loss,
+			Seed:     seeds[cell].gossip,
+			Plan:     scenario.Plan{CrashFrac: churn, JoinFrac: churn},
+		})
+		if err != nil {
+			return fmt.Errorf("churn cell loss=%g churn=%g: %w", loss, churn, err)
+		}
+		partial[cell] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ChurnRow
+	for li, loss := range cfg.LossProbs {
+		for ci, churn := range cfg.ChurnFracs {
+			row := ChurnRow{N: cfg.N, LossProb: loss, ChurnFrac: churn, Converged: true}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				res := partial[(li*nc+ci)*cfg.Trials+trial]
+				row.Rounds += float64(res.Rounds)
+				row.FinalErr += res.FinalErr
+				if res.MaxMassErr > row.MaxMassErr {
+					row.MaxMassErr = res.MaxMassErr
+				}
+				row.Violations += len(res.Violations)
+				if !res.Converged {
+					row.Converged = false
+				}
+			}
+			row.Rounds /= float64(cfg.Trials)
+			row.FinalErr /= float64(cfg.Trials)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

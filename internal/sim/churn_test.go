@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunChurnGrid(t *testing.T) {
+	cfg := ChurnConfig{
+		N:          150,
+		Rounds:     120,
+		LossProbs:  []float64{0, 0.2},
+		ChurnFracs: []float64{0, 0.1},
+		Seed:       17,
+	}
+	rows, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Fatalf("cell loss=%g churn=%g reported %d invariant violations", r.LossProb, r.ChurnFrac, r.Violations)
+		}
+		if r.MaxMassErr > 1e-8 {
+			t.Fatalf("cell loss=%g churn=%g mass drift %v", r.LossProb, r.ChurnFrac, r.MaxMassErr)
+		}
+	}
+	// The churn-free, loss-free cell must converge close to the reference
+	// (ξ=1e-3 stops on rate, so the absolute error is a few ξ-multiples).
+	if !rows[0].Converged || rows[0].FinalErr > 0.05 {
+		t.Fatalf("baseline cell did not converge cleanly: %+v", rows[0])
+	}
+}
+
+func TestRunChurnDeterministicAcrossWorkers(t *testing.T) {
+	cfg := ChurnConfig{
+		N:          100,
+		Rounds:     80,
+		LossProbs:  []float64{0, 0.1},
+		ChurnFracs: []float64{0.05, 0.1},
+		Trials:     2,
+		Seed:       23,
+	}
+	cfg.Workers = 1
+	seq, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.N != b.N || a.LossProb != b.LossProb || a.ChurnFrac != b.ChurnFrac ||
+			a.Rounds != b.Rounds || a.Converged != b.Converged || a.Violations != b.Violations ||
+			math.Float64bits(a.FinalErr) != math.Float64bits(b.FinalErr) ||
+			math.Float64bits(a.MaxMassErr) != math.Float64bits(b.MaxMassErr) {
+			t.Fatalf("row %d differs across worker counts:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestRunChurnValidation(t *testing.T) {
+	if _, err := RunChurn(ChurnConfig{N: -1}); err == nil {
+		t.Fatal("negative N accepted")
+	}
+}

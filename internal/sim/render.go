@@ -204,6 +204,19 @@ func Table2Table(rows []Table2Row) *Table {
 	return t
 }
 
+// ChurnTable formats the loss × churn scenario grid.
+func ChurnTable(rows []ChurnRow) *Table {
+	t := &Table{
+		Title:   "Churn: convergence under packet loss × membership churn",
+		Columns: []string{"N", "loss", "churn%", "rounds", "converged", "final_err", "mass_drift", "violations"},
+	}
+	for _, r := range rows {
+		t.Append(r.N, r.LossProb, fmt.Sprintf("%.0f", r.ChurnFrac*100), r.Rounds, r.Converged,
+			fmt.Sprintf("%.2e", r.FinalErr), fmt.Sprintf("%.2e", r.MaxMassErr), r.Violations)
+	}
+	return t
+}
+
 // ScalingTable formats the Theorem 5.1 flatness check.
 func ScalingTable(rows []ScalingRow) *Table {
 	t := &Table{

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLedgerOpen throws arbitrary bytes at the WAL replay path. Whatever the
+// input — torn tails, garbage lines, hostile JSON — OpenLedger must never
+// panic, and when it accepts a file the result must be coherent:
+//
+//   - every replayed entry is valid (ids in range, value in [0,1], strictly
+//     increasing seq);
+//   - the open is idempotent: closing and reopening replays exactly the
+//     same entries (the first open may truncate a torn tail; doing so must
+//     not change what replays);
+//   - appends keep working and survive a reopen.
+func FuzzLedgerOpen(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"seq\":1,\"rater\":0,\"subject\":1,\"value\":0.5}\n"))
+	f.Add([]byte("{\"seq\":1,\"rater\":0,\"subject\":1,\"value\":0.5}\n{\"seq\":2,\"rater\":1,\"subject\":0,\"value\":1}\n"))
+	f.Add([]byte("{\"seq\":1,\"rater\":0,\"subject\":1,\"value\":0.5}\n{\"seq\":2,\"rater\":1,\"sub")) // torn tail
+	f.Add([]byte("\n\n{\"seq\":3,\"rater\":2,\"subject\":3,\"value\":0}\n"))
+	f.Add([]byte("{\"seq\":1,\"rater\":0,\"subject\":1,\"value\":1e999}\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte("{\"seq\":0,\"rater\":0,\"subject\":0,\"value\":0}\n"))
+	f.Add([]byte("{\"seq\":1,\"rater\":-1,\"subject\":0,\"value\":0}\n"))
+	f.Add([]byte("{\"seq\":18446744073709551615,\"rater\":0,\"subject\":0,\"value\":0}\n{\"seq\":1,\"rater\":0,\"subject\":0,\"value\":0}\n"))
+
+	const n = 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "ledger.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, replayed, err := OpenLedger(path, n)
+		if err != nil {
+			return // rejected corrupt input: fine, as long as it didn't panic
+		}
+		var lastSeq uint64
+		for k, fb := range replayed {
+			if fb.Rater < 0 || fb.Rater >= n || fb.Subject < 0 || fb.Subject >= n {
+				t.Fatalf("replayed entry %d has out-of-range ids: %+v", k, fb)
+			}
+			if fb.Value < 0 || fb.Value > 1 || math.IsNaN(fb.Value) {
+				t.Fatalf("replayed entry %d has invalid value: %+v", k, fb)
+			}
+			if fb.Seq <= lastSeq {
+				t.Fatalf("replayed entry %d seq not increasing: %d after %d", k, fb.Seq, lastSeq)
+			}
+			lastSeq = fb.Seq
+		}
+		// An accepted ledger accepts appends and assigns the next seq — the
+		// single exception is an exhausted sequence space (a replayed entry
+		// at MaxUint64), which must refuse rather than wrap and poison the
+		// file. A refused append must leave no trace.
+		seq, err := l.Append(1, 2, 0.25, 0)
+		appended := err == nil
+		if err != nil && lastSeq != math.MaxUint64 {
+			t.Fatalf("append after replay: %v", err)
+		}
+		if appended && seq != lastSeq+1 {
+			t.Fatalf("append seq %d, want %d", seq, lastSeq+1)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		// Reopen: same entries (plus the append if it succeeded), bit for
+		// bit.
+		l2, replayed2, err := OpenLedger(path, n)
+		if err != nil {
+			t.Fatalf("reopen of a once-accepted ledger failed: %v", err)
+		}
+		defer l2.Close()
+		want := len(replayed)
+		if appended {
+			want++
+		}
+		if len(replayed2) != want {
+			t.Fatalf("reopen replayed %d entries, want %d", len(replayed2), want)
+		}
+		for k := range replayed {
+			if replayed2[k] != replayed[k] {
+				t.Fatalf("entry %d changed across reopen: %+v vs %+v", k, replayed2[k], replayed[k])
+			}
+		}
+		if appended {
+			if got := replayed2[len(replayed)]; got.Seq != seq || got.Rater != 1 || got.Subject != 2 || got.Value != 0.25 {
+				t.Fatalf("appended entry did not survive reopen: %+v", got)
+			}
+		}
+	})
+}
+
+// FuzzFeedbackDecode targets the per-line JSON decoding contract directly: a
+// line the ledger accepts must produce an in-range entry, and re-encoding it
+// must survive a decode round-trip unchanged.
+func FuzzFeedbackDecode(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"rater":3,"subject":4,"value":0.25,"unix_nano":123}`))
+	f.Add([]byte(`{"value":5e-1}`))
+	f.Add([]byte(`{"rater":1e3}`))
+	f.Add([]byte(`{"seq":-1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"value":"0.5"}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var fb Feedback
+		if err := json.Unmarshal(line, &fb); err != nil {
+			return
+		}
+		l := NewLedger(8)
+		if err := l.check(fb.Rater, fb.Subject, fb.Value); err != nil {
+			return
+		}
+		out, err := json.Marshal(fb)
+		if err != nil {
+			t.Fatalf("accepted entry does not re-encode: %+v: %v", fb, err)
+		}
+		var back Feedback
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded entry does not decode: %s: %v", out, err)
+		}
+		if back != fb {
+			t.Fatalf("entry changed across a round-trip: %+v vs %+v", back, fb)
+		}
+	})
+}
+
+// FuzzSnapshotLoad throws arbitrary bytes at the gob snapshot decoder (which
+// nests the trust matrix decoder). It must reject corrupt input with an
+// error — never a panic or an out-of-bounds allocation — and anything it
+// accepts must satisfy the snapshot's shape invariants.
+func FuzzSnapshotLoad(f *testing.F) {
+	// Seed with a genuine snapshot so the fuzzer mutates realistic bytes.
+	snap := NewBootSnapshot(4, 1)
+	snap.Global[2] = 0.5
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s.N < 0 || len(s.Global) != s.N || len(s.Raters) != s.N {
+			t.Fatalf("accepted snapshot with inconsistent shape: N=%d global=%d raters=%d", s.N, len(s.Global), len(s.Raters))
+		}
+		if s.Trust == nil || s.Trust.N() != s.N {
+			t.Fatalf("accepted snapshot with mismatched matrix: %+v", s)
+		}
+	})
+}

@@ -163,6 +163,12 @@ func (l *Ledger) Append(rater, subject int, value float64, unixNano int64) (uint
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.seq == math.MaxUint64 {
+		// Replaying a hostile ledger can leave seq at the top of its range;
+		// wrapping to 0 would durably write an entry that poisons every
+		// future replay (seq must be strictly increasing), so refuse.
+		return 0, fmt.Errorf("store: ledger sequence space exhausted")
+	}
 	fb := Feedback{Seq: l.seq + 1, Rater: rater, Subject: subject, Value: value, UnixNano: unixNano}
 	if l.w != nil {
 		b, err := json.Marshal(fb)

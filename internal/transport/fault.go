@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"diffgossip/internal/rng"
+)
+
+// ErrDropped is returned by a Fault in report mode when a send is dropped
+// by probability or partition — the transport-level analogue of the gossip
+// engines' missing-ack signal, letting a protocol re-absorb the lost share.
+var ErrDropped = errors.New("transport: dropped by fault injection")
+
+// Fault wraps any Transport and injects deterministic link-level faults on
+// the send path: probabilistic packet drop, partitions (cross-cell sends
+// fail silently, like a timed-out link), and probabilistic delivery delay
+// (messages are held until the next Tick, modelling reordering across round
+// boundaries). All randomness comes from one seeded rng.Source, so a test
+// or scenario that performs the same sends in the same order observes the
+// same faults on every run.
+//
+// Drops and partitions are silent — Send returns nil, as a real datagram
+// push would — because the gossip protocol's loss recovery is driven by the
+// *absence* of acks, not by transport errors. The tallies expose what was
+// injected.
+type Fault struct {
+	inner Transport
+
+	mu      sync.Mutex
+	src     *rng.Source
+	drop    float64
+	delay   float64
+	report  bool               // drops return ErrDropped instead of nil
+	faulty  func(Message) bool // nil = every message is subject to faults
+	cells   map[string]int     // partition cell per address; missing = cell 0
+	delayed []heldSend
+
+	dropped     int
+	partitioned int
+	held        int
+}
+
+type heldSend struct {
+	addr string
+	msg  Message
+}
+
+// NewFault wraps inner with a fault injector drawing from seed. With all
+// fault knobs at zero it is a transparent proxy.
+func NewFault(inner Transport, seed uint64) *Fault {
+	return &Fault{inner: inner, src: rng.New(seed)}
+}
+
+// SetDropProb sets the probability that any single Send is silently dropped.
+func (f *Fault) SetDropProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drop = p
+}
+
+// SetDelayProb sets the probability that a surviving Send is held back until
+// the next Tick instead of being delivered immediately.
+func (f *Fault) SetDelayProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = p
+}
+
+// ReportDrops switches drop and partition faults from silent loss (datagram
+// semantics: Send returns nil and the mass is gone) to reported loss (ack
+// semantics: Send returns ErrDropped, so a push-sum sender re-absorbs the
+// share and mass is conserved — the model the paper's §5.3 recovery and the
+// engines' loss handling assume). Delayed sends are unaffected; they are
+// delivered eventually.
+func (f *Fault) ReportDrops(report bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.report = report
+}
+
+// SetFilter restricts fault injection to messages for which faulty returns
+// true; others pass through untouched (nil, the default, faults all). The
+// paper's loss model applies to gossip pushes but assumes a reliable
+// control plane (degree exchange, convergence announcements), so protocol
+// tests typically filter on KindPair.
+func (f *Fault) SetFilter(faulty func(Message) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faulty = faulty
+}
+
+// SetPartition installs a partition: each address maps to a cell, missing
+// addresses are cell 0, and sends between different cells are silently
+// dropped. Passing nil heals the partition.
+func (f *Fault) SetPartition(cells map[string]int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cells = cells
+}
+
+// Tick releases every held (delayed) message to the inner transport in the
+// order it was sent, returning the first delivery error. Call it at round
+// boundaries.
+func (f *Fault) Tick() error {
+	f.mu.Lock()
+	batch := f.delayed
+	f.delayed = nil
+	f.mu.Unlock()
+	for _, h := range batch {
+		if err := f.inner.Send(h.addr, h.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the running injection tallies: sends dropped by probability,
+// sends dropped by partition, and sends delayed.
+func (f *Fault) Stats() (dropped, partitioned, delayed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped, f.partitioned, f.held
+}
+
+// Addr returns the wrapped endpoint's address.
+func (f *Fault) Addr() string { return f.inner.Addr() }
+
+// Inbox returns the wrapped endpoint's receive stream. Incoming messages are
+// not faulted — model a lossy link by wrapping the sender side.
+func (f *Fault) Inbox() <-chan Message { return f.inner.Inbox() }
+
+// Close closes the wrapped transport, discarding any held messages.
+func (f *Fault) Close() error {
+	f.mu.Lock()
+	f.delayed = nil
+	f.mu.Unlock()
+	return f.inner.Close()
+}
+
+// Send applies the fault schedule to one message. Dropped and partitioned
+// sends return nil (silent loss) or ErrDropped in report mode; delayed
+// sends are queued for Tick.
+func (f *Fault) Send(addr string, msg Message) error {
+	f.mu.Lock()
+	if f.faulty != nil && !f.faulty(msg) {
+		f.mu.Unlock()
+		return f.inner.Send(addr, msg)
+	}
+	if f.drop > 0 && f.src.Bool(f.drop) {
+		f.dropped++
+		report := f.report
+		f.mu.Unlock()
+		if report {
+			return ErrDropped
+		}
+		return nil
+	}
+	if f.cells != nil && f.cells[f.inner.Addr()] != f.cells[addr] {
+		f.partitioned++
+		report := f.report
+		f.mu.Unlock()
+		if report {
+			return ErrDropped
+		}
+		return nil
+	}
+	if f.delay > 0 && f.src.Bool(f.delay) {
+		f.held++
+		f.delayed = append(f.delayed, heldSend{addr: addr, msg: msg})
+		f.mu.Unlock()
+		return nil
+	}
+	f.mu.Unlock()
+	return f.inner.Send(addr, msg)
+}

@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"testing"
+)
+
+// faultPair builds two hub endpoints with a fault injector on a's send side.
+func faultPair(t *testing.T, seed uint64) (*Fault, *ChannelTransport) {
+	t.Helper()
+	hub := NewHub()
+	a, err := hub.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFault(a, seed), b
+}
+
+func drain(b *ChannelTransport) int {
+	n := 0
+	for {
+		select {
+		case <-b.Inbox():
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+func TestFaultTransparentByDefault(t *testing.T) {
+	fa, b := faultPair(t, 1)
+	defer fa.Close()
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		if err := fa.Send("b", Message{Kind: KindPair, Subject: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(b); got != 10 {
+		t.Fatalf("delivered %d of 10 with no faults", got)
+	}
+	if d, p, h := fa.Stats(); d+p+h != 0 {
+		t.Fatalf("fault tallies nonzero on clean run: %d/%d/%d", d, p, h)
+	}
+	if fa.Addr() != "a" {
+		t.Fatalf("Addr = %q", fa.Addr())
+	}
+}
+
+func TestFaultDropProbability(t *testing.T) {
+	fa, b := faultPair(t, 2)
+	defer fa.Close()
+	defer b.Close()
+	fa.SetDropProb(1)
+	for i := 0; i < 25; i++ {
+		if err := fa.Send("b", Message{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(b); got != 0 {
+		t.Fatalf("%d messages leaked through a 100%% drop link", got)
+	}
+	if d, _, _ := fa.Stats(); d != 25 {
+		t.Fatalf("dropped tally %d, want 25", d)
+	}
+}
+
+func TestFaultPartitionAndHeal(t *testing.T) {
+	fa, b := faultPair(t, 3)
+	defer fa.Close()
+	defer b.Close()
+	fa.SetPartition(map[string]int{"a": 0, "b": 1})
+	if err := fa.Send("b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(b); got != 0 {
+		t.Fatal("message crossed a partition")
+	}
+	if _, p, _ := fa.Stats(); p != 1 {
+		t.Fatalf("partition tally %d, want 1", p)
+	}
+	fa.SetPartition(nil) // heal
+	if err := fa.Send("b", Message{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(b); got != 1 {
+		t.Fatal("message lost after heal")
+	}
+}
+
+func TestFaultDelayReleasedOnTick(t *testing.T) {
+	fa, b := faultPair(t, 4)
+	defer fa.Close()
+	defer b.Close()
+	fa.SetDelayProb(1)
+	for i := 0; i < 5; i++ {
+		if err := fa.Send("b", Message{Subject: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(b); got != 0 {
+		t.Fatalf("%d delayed messages arrived before Tick", got)
+	}
+	fa.SetDelayProb(0)
+	if err := fa.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// Held messages come out in send order.
+	for i := 0; i < 5; i++ {
+		m := <-b.Inbox()
+		if m.Subject != i {
+			t.Fatalf("delayed delivery out of order: got subject %d at slot %d", m.Subject, i)
+		}
+	}
+}
+
+func TestFaultDeterministicSchedule(t *testing.T) {
+	outcome := func(seed uint64) []bool {
+		fa, b := faultPair(t, seed)
+		defer fa.Close()
+		defer b.Close()
+		fa.SetDropProb(0.5)
+		out := make([]bool, 40)
+		for i := range out {
+			if err := fa.Send("b", Message{}); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = drain(b) == 1
+		}
+		return out
+	}
+	a, b2 := outcome(7), outcome(7)
+	diff := false
+	for i := range a {
+		if a[i] != b2[i] {
+			diff = true
+		}
+	}
+	if diff {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	c := outcome(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 40-send fault schedules")
+	}
+}

@@ -17,6 +17,14 @@ type matrixWire struct {
 
 const wireVersion = 1
 
+// maxWireN caps the node count accepted from a serialised matrix. Load
+// allocates Θ(N) before reading any entries, so without a bound a corrupt
+// or hostile file crashes the process with an out-of-range allocation
+// instead of returning an error (found by fuzzing the snapshot decoder).
+// 2^24 nodes is two orders of magnitude beyond the largest experiment and
+// keeps the worst-case transient allocation at a few hundred megabytes.
+const maxWireN = 1 << 24
+
 // Save serialises the matrix with gob. Entries are written in deterministic
 // (row, column) order so identical matrices produce identical bytes.
 func (m *Matrix) Save(w io.Writer) error {
@@ -42,6 +50,9 @@ func Load(r io.Reader) (*Matrix, error) {
 	}
 	if wire.N < 0 || len(wire.I) != len(wire.J) || len(wire.I) != len(wire.V) {
 		return nil, fmt.Errorf("trust: malformed matrix payload")
+	}
+	if wire.N > maxWireN {
+		return nil, fmt.Errorf("trust: matrix size %d exceeds the wire-format bound %d", wire.N, maxWireN)
 	}
 	m := NewMatrix(wire.N)
 	for k := range wire.I {

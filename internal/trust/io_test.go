@@ -2,6 +2,7 @@ package trust
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 
 	"diffgossip/internal/rng"
@@ -74,4 +75,51 @@ func TestLoadEmptyMatrix(t *testing.T) {
 	if got.N() != 7 || got.NumEntries() != 0 {
 		t.Fatalf("empty round trip: N=%d entries=%d", got.N(), got.NumEntries())
 	}
+}
+
+func TestLoadRejectsOversizedN(t *testing.T) {
+	// Regression: a corrupt matrixWire claiming N=2^40 used to crash the
+	// process with an out-of-range allocation before any entry was read.
+	wire := matrixWire{N: 1 << 40, Version: wireVersion}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("oversized matrix accepted")
+	}
+}
+
+// FuzzMatrixLoad hammers the gob matrix decoder: arbitrary bytes must be
+// rejected with an error — never a panic or an unbounded allocation — and
+// any accepted matrix must round-trip through Save unchanged.
+func FuzzMatrixLoad(f *testing.F) {
+	m := NewMatrix(5)
+	m.Set(0, 1, 0.25)
+	m.Set(4, 2, 1)
+	var seedBuf bytes.Buffer
+	if err := m.Save(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := got.Save(&buf); err != nil {
+			t.Fatalf("accepted matrix does not re-save: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("re-saved matrix does not re-load: %v", err)
+		}
+		if back.N() != got.N() || back.NumEntries() != got.NumEntries() {
+			t.Fatalf("matrix changed across round-trip: N %d vs %d, entries %d vs %d",
+				back.N(), got.N(), back.NumEntries(), got.NumEntries())
+		}
+	})
 }
