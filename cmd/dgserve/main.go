@@ -43,7 +43,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "base seed for epoch gossip randomness")
 		epsilon   = flag.Float64("epsilon", 1e-6, "gossip convergence tolerance ξ")
 		epoch     = flag.Duration("epoch", 2*time.Second, "epoch scheduler interval (0 = manual epochs via POST /v1/epoch)")
-		workers   = flag.Int("workers", -1, "gossip workers per epoch (-1 = GOMAXPROCS, 1 = sequential)")
+		workers   = flag.Int("workers", -1, "per-shard gossip workers (-1 = GOMAXPROCS, 1 = sequential)")
+		shards    = flag.Int("shards", 1, "subject shards S (subject j belongs to shard j mod S); epochs recompute only dirty shards")
+		foldWkrs  = flag.Int("fold-workers", 1, "dirty shards folding concurrently per epoch (-1 = GOMAXPROCS)")
 		dataDir   = flag.String("data", "", "persistence directory (empty = in-memory)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
@@ -56,7 +58,8 @@ func main() {
 
 	if err := run(runConfig{
 		listen: *listen, n: *n, m: *m, graphSeed: *graphSeed, seed: *seed,
-		epsilon: *epsilon, epoch: *epoch, workers: *workers, dataDir: *dataDir,
+		epsilon: *epsilon, epoch: *epoch, workers: *workers, shards: *shards,
+		foldWorkers: *foldWkrs, dataDir: *dataDir,
 		loadgen: *loadgen, duration: *duration, writers: *writers,
 		readers: *readers, target: *target,
 	}); err != nil {
@@ -72,6 +75,8 @@ type runConfig struct {
 	epsilon          float64
 	epoch            time.Duration
 	workers          int
+	shards           int
+	foldWorkers      int
 	dataDir          string
 	loadgen          bool
 	duration         time.Duration
@@ -90,6 +95,8 @@ func (c runConfig) newService() (*service.Service, error) {
 		Params:        core.Params{Epsilon: c.epsilon, Seed: c.seed, Workers: c.workers},
 		EpochInterval: c.epoch,
 		Dir:           c.dataDir,
+		Shards:        c.shards,
+		FoldWorkers:   c.foldWorkers,
 	})
 }
 
@@ -102,8 +109,8 @@ func run(c runConfig) error {
 		return err
 	}
 	defer svc.Close()
-	fmt.Printf("dgserve: N=%d overlay (m=%d, graph-seed=%d), epoch interval %v, data %q\n",
-		c.n, c.m, c.graphSeed, c.epoch, c.dataDir)
+	fmt.Printf("dgserve: N=%d overlay (m=%d, graph-seed=%d), %d subject shard(s), epoch interval %v, data %q\n",
+		c.n, c.m, c.graphSeed, svc.Shards(), c.epoch, c.dataDir)
 	fmt.Printf("dgserve: listening on %s\n", c.listen)
 	return http.ListenAndServe(c.listen, newServer(svc))
 }

@@ -29,6 +29,8 @@ func newTestServer(t *testing.T, n int, interval time.Duration) (*httptest.Serve
 		Graph:         g,
 		Params:        core.Params{Epsilon: 1e-6, Seed: 11},
 		EpochInterval: interval,
+		Shards:        4,
+		FoldWorkers:   2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -250,13 +252,35 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 	if _, _, err := svc.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
-	snap := svc.Snapshot()
-	if snap.Seq != 600 {
-		t.Fatalf("final seq %d, want 600", snap.Seq)
+	v := svc.View()
+	if v.Seq() != 600 {
+		t.Fatalf("final seq %d, want 600", v.Seq())
 	}
 	for j := 0; j < n; j++ {
-		if math.Abs(snap.Global[j]-core.GlobalRef(snap.Trust, j)) > 1e-2 {
+		got, err := v.Reputation(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-core.GlobalRef(v, j)) > 1e-2 {
 			t.Fatalf("subject %d deviates from GlobalReference", j)
+		}
+	}
+
+	// The stats endpoint reflects the pipeline: every shard folded at least
+	// once, nothing pending, and the fold counters advanced.
+	var st service.Stats
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.N != n || st.Shards != 4 || st.Pending != 0 || st.DirtyShards != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.FoldedShards == 0 || st.FoldedSubjects == 0 || st.Epochs == 0 {
+		t.Fatalf("fold counters never advanced: %+v", st)
+	}
+	for _, ps := range st.PerShard {
+		if ps.Epoch == 0 || ps.ElapsedNs <= 0 {
+			t.Fatalf("shard %d never reported a fold: %+v", ps.Shard, ps)
 		}
 	}
 }

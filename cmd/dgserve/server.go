@@ -16,12 +16,15 @@ import (
 //	POST /v1/feedback                    {"rater":i,"subject":j,"value":v}
 //	GET  /v1/reputation/{subject}        global reputation
 //	GET  /v1/reputation/{subject}?as=i   GCLR personalised view for rater i
-//	GET  /v1/epoch                       current snapshot metadata
+//	GET  /v1/epoch                       composite view metadata
 //	POST /v1/epoch                       force an epoch now
+//	GET  /v1/stats                       shard pipeline statistics
 //	GET  /healthz                        liveness + last epoch error
 //
-// Reads are served lock-free from the published snapshot; feedback becomes
-// visible at the next epoch (see the internal/service consistency model).
+// Reads are served lock-free from the published per-shard snapshots;
+// feedback becomes visible when its subject's shard next folds (see the
+// internal/service consistency model). Responses to subject queries carry
+// the fold point (epoch, seq) of that subject's own shard.
 type server struct {
 	svc *service.Service
 	mux *http.ServeMux
@@ -33,6 +36,7 @@ func newServer(svc *service.Service) *server {
 	s.mux.HandleFunc("GET /v1/reputation/{subject}", s.handleReputation)
 	s.mux.HandleFunc("GET /v1/epoch", s.handleEpochGet)
 	s.mux.HandleFunc("POST /v1/epoch", s.handleEpochPost)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -58,9 +62,12 @@ type feedbackRequest struct {
 
 // feedbackResponse acknowledges an accepted feedback entry. The entry is
 // durable in the ledger but not yet visible to reads — hence 202 Accepted —
-// and will be folded once Snapshot.Seq reaches Seq.
+// and will be folded once its subject's shard epoch reaches Seq (watch the
+// reputation response's seq field). Shard identifies the subject shard the
+// entry dirtied.
 type feedbackResponse struct {
 	Seq     uint64 `json:"seq"`
+	Shard   int    `json:"shard"`
 	Pending int    `json:"pending"`
 	Epoch   uint64 `json:"epoch"`
 }
@@ -86,18 +93,20 @@ func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusAccepted, feedbackResponse{
 		Seq:     seq,
+		Shard:   store.ShardOf(req.Subject, s.svc.Shards()),
 		Pending: s.svc.Pending(),
-		Epoch:   s.svc.Snapshot().Epoch,
+		Epoch:   s.svc.Epochs(),
 	})
 }
 
 // reputationResponse answers a reputation query. Epoch and Seq identify the
-// snapshot the value came from; Raters is the number of distinct raters
-// backing it (0 means "no evidence", not "bad reputation").
+// fold point of the subject's own shard; Raters is the number of distinct
+// raters backing the value (0 means "no evidence", not "bad reputation").
 type reputationResponse struct {
 	Subject    int     `json:"subject"`
 	Reputation float64 `json:"reputation"`
 	Raters     int     `json:"raters"`
+	Shard      int     `json:"shard"`
 	Epoch      uint64  `json:"epoch"`
 	Seq        uint64  `json:"seq"`
 	// As and Personal are set on ?as=rater queries: the GCLR view of the
@@ -113,7 +122,6 @@ func (s *server) handleReputation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := reputationResponse{Subject: subject}
-	var snap *store.Snapshot
 	if as := r.URL.Query().Get("as"); as != "" {
 		rater, err := strconv.Atoi(as)
 		if err != nil {
@@ -121,65 +129,92 @@ func (s *server) handleReputation(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.As, resp.Personal = &rater, true
-		resp.Reputation, snap, err = s.svc.PersonalReputation(rater, subject)
+		var view *service.View
+		resp.Reputation, view, err = s.svc.PersonalReputation(rater, subject)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-	} else {
-		resp.Reputation, snap, err = s.svc.Reputation(subject)
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
+		resp.Raters = view.Raters(subject)
+		resp.Shard = store.ShardOf(subject, view.Shards())
+		resp.Epoch, resp.Seq = view.SubjectEpoch(subject), view.SubjectSeq(subject)
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	resp.Raters = snap.Raters[subject]
-	resp.Epoch, resp.Seq = snap.Epoch, snap.Seq
+	// Global read: everything comes from the subject's own shard snapshot,
+	// so one atomic load suffices — no composite view on the hot path.
+	seg, err := s.svc.SubjectRead(subject)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp.Reputation, err = seg.Reputation(subject)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp.Raters = seg.RaterCount(subject)
+	resp.Shard = seg.Shard
+	resp.Epoch, resp.Seq = seg.Epoch, seg.Seq
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// epochResponse is the GET/POST /v1/epoch answer: the published snapshot's
-// metadata plus the current ingest backlog.
+// epochResponse is the GET/POST /v1/epoch answer: the composite view's
+// metadata plus the current ingest backlog. Epoch/Seq are the newest fold
+// point any shard has published; Steps/ElapsedNs aggregate the newest
+// epoch's folds; PerShard carries each shard's own fold point and timings.
 type epochResponse struct {
-	Epoch           uint64 `json:"epoch"`
-	Seq             uint64 `json:"seq"`
-	Pending         int    `json:"pending"`
-	N               int    `json:"n"`
-	Steps           int    `json:"steps"`
-	Converged       bool   `json:"converged"`
-	ElapsedNs       int64  `json:"elapsed_ns"`
-	CreatedUnixNano int64  `json:"created_unix_nano"`
+	Epoch       uint64              `json:"epoch"`
+	Seq         uint64              `json:"seq"`
+	Pending     int                 `json:"pending"`
+	N           int                 `json:"n"`
+	Shards      int                 `json:"shards"`
+	DirtyShards int                 `json:"dirty_shards"`
+	Steps       int                 `json:"steps"`
+	Converged   bool                `json:"converged"`
+	ElapsedNs   int64               `json:"elapsed_ns"`
+	PerShard    []service.ShardStat `json:"per_shard"`
 	// Ran reports, on POST /v1/epoch responses, whether an epoch actually
-	// recomputed (false = nothing pending, snapshot unchanged).
+	// recomputed (false = nothing pending, shard snapshots unchanged).
 	Ran bool `json:"ran"`
 }
 
-func epochInfo(snap *store.Snapshot, pending int) epochResponse {
+func (s *server) epochInfo(view *service.View) epochResponse {
+	st := s.svc.Stats()
 	return epochResponse{
-		Epoch:           snap.Epoch,
-		Seq:             snap.Seq,
-		Pending:         pending,
-		N:               snap.N,
-		Steps:           snap.Steps,
-		Converged:       snap.Converged,
-		ElapsedNs:       snap.ElapsedNs,
-		CreatedUnixNano: snap.CreatedUnixNano,
+		Epoch:       view.Epoch(),
+		Seq:         view.Seq(),
+		Pending:     st.Pending,
+		N:           view.N(),
+		Shards:      view.Shards(),
+		DirtyShards: st.DirtyShards,
+		Steps:       view.Steps(),
+		Converged:   view.Converged(),
+		ElapsedNs:   view.ElapsedNs(),
+		PerShard:    st.PerShard,
 	}
 }
 
 func (s *server) handleEpochGet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, epochInfo(s.svc.Snapshot(), s.svc.Pending()))
+	writeJSON(w, http.StatusOK, s.epochInfo(s.svc.View()))
 }
 
 func (s *server) handleEpochPost(w http.ResponseWriter, r *http.Request) {
-	snap, ran, err := s.svc.RunEpoch()
+	view, ran, err := s.svc.RunEpoch()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := epochInfo(snap, s.svc.Pending())
+	resp := s.epochInfo(view)
 	resp.Ran = ran
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats serves the shard pipeline statistics. The whole path is
+// lock-free — atomic counter loads and per-shard pointer loads — so it can
+// be scraped aggressively without perturbing ingest or epochs.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -188,8 +223,9 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":    true,
-		"epoch": s.svc.Snapshot().Epoch,
-		"n":     s.svc.N(),
+		"ok":     true,
+		"epoch":  s.svc.Epochs(),
+		"n":      s.svc.N(),
+		"shards": s.svc.Shards(),
 	})
 }

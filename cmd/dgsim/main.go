@@ -72,6 +72,8 @@ func runBench(path string, seed uint64, n int, quick bool) error {
 			cfg.N = 1000
 		}
 		cfg.VectorN = 300
+		cfg.ShardN = 600
+		cfg.Shards = 12
 	}
 	report, err := sim.RunBench(cfg)
 	if err != nil {

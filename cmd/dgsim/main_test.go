@@ -75,16 +75,31 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v3" {
+	if report.Schema != "diffgossip-bench/v4" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 5 {
-		t.Fatalf("benchmarks = %d, want 5 (scalar, vector, vector-sparse, service, churn)", len(report.Benchmarks))
+	if len(report.Benchmarks) != 8 {
+		t.Fatalf("benchmarks = %d, want 8 (scalar, vector, vector-sparse, service, churn, 3×sharded)", len(report.Benchmarks))
 	}
-	var serviceRows, churnRows int
+	var serviceRows, churnRows, shardedRows int
 	for _, b := range report.Benchmarks {
 		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
 			t.Fatalf("malformed row %+v", b)
+		}
+		if strings.HasPrefix(b.Name, "sharded-service/") {
+			// The schema-v4 rows: epoch latency vs dirty-shard fraction,
+			// with the fold counter proving how much actually recomputed.
+			shardedRows++
+			if b.Shards <= 0 || b.DirtyShards <= 0 || b.DirtyShards > b.Shards {
+				t.Fatalf("sharded row has a bad shard accounting: %+v", b)
+			}
+			if b.EpochNs <= 0 || b.FoldedSubjects == 0 {
+				t.Fatalf("sharded row has no work recorded: %+v", b)
+			}
+			if !b.Converged {
+				t.Fatalf("sharded row did not converge: %+v", b)
+			}
+			continue
 		}
 		if b.NsPerStep <= 0 {
 			t.Fatalf("row %q has no timing", b.Name)
@@ -115,7 +130,7 @@ func TestBenchJSONWellFormed(t *testing.T) {
 			t.Fatalf("row %q has no message metric", b.Name)
 		}
 	}
-	if serviceRows != 1 || churnRows != 1 {
-		t.Fatalf("service rows = %d, churn rows = %d, want 1 each", serviceRows, churnRows)
+	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 {
+		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, want 1/1/3", serviceRows, churnRows, shardedRows)
 	}
 }

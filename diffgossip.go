@@ -74,6 +74,10 @@ type SingleResult = core.SingleResult
 // AllResult is the outcome of an all-subjects aggregation.
 type AllResult = core.AllResult
 
+// SubjectsResult is the outcome of a subject-subset aggregation
+// (AggregateGlobalSubjects).
+type SubjectsResult = core.SubjectsResult
+
 // Messages tallies the protocol's transmissions.
 type Messages = gossip.Messages
 
@@ -133,13 +137,26 @@ func AggregateGCLRAll(g *Graph, t *TrustMatrix, p Params) (*AllResult, error) {
 	return core.GCLRAll(g, t, p)
 }
 
+// AggregateGlobalSubjects runs Algorithm 1 for an arbitrary subject subset:
+// one independent per-subject gossip campaign each, with randomness split by
+// subject id, so any partition of the subject space reproduces
+// AggregateGlobalAll's values for those subjects bit for bit. This is the
+// primitive behind the sharded service's incremental epochs.
+func AggregateGlobalSubjects(g *Graph, t *TrustMatrix, subjects []int, p Params) (*SubjectsResult, error) {
+	return core.GlobalSubjects(g, t, subjects, p)
+}
+
+// TrustReader is the read-only trust surface the reference evaluations
+// accept: a TrustMatrix, a frozen shard column set, or a service View.
+type TrustReader = trust.Reader
+
 // GlobalReference computes Algorithm 1's exact fixed point centrally.
-func GlobalReference(t *TrustMatrix, subject int) float64 {
+func GlobalReference(t TrustReader, subject int) float64 {
 	return core.GlobalRef(t, subject)
 }
 
 // GCLRReference computes Algorithm 2's exact fixed point at one observer
 // centrally.
-func GCLRReference(g *Graph, t *TrustMatrix, observer, subject int, p Params) float64 {
+func GCLRReference(g *Graph, t TrustReader, observer, subject int, p Params) float64 {
 	return core.GCLRRef(g, t, observer, subject, p)
 }

@@ -49,27 +49,30 @@ func main() {
 	}
 	fmt.Printf("submitted feedback up to ledger seq %d; pending %d\n", lastSeq, svc.Pending())
 
-	// Reads before the first epoch see the boot snapshot (no evidence yet).
-	v, snap, _ := svc.Reputation(7)
-	fmt.Printf("epoch %d: rep(7)=%.4f (feedback not yet folded)\n", snap.Epoch, v)
+	// Reads before the first epoch see the boot shard snapshots (no
+	// evidence yet).
+	v, view, _ := svc.Reputation(7)
+	fmt.Printf("epoch %d: rep(7)=%.4f (feedback not yet folded)\n", view.Epoch(), v)
 
-	// Wait for the scheduler to fold our writes: the published snapshot's
-	// Seq reaches the last sequence number Submit returned.
-	for svc.Snapshot().Seq < lastSeq {
+	// Wait for the scheduler to fold our writes: the published view's
+	// folded Seq reaches the last sequence number Submit returned.
+	for svc.View().Seq() < lastSeq {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	snap = svc.Snapshot()
+	view = svc.View()
 	fmt.Printf("epoch %d published: %d gossip steps, converged=%v, %.1fms compute\n",
-		snap.Epoch, snap.Steps, snap.Converged, float64(snap.ElapsedNs)/1e6)
+		view.Epoch(), view.Steps(), view.Converged(), float64(view.ElapsedNs())/1e6)
 	for _, subject := range []int{7, 13} {
 		v, _, err := svc.Reputation(subject)
 		if err != nil {
 			log.Fatal(err)
 		}
-		exact := diffgossip.GlobalReference(snap.Trust, subject)
+		// A View doubles as a TrustReader over the frozen shard columns, so
+		// the exact reference evaluates against what the epoch actually saw.
+		exact := diffgossip.GlobalReference(view, subject)
 		fmt.Printf("  rep(%3d) = %.4f (exact %.4f, %d raters)\n",
-			subject, v, exact, snap.Raters[subject])
+			subject, v, exact, view.Raters(subject))
 	}
 
 	// The personalised (GCLR) view: node 0 rated node 7 directly, so its

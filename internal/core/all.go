@@ -1,47 +1,242 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+
 	"diffgossip/internal/gossip"
 	"diffgossip/internal/graph"
 	"diffgossip/internal/trust"
 )
 
-// GlobalAll runs the paper's third variant: Algorithm 1 for every subject
-// simultaneously. Each node pushes its whole feedback vector y_i (with the
-// subject id attached to every pair, here the slot index) and the matching
-// gossip-weight vector g_i. Convergence uses the vector rule (7):
-// Σ_j |r_ij(n) − r_ij(n−1)| ≤ N·ξ.
+// ColumnSource is the trust input a subject-subset aggregation folds from:
+// the live master matrix (the monolithic path) or a frozen per-shard
+// trust.Columns (the sharded service's fold path).
+type ColumnSource interface {
+	// N is the node-id bound.
+	N() int
+	// RatersOfInto appends subject j's raters and their trust values, in
+	// ascending rater order.
+	RatersOfInto(j int, ids []int, vals []float64) ([]int, []float64)
+}
+
+var (
+	_ ColumnSource = (*trust.Matrix)(nil)
+	_ ColumnSource = (*trust.Columns)(nil)
+)
+
+// GlobalSubjects runs the paper's Algorithm 1 for an arbitrary subject
+// subset: one independent push-sum campaign per subject, each on the
+// flat-memory VectorEngine restricted to that subject's column (reusing its
+// active-subject index and fused accumulate+scan kernels), each drawing
+// from its own randomness stream split off p.Seed by global subject id
+// (SplitMix64 substream derivation — see subjectSeed).
 //
-// The paper notes the time complexity matches the single-subject algorithm
-// while communication grows with the vector size; call
-// (*gossip.VectorEngine).CountVectorMessages via the Messages tally — here
-// the returned Messages already charges N units per vector push.
+// Because the campaigns share nothing, a subject's result column depends
+// only on (p.Seed, the graph, its trust column) — never on which other
+// subjects are computed alongside it, how the subject space is sharded, in
+// which order shards fold, or how many workers run. That invariance is what
+// lets the sharded service recompute any dirty subset of subjects and still
+// match a full recompute bit for bit; GlobalAll is exactly the S=1 /
+// all-subjects case.
+//
+// Subjects nobody has rated cost no gossip at all: their campaigns carry no
+// weight mass, so the result column is exactly zero and no engine runs.
+//
+// p.Workers parallelises across subjects (0/1 sequential, negative =
+// GOMAXPROCS); each worker reuses one engine via Reset, so the steady-state
+// allocation per subject is just its result column.
+func GlobalSubjects(g *graph.Graph, t ColumnSource, subjects []int, p Params) (*SubjectsResult, error) {
+	p = p.withDefaults()
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	n := g.N()
+	if t == nil || t.N() != n {
+		return nil, fmt.Errorf("core: trust source size does not match graph size %d", n)
+	}
+	if err := p.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Root < 0 || p.Root >= n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", p.Root, n)
+	}
+	seen := make(map[int]bool, len(subjects))
+	for _, j := range subjects {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("core: subject %d out of range [0,%d)", j, n)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("core: duplicate subject %d", j)
+		}
+		seen[j] = true
+	}
+
+	res := &SubjectsResult{
+		Subjects:  append([]int(nil), subjects...),
+		Columns:   make([][]float64, len(subjects)),
+		Raters:    make([]int, len(subjects)),
+		Converged: true,
+	}
+	type outcome struct {
+		steps     int
+		converged bool
+		msgs      gossip.Messages
+		ran       bool
+		err       error
+	}
+	outs := make([]outcome, len(subjects))
+
+	worker := func(lo, hi int) {
+		var eng *gossip.VectorEngine
+		y0 := make([]float64, n)
+		g0 := make([]float64, n)
+		var ids []int
+		var vals []float64
+		for s := lo; s < hi; s++ {
+			j := res.Subjects[s]
+			ids, vals = t.RatersOfInto(j, ids[:0], vals[:0])
+			col := make([]float64, n)
+			res.Columns[s] = col
+			res.Raters[s] = len(ids)
+			if len(ids) == 0 {
+				outs[s] = outcome{converged: true}
+				continue
+			}
+			clear(y0)
+			clear(g0)
+			for k, i := range ids {
+				y0[i] = vals[k]
+				g0[i] = 1
+			}
+			var err error
+			if eng == nil {
+				// The slot→subject label is fixed at first construction;
+				// only the seed and masses matter to the dynamics, so the
+				// same engine replays every later subject via Reset,
+				// bit-identically to a fresh construction.
+				cfg := p.gossipConfig(g)
+				cfg.Seed = subjectSeed(p.Seed, j)
+				cfg.Workers = 0 // parallelism lives across subjects
+				eng, err = gossip.NewVectorEngineSubjects(cfg, []int{j}, y0, g0)
+			} else {
+				err = eng.Reset(subjectSeed(p.Seed, j), y0, g0)
+			}
+			if err != nil {
+				outs[s] = outcome{err: err}
+				continue
+			}
+			steps, conv := eng.RunInto(col, 0)
+			outs[s] = outcome{steps: steps, converged: conv, msgs: eng.Messages(), ran: true}
+		}
+	}
+
+	workers := p.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(subjects) < 2 {
+		worker(0, len(subjects))
+	} else {
+		if workers > len(subjects) {
+			workers = len(subjects)
+		}
+		chunk := (len(subjects) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(subjects))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				worker(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Aggregate in subject order so the tallies are deterministic for any
+	// worker count. The campaigns share one degree exchange, charged once.
+	for s := range outs {
+		if outs[s].err != nil {
+			return nil, outs[s].err
+		}
+		if outs[s].steps > res.Steps {
+			res.Steps = outs[s].steps
+		}
+		res.Converged = res.Converged && outs[s].converged
+		if outs[s].ran {
+			res.Computed++
+			res.Messages.Gossip += outs[s].msgs.Gossip
+			res.Messages.Announce += outs[s].msgs.Announce
+			res.Messages.Lost += outs[s].msgs.Lost
+			res.Messages.ActiveNodeSteps += outs[s].msgs.ActiveNodeSteps
+			res.Messages.Setup += outs[s].msgs.Setup
+		}
+	}
+	res.Messages.Setup += 2 * g.M()
+	return res, nil
+}
+
+// subjectSeed derives subject j's campaign seed from the run seed: position
+// j of a SplitMix64 sequence — the same substream derivation rng.Source
+// seeding is built on — evaluated positionally in O(1), so a shard fold
+// pays only for the subjects it actually computes (never an O(N) draw
+// sweep). The additive offset keeps campaign seeds disjoint from the state
+// words rng.New derives from the same base. The seed is a pure function of
+// (run seed, global subject id): any partition of the subject space at any
+// worker count replays the same stream for the same subject.
+func subjectSeed(base uint64, j int) uint64 {
+	z := base + 0xd1342543de82ef95 + (uint64(j)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// GlobalAll runs the paper's third variant: Algorithm 1 for every subject.
+// Since PR 4 it is the all-subjects case of GlobalSubjects — N independent
+// per-subject push-sum campaigns, one split randomness stream each —
+// rather than one vector gossip with a shared routing stream. The paper
+// observes that the per-subject streams are independent ("the time
+// complexity matches the single-subject algorithm"); running them as
+// genuinely separate campaigns makes the result decomposable by subject,
+// which the sharded epoch pipeline relies on, at the cost of per-campaign
+// routing draws instead of one shared routing. Each campaign converges
+// under the scalar rule |r(n) − r(n−1)| ≤ ξ, the m=1 form of rule (7).
+//
+// Messages tallies the campaigns' pushes (one subject slot per push, so a
+// push costs one unit) plus a single shared degree exchange.
 func GlobalAll(g *graph.Graph, t *trust.Matrix, p Params) (*AllResult, error) {
 	p = p.withDefaults()
 	if err := p.validate(g, t); err != nil {
 		return nil, err
 	}
 	n := g.N()
-	y0 := zeros(n)
-	g0 := zeros(n)
-	for i := 0; i < n; i++ {
-		for j, v := range t.Row(i) {
-			y0[i][j] = v
-			g0[i][j] = 1
-		}
+	subjects := make([]int, n)
+	for j := range subjects {
+		subjects[j] = j
 	}
-	e, err := gossip.NewVectorEngine(p.gossipConfig(g), y0, g0)
+	sub, err := GlobalSubjects(g, t, subjects, p)
 	if err != nil {
 		return nil, err
 	}
-	e.CountVectorMessages()
-	res := e.Run()
-	return &AllResult{
-		Reputation: res.Estimates,
-		Steps:      res.Steps,
-		Converged:  res.Converged,
-		Messages:   res.Messages,
-	}, nil
+	out := &AllResult{
+		Reputation: zeros(n),
+		Steps:      sub.Steps,
+		Converged:  sub.Converged,
+		Messages:   sub.Messages,
+	}
+	for j := 0; j < n; j++ {
+		col := sub.Columns[j]
+		for i := 0; i < n; i++ {
+			out.Reputation[i][j] = col[i]
+		}
+	}
+	return out, nil
 }
 
 // GCLRAll runs the paper's fourth variant: Algorithm 2 for every subject

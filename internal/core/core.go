@@ -119,6 +119,28 @@ type SingleResult struct {
 	Messages  gossip.Messages
 }
 
+// SubjectsResult is the outcome of a subject-subset aggregation
+// (GlobalSubjects): per-subject result columns plus aggregate run metadata.
+type SubjectsResult struct {
+	// Subjects echoes the requested subjects, in request order.
+	Subjects []int
+	// Columns[s][i] is node i's estimate for Subjects[s] (all zeros for a
+	// subject nobody rated).
+	Columns [][]float64
+	// Raters[s] is the number of direct raters of Subjects[s].
+	Raters []int
+	// Computed counts the campaigns that actually ran — subjects with at
+	// least one rater; the rest cost no gossip. The service's fold counter
+	// sums this across epochs to prove dirty-shard incrementality.
+	Computed int
+	// Steps is the slowest campaign's step count; Converged is true only if
+	// every campaign converged within its budget.
+	Steps     int
+	Converged bool
+	// Messages sums the campaigns' tallies plus one shared degree exchange.
+	Messages gossip.Messages
+}
+
 // AllResult is the outcome of a simultaneous all-subjects aggregation.
 type AllResult struct {
 	// Reputation[i][j] is node i's estimate for subject j.

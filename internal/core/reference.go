@@ -14,16 +14,22 @@ func errSize(reported, honest *trust.Matrix) error {
 }
 
 // GlobalRef computes, without gossip, the exact fixed point Algorithm 1
-// converges to for subject j: the mean direct trust over j's raters.
-func GlobalRef(t *trust.Matrix, j int) float64 {
-	return t.ColumnRaterMean(j)
+// converges to for subject j: the mean direct trust over j's raters. Any
+// trust.Reader qualifies — the live matrix, a frozen shard column set, or
+// the service's stitched view.
+func GlobalRef(t trust.Reader, j int) float64 {
+	sum, cnt := t.ColumnSum(j)
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
 }
 
 // GCLRRef computes, without gossip, the exact fixed point Algorithm 2
 // converges to at observer node i for subject j (eq. (6) with the rater-count
 // denominator of the algorithm box). The weighted set is every node i has
 // interacted with, matching combineGCLR.
-func GCLRRef(g *graph.Graph, t *trust.Matrix, i, j int, p Params) float64 {
+func GCLRRef(g *graph.Graph, t trust.Reader, i, j int, p Params) float64 {
 	_ = g
 	p = p.withDefaults()
 	return trust.WeightedColumn(t, i, j, t.InteractedWith(i), p.Weights, true)

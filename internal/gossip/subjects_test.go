@@ -1,0 +1,139 @@
+package gossip
+
+import (
+	"testing"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+)
+
+func subjectsTestGraph(t *testing.T, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: n, M: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// column builds a single-subject initial column: k raters drawn from src.
+func column(n int, src *rng.Source) (y0, g0 []float64) {
+	y0 = make([]float64, n)
+	g0 = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if src.Bool(0.3) {
+			y0[i] = src.Float64()
+			g0[i] = 1
+		}
+	}
+	if g0[0] == 0 { // ensure at least one rater
+		y0[0], g0[0] = 0.5, 1
+	}
+	return y0, g0
+}
+
+// TestResetMatchesFreshConstruction: an engine Reset to a new (seed, column)
+// must replay bit-for-bit what a freshly constructed engine produces — the
+// property that lets the shard fold path reuse one engine across thousands
+// of per-subject campaigns.
+func TestResetMatchesFreshConstruction(t *testing.T) {
+	const n = 120
+	g := subjectsTestGraph(t, n, 3)
+	src := rng.New(17)
+	cfg := Config{Graph: g, Epsilon: 1e-7, Seed: 1}
+
+	// One long-lived engine, reused across campaigns via Reset.
+	firstY, firstG := column(n, src)
+	reused, err := NewVectorEngineSubjects(cfg, []int{0}, firstY, firstG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := make([]float64, n)
+	reused.RunInto(warm, 0) // dirty every buffer before the comparison runs
+
+	for campaign := 0; campaign < 5; campaign++ {
+		seed := src.Uint64()
+		y0, g0 := column(n, src)
+
+		fresh, err := NewVectorEngineSubjects(Config{Graph: g, Epsilon: 1e-7, Seed: seed}, []int{campaign + 1}, y0, g0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Reset(seed, y0, g0); err != nil {
+			t.Fatal(err)
+		}
+
+		wantCol := make([]float64, n)
+		gotCol := make([]float64, n)
+		wantSteps, wantConv := fresh.RunInto(wantCol, 0)
+		gotSteps, gotConv := reused.RunInto(gotCol, 0)
+		if wantSteps != gotSteps || wantConv != gotConv {
+			t.Fatalf("campaign %d: reset run (steps=%d conv=%v) != fresh (steps=%d conv=%v)",
+				campaign, gotSteps, gotConv, wantSteps, wantConv)
+		}
+		if fresh.Messages() != reused.Messages() {
+			t.Fatalf("campaign %d: message tallies diverged: %+v vs %+v", campaign, reused.Messages(), fresh.Messages())
+		}
+		for i := 0; i < n; i++ {
+			if wantCol[i] != gotCol[i] {
+				t.Fatalf("campaign %d node %d: reset %v != fresh %v", campaign, i, gotCol[i], wantCol[i])
+			}
+		}
+	}
+}
+
+// TestSubjectsEngineRejects: the restricted-engine constructor validates its
+// inputs and the full-subject facilities stay off limits.
+func TestSubjectsEngineRejects(t *testing.T) {
+	g := subjectsTestGraph(t, 10, 4)
+	cfg := Config{Graph: g, Epsilon: 1e-4, Seed: 1}
+	y0 := make([]float64, 10)
+	g0 := make([]float64, 10)
+	g0[2] = 1
+
+	if _, err := NewVectorEngineSubjects(cfg, nil, nil, nil); err == nil {
+		t.Error("empty subject set accepted")
+	}
+	if _, err := NewVectorEngineSubjects(cfg, []int{3, 3}, append(y0, y0...), append(g0, g0...)); err == nil {
+		t.Error("duplicate subjects accepted")
+	}
+	if _, err := NewVectorEngineSubjects(cfg, []int{11}, y0, g0); err == nil {
+		t.Error("out-of-range subject accepted")
+	}
+	if _, err := NewVectorEngineSubjects(cfg, []int{3}, y0[:4], g0[:4]); err == nil {
+		t.Error("short init blocks accepted")
+	}
+
+	e, err := NewVectorEngineSubjects(cfg, []int{3}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableCountGossip(nil); err == nil {
+		t.Error("count gossip on a restricted engine accepted")
+	}
+	if _, err := e.AddNode(nil, nil); err == nil {
+		t.Error("AddNode on a restricted engine accepted")
+	}
+	if err := e.Reset(1, y0[:4], g0[:4]); err == nil {
+		t.Error("short reset blocks accepted")
+	}
+	if e.M() != 1 || e.Subjects()[0] != 3 {
+		t.Errorf("engine shape: m=%d subjects=%v", e.M(), e.Subjects())
+	}
+}
+
+// TestRestrictedEngineSetupUncharged: restricted engines charge no automatic
+// degree exchange (the caller books one shared exchange).
+func TestRestrictedEngineSetupUncharged(t *testing.T) {
+	g := subjectsTestGraph(t, 20, 5)
+	y0 := make([]float64, 20)
+	g0 := make([]float64, 20)
+	y0[1], g0[1] = 0.4, 1
+	e, err := NewVectorEngineSubjects(Config{Graph: g, Epsilon: 1e-4, Seed: 2}, []int{6}, y0, g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Messages().Setup; s != 0 {
+		t.Fatalf("restricted engine charged setup %d, want 0", s)
+	}
+}

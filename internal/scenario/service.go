@@ -9,7 +9,6 @@ import (
 	"diffgossip/internal/graph"
 	"diffgossip/internal/rng"
 	"diffgossip/internal/service"
-	"diffgossip/internal/store"
 )
 
 // serviceTarget drives the reputation service's epoch loop under ingest-side
@@ -21,10 +20,10 @@ import (
 // churn the service actually sees in production, which is clients appearing
 // and disappearing, not gossip substrate surgery.
 //
-// The invariant checked each round is snapshot consistency: every published
-// epoch's global reputations must track the exact fixed point
-// (core.GlobalRef on the snapshot's own frozen matrix) within a loose
-// gossip-error envelope, and the snapshot sequence number must never move
+// The invariant checked each round is per-shard snapshot consistency: every
+// published shard's global reputations must track the exact fixed point
+// (core.GlobalRef on that shard's own frozen columns) within a loose
+// gossip-error envelope, and the folded sequence number must never move
 // backwards.
 type serviceTarget struct {
 	svc    *service.Service
@@ -62,10 +61,10 @@ func newServiceTarget(cfg Config, g *graph.Graph, seed uint64, values *rng.Sourc
 		alive:      alive,
 		values:     values,
 		epochEvery: cfg.EpochEvery,
-		// The vector epoch announces convergence at L1 distance N·ξ spread
-		// over N subjects; 50·ξ is a loose per-subject envelope that still
-		// catches wiring bugs (a dropped batch or torn snapshot is orders
-		// of magnitude off).
+		// Each per-subject campaign announces convergence once per-node
+		// deltas settle within ξ; 50·ξ is a loose envelope that still
+		// catches wiring bugs (a dropped batch or torn shard snapshot is
+		// orders of magnitude off).
 		bound: 50 * cfg.Epsilon,
 	}, nil
 }
@@ -167,39 +166,45 @@ func (t *serviceTarget) Collude(group []int, lie float64) error {
 
 func (t *serviceTarget) RefreshTopology() {}
 
-// Check verifies each freshly published epoch once: the snapshot's globals
-// must track core.GlobalRef on its own frozen matrix within the envelope,
-// and Seq must be monotone. The mass tolerance does not apply here — the
-// epoch engine's conservation is the engine targets' concern — so tol is
-// unused beyond being part of the interface.
+// Check verifies each freshly published epoch once: every shard's globals
+// must track core.GlobalRef on its own frozen columns within the envelope
+// (the view is snapshot-consistent per shard, so the reference evaluates
+// against exactly the trust state each value was computed from), and the
+// folded sequence number must be monotone. The mass tolerance does not
+// apply here — the epoch engine's conservation is the engine targets'
+// concern — so tol is unused beyond being part of the interface.
 func (t *serviceTarget) Check(float64) (float64, []string) {
 	var violations []string
 	if t.epochErr != nil {
 		violations = append(violations, fmt.Sprintf("epoch error: %v", t.epochErr))
 		t.epochErr = nil
 	}
-	snap := t.svc.Snapshot()
-	if snap.Seq < t.lastSeq {
-		violations = append(violations, fmt.Sprintf("snapshot seq went backwards: %d after %d", snap.Seq, t.lastSeq))
+	v := t.svc.View()
+	if v.Seq() < t.lastSeq {
+		violations = append(violations, fmt.Sprintf("folded seq went backwards: %d after %d", v.Seq(), t.lastSeq))
 	}
-	t.lastSeq = snap.Seq
-	if snap.Epoch == 0 || snap.Epoch == t.lastChecked {
+	t.lastSeq = v.Seq()
+	if v.Epoch() == 0 || v.Epoch() == t.lastChecked {
 		return 0, violations
 	}
-	t.lastChecked = snap.Epoch
-	worst := t.snapshotErr(snap)
+	t.lastChecked = v.Epoch()
+	worst := t.viewErr(v)
 	if worst > t.bound {
-		violations = append(violations, fmt.Sprintf("epoch %d deviates %.3e from reference (bound %.3e)", snap.Epoch, worst, t.bound))
+		violations = append(violations, fmt.Sprintf("epoch %d deviates %.3e from reference (bound %.3e)", v.Epoch(), worst, t.bound))
 	}
 	return worst, violations
 }
 
-// snapshotErr is the worst |Global[j] − GlobalRef(j)| over the snapshot's
-// own frozen matrix.
-func (t *serviceTarget) snapshotErr(snap *store.Snapshot) float64 {
+// viewErr is the worst |Global[j] − GlobalRef(j)| over the view's own
+// frozen per-shard columns.
+func (t *serviceTarget) viewErr(v *service.View) float64 {
 	worst := 0.0
-	for j := 0; j < snap.N; j++ {
-		if d := math.Abs(snap.Global[j] - core.GlobalRef(snap.Trust, j)); d > worst {
+	for j := 0; j < v.N(); j++ {
+		got, err := v.Reputation(j)
+		if err != nil {
+			return math.Inf(1)
+		}
+		if d := math.Abs(got - core.GlobalRef(v, j)); d > worst {
 			worst = d
 		}
 	}
@@ -207,11 +212,16 @@ func (t *serviceTarget) snapshotErr(snap *store.Snapshot) float64 {
 }
 
 func (t *serviceTarget) Reputations() []float64 {
-	return append([]float64(nil), t.svc.Snapshot().Global...)
+	v := t.svc.View()
+	out := make([]float64, v.N())
+	for j := range out {
+		out[j], _ = v.Reputation(j)
+	}
+	return out
 }
 
 func (t *serviceTarget) ReferenceErr([]bool) float64 {
-	return t.snapshotErr(t.svc.Snapshot())
+	return t.viewErr(t.svc.View())
 }
 
 func (t *serviceTarget) Messages() gossip.Messages { return gossip.Messages{} }

@@ -36,6 +36,8 @@ func TestConcurrentIngestQueryEpochs(t *testing.T) {
 		Graph:         testGraph(t, n, 17),
 		Params:        core.Params{Epsilon: 1e-6, Seed: 23},
 		EpochInterval: 2 * time.Millisecond,
+		Shards:        5,
+		FoldWorkers:   2,
 	})
 
 	var stopReads atomic.Bool
@@ -56,8 +58,8 @@ func TestConcurrentIngestQueryEpochs(t *testing.T) {
 		}(w)
 	}
 
-	// Readers: load snapshots and verify internal consistency while epochs
-	// publish underneath them.
+	// Readers: capture composite views and verify per-shard internal
+	// consistency while shard folds publish underneath them.
 	var reads atomic.Int64
 	var readWg sync.WaitGroup
 	for r := 0; r < readers; r++ {
@@ -67,25 +69,29 @@ func TestConcurrentIngestQueryEpochs(t *testing.T) {
 			src := rng.New(uint64(2000 + r))
 			var lastEpoch uint64
 			for !stopReads.Load() {
-				snap := s.Snapshot()
-				if snap.Epoch < lastEpoch {
-					t.Errorf("epoch went backwards: %d after %d", snap.Epoch, lastEpoch)
+				v := s.View()
+				if v.Epoch() < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", v.Epoch(), lastEpoch)
 					return
 				}
-				lastEpoch = snap.Epoch
+				lastEpoch = v.Epoch()
 				j := src.Intn(n)
-				got, err := snap.Reputation(j)
+				got, err := v.Reputation(j)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				want := core.GlobalRef(snap.Trust, j)
+				// The reference evaluates over the same captured shard
+				// snapshot the value came from, so a torn publication
+				// (globals from one fold paired with columns from another)
+				// would be caught.
+				want := core.GlobalRef(v, j)
 				if math.Abs(got-want) > epsTol {
-					t.Errorf("torn snapshot: epoch %d subject %d global %v but frozen-matrix reference %v",
-						snap.Epoch, j, got, want)
+					t.Errorf("torn shard snapshot: epoch %d subject %d global %v but frozen-column reference %v",
+						v.SubjectEpoch(j), j, got, want)
 					return
 				}
-				if _, err := snap.Personal(src.Intn(n), j, trust.DefaultWeightParams); err != nil {
+				if _, err := v.Personal(src.Intn(n), j, trust.DefaultWeightParams); err != nil {
 					t.Error(err)
 					return
 				}
@@ -110,17 +116,21 @@ func TestConcurrentIngestQueryEpochs(t *testing.T) {
 	if _, _, err := s.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
-	snap := s.Snapshot()
-	if snap.Seq != writers*perWrite {
-		t.Fatalf("final snapshot folded seq %d, want %d", snap.Seq, writers*perWrite)
+	v := s.View()
+	if v.Seq() != writers*perWrite {
+		t.Fatalf("final view folded seq %d, want %d", v.Seq(), writers*perWrite)
 	}
-	if !snap.Converged {
+	if !v.Converged() {
 		t.Fatal("final epoch did not converge")
 	}
 	for j := 0; j < n; j++ {
-		want := core.GlobalRef(snap.Trust, j)
-		if math.Abs(snap.Global[j]-want) > epsTol {
-			t.Errorf("subject %d: final global %v, GlobalReference %v", j, snap.Global[j], want)
+		got, err := v.Reputation(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.GlobalRef(v, j)
+		if math.Abs(got-want) > epsTol {
+			t.Errorf("subject %d: final global %v, GlobalReference %v", j, got, want)
 		}
 	}
 	if err := s.Err(); err != nil {

@@ -1,39 +1,49 @@
 // Package service turns the one-shot aggregation library into a long-running
-// reputation service. It owns three moving parts:
+// reputation service built as a subject-sharded, incremental epoch pipeline:
 //
 //   - the feedback ledger (internal/store.Ledger): the ingest path, cheap
-//     appends that never touch epoch state;
-//   - the epoch scheduler: a background loop (or explicit RunEpoch calls)
-//     that folds the pending feedback batch into the master trust matrix,
-//     runs a differential-gossip epoch over it with the existing
-//     gossip.VectorEngine kernels (via core.GlobalAll), and publishes the
-//     outcome as a new immutable store.Snapshot;
-//   - the published snapshot: an atomic.Pointer readers load lock-free, so
-//     query latency is independent of epoch compute.
+//     appends that never touch epoch state, tracking which subject shards
+//     the pending batch has dirtied;
+//   - the shard scheduler: RunEpoch (or the background loop) folds the
+//     pending batch into the master trust matrix and recomputes only the
+//     dirty shards — each shard an independent set of per-subject push-sum
+//     campaigns (core.GlobalSubjects) on the flat gossip kernels, dispatched
+//     to a bounded worker pool; clean shards cost zero compute;
+//   - the published shard snapshots: one atomic.Pointer per shard, stored as
+//     its fold completes. Readers stitch the current pointers into a
+//     composite View — lock-free, snapshot-consistent per shard.
 //
 // # Consistency model
 //
-// Reads are snapshot-consistent: every query answered between two epoch
-// publications sees exactly the state of the last published epoch — the
-// global value for subject j and the personalised GCLR view both derive from
-// the same frozen trust matrix, so a reader can never observe a torn mix of
-// epochs. Feedback becomes visible only at the next epoch boundary
-// (eventual, bounded by Config.EpochInterval); Submit returns the ledger
-// sequence number so callers can watch Snapshot.Seq to learn when their
-// write has been folded.
+// Every subject's state (global value, rater count, frozen trust column,
+// fold point) comes from one immutable shard publication; different shards
+// may sit at different fold points, which is what makes an epoch with k of
+// S shards dirty cost O(k/S) of a full recompute. Because every subject's
+// campaign draws its own randomness stream split by subject id, a fold of
+// any dirty subset reproduces exactly what a full recompute would have
+// produced for those subjects — sharding changes the work, never the
+// answers. Submit returns the ledger sequence number; the write is visible
+// once View.SubjectSeq(subject) reaches it (bounded by Config.EpochInterval
+// when the background scheduler runs).
 //
-// With Config.Dir set, feedback is write-ahead logged as JSON lines
-// (flushed per append; fsynced at each epoch boundary) and each snapshot is
-// persisted by fsync + atomic rename, so a restarted service resumes from
-// the last published epoch and replays only the not-yet-folded tail of the
-// ledger. A process crash loses no accepted feedback; a power loss can lose
-// at most the entries accepted since the last epoch.
+// With Config.Dir set, feedback is write-ahead logged as JSON lines and
+// each dirty shard's snapshot segment is persisted by fsync + atomic rename
+// after the epoch publishes, outside the epoch critical section — a slow
+// disk delays durability, never ingest, reads or the next epoch's compute.
+// The ledger is fsynced before any segment, so after a crash the on-disk
+// WAL always covers everything the on-disk segments claim to have folded;
+// a restarted service replays only the per-shard unfolded tails. Data
+// directories written by the pre-shard format (a single snapshot.gob) are
+// migrated to the manifest + segment layout on first boot, preserving the
+// served reputations exactly.
 package service
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,15 +61,28 @@ type Config struct {
 	Graph *graph.Graph
 	// Params configures the per-epoch aggregation (epsilon, protocol,
 	// workers, ...). Params.Seed seeds epoch randomness: epoch e runs with a
-	// seed derived from (Seed, e), so a given feedback history is fully
-	// reproducible. The zero value gets the core defaults.
+	// seed derived from (Seed, e) and each subject's campaign splits its own
+	// stream from that by subject id, so a given feedback history is fully
+	// reproducible for any shard and worker count. The zero value gets the
+	// core defaults. Params.Workers parallelises each shard fold across its
+	// subjects.
 	Params core.Params
 	// EpochInterval is the scheduler period. Zero disables the background
 	// scheduler; epochs then run only via RunEpoch.
 	EpochInterval time.Duration
-	// Dir enables persistence: the feedback ledger and latest snapshot live
-	// under this directory. Empty runs fully in memory.
+	// Dir enables persistence: the feedback ledger, manifest and per-shard
+	// snapshot segments live under this directory. Empty runs fully in
+	// memory.
 	Dir string
+	// Shards is the subject-shard count S: subject j belongs to shard
+	// j mod S, and an epoch recomputes only dirty shards. 0 defaults to 1
+	// (the monolithic layout); values above N are rejected.
+	Shards int
+	// FoldWorkers bounds how many dirty shards fold concurrently within one
+	// epoch. 0 or 1 folds one shard at a time (each fold still parallelises
+	// across its subjects via Params.Workers); negative selects GOMAXPROCS.
+	// Results are bit-identical for any value.
+	FoldWorkers int
 }
 
 // Service is a long-running reputation service over one overlay. Submit and
@@ -68,16 +91,36 @@ type Config struct {
 type Service struct {
 	cfg    Config
 	n      int
+	shards int
 	ledger *store.Ledger
 
-	// epochMu serialises epochs and guards master, the only mutable trust
-	// state. Readers never take it.
+	// epochMu serialises epoch compute and guards master, the only mutable
+	// trust state. Readers never take it; neither does the persistence
+	// phase.
 	epochMu sync.Mutex
 	master  *trust.Matrix
-	epochs  atomic.Uint64 // epochs actually computed (== published snapshot's Epoch)
+	epochs  atomic.Uint64 // fold rounds completed (== newest published shard epoch)
 
-	snap    atomic.Pointer[store.Snapshot]
+	// states[s] is shard s's current publication; worker goroutines store
+	// into their own shard's pointer as each fold completes.
+	states []atomic.Pointer[store.ShardSnapshot]
+
+	// foldedSubjects counts the per-subject campaigns actually run across
+	// all epochs; foldedShards counts shard folds. Together they are the
+	// incrementality meter: an epoch with k of S shards dirty advances them
+	// by ~k/S of a full recompute's amount.
+	foldedSubjects atomic.Uint64
+	foldedShards   atomic.Uint64
+
 	lastErr atomic.Pointer[epochError]
+
+	// persistMu serialises the off-critical-section persistence phase;
+	// persistedEpoch[s] (guarded by it) keeps late writers from clobbering
+	// a newer segment. persistHook, when set by tests, runs inside the
+	// phase to stand in for a slow disk.
+	persistMu      sync.Mutex
+	persistedEpoch []uint64
+	persistHook    func()
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -87,12 +130,21 @@ type Service struct {
 type epochError struct{ err error }
 
 const (
-	ledgerFile   = "ledger.jsonl"
-	snapshotFile = "snapshot.gob"
+	ledgerFile         = "ledger.jsonl"
+	legacySnapshotFile = "snapshot.gob"
+	manifestFile       = "manifest.json"
 )
 
-// New builds a Service, loading persisted state from cfg.Dir when set, and
-// starts the epoch scheduler if cfg.EpochInterval > 0. Close releases it.
+func ledgerPath(dir string) string   { return filepath.Join(dir, ledgerFile) }
+func legacyPath(dir string) string   { return filepath.Join(dir, legacySnapshotFile) }
+func manifestPath(dir string) string { return filepath.Join(dir, manifestFile) }
+func shardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.gob", shard))
+}
+
+// New builds a Service, loading (and if needed migrating) persisted state
+// from cfg.Dir when set, and starts the epoch scheduler if cfg.EpochInterval
+// > 0. Close releases it.
 func New(cfg Config) (*Service, error) {
 	if cfg.Graph == nil || cfg.Graph.N() == 0 {
 		return nil, fmt.Errorf("service: empty graph")
@@ -101,52 +153,52 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: negative epoch interval %v", cfg.EpochInterval)
 	}
 	n := cfg.Graph.N()
-	s := &Service{cfg: cfg, n: n, stop: make(chan struct{})}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("service: shard count %d out of range [1,%d]", cfg.Shards, n)
+	}
+	s := &Service{
+		cfg:            cfg,
+		n:              n,
+		shards:         shards,
+		states:         make([]atomic.Pointer[store.ShardSnapshot], shards),
+		persistedEpoch: make([]uint64, shards),
+		stop:           make(chan struct{}),
+	}
 
-	var snap *store.Snapshot
+	var segs []*store.ShardSnapshot
 	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-			return nil, fmt.Errorf("service: data dir: %w", err)
-		}
 		var err error
-		snap, err = store.LoadSnapshotFile(snapshotPath(cfg.Dir))
+		segs, err = s.loadDir()
 		if err != nil {
 			return nil, err
 		}
-		if snap != nil && snap.N != n {
-			return nil, fmt.Errorf("service: persisted snapshot is for N=%d, graph has N=%d", snap.N, n)
-		}
-		ledger, replayed, err := store.OpenLedger(ledgerPath(cfg.Dir), n)
-		if err != nil {
-			return nil, err
-		}
-		s.ledger = ledger
-		// A snapshot claiming more folded entries than the ledger ever
-		// assigned means the ledger file was truncated or swapped out from
-		// under the snapshot — refuse to serve silently-corrupt state.
-		if snap != nil && ledger.Seq() < snap.Seq {
-			ledger.Close()
-			return nil, fmt.Errorf("service: ledger ends at seq %d but snapshot has folded seq %d — ledger truncated or mismatched",
-				ledger.Seq(), snap.Seq)
-		}
-		// Entries already folded into the persisted snapshot are dropped;
-		// the tail past Snapshot.Seq waits for the next epoch.
-		var tail []store.Feedback
-		for _, fb := range replayed {
-			if snap == nil || fb.Seq > snap.Seq {
-				tail = append(tail, fb)
-			}
-		}
-		ledger.Restore(tail)
 	} else {
 		s.ledger = store.NewLedger(n)
+		if err := s.ledger.SetShards(shards); err != nil {
+			return nil, err
+		}
 	}
-	if snap == nil {
-		snap = store.NewBootSnapshot(n, time.Now().UnixNano())
+	if segs == nil {
+		segs = make([]*store.ShardSnapshot, shards)
+		now := time.Now().UnixNano()
+		for sh := range segs {
+			segs[sh] = store.NewBootShardSnapshot(n, sh, shards, now)
+		}
+		s.master = trust.NewMatrix(n)
 	}
-	s.master = snap.Trust.Clone()
-	s.epochs.Store(snap.Epoch)
-	s.snap.Store(snap)
+	var maxEpoch uint64
+	for sh, seg := range segs {
+		s.states[sh].Store(seg)
+		s.persistedEpoch[sh] = seg.Epoch
+		if seg.Epoch > maxEpoch {
+			maxEpoch = seg.Epoch
+		}
+	}
+	s.epochs.Store(maxEpoch)
 
 	if cfg.EpochInterval > 0 {
 		s.wg.Add(1)
@@ -155,48 +207,239 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-func ledgerPath(dir string) string   { return filepath.Join(dir, ledgerFile) }
-func snapshotPath(dir string) string { return filepath.Join(dir, snapshotFile) }
+// loadDir opens (creating, migrating or resharding as needed) a persistent
+// data directory: it returns the shard segments to publish, sets s.master
+// to the stitched trust state, and leaves s.ledger open with the unfolded
+// tail pending.
+func (s *Service) loadDir() ([]*store.ShardSnapshot, error) {
+	dir := s.cfg.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: data dir: %w", err)
+	}
+	manifest, err := store.LoadManifestFile(manifestPath(dir))
+	if err != nil {
+		return nil, err
+	}
+
+	var segs []*store.ShardSnapshot
+	freshLayout := false // segments/manifest need (re)writing before use
+	switch {
+	case manifest == nil:
+		// No manifest: either a fresh directory or the pre-shard format.
+		legacy, err := store.LoadSnapshotFile(legacyPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		if legacy == nil {
+			break // fresh directory; boot segments, manifest written below
+		}
+		if legacy.N != s.n {
+			return nil, fmt.Errorf("service: persisted snapshot is for N=%d, graph has N=%d", legacy.N, s.n)
+		}
+		segs, err = store.SplitSnapshot(legacy, s.shards)
+		if err != nil {
+			return nil, err
+		}
+		freshLayout = true
+	default:
+		if manifest.N != s.n {
+			return nil, fmt.Errorf("service: data dir is for N=%d, graph has N=%d", manifest.N, s.n)
+		}
+		segs = make([]*store.ShardSnapshot, manifest.Shards)
+		now := time.Now().UnixNano()
+		for sh := range segs {
+			seg, err := store.LoadShardFile(shardPath(dir, sh))
+			if err != nil {
+				return nil, err
+			}
+			if seg != nil && (seg.Shard != sh || seg.Shards != manifest.Shards || seg.N != s.n) {
+				// A valid segment whose layout disagrees with the manifest
+				// is the artifact of a crash mid-reshard (new-layout
+				// segments written, manifest not yet flipped). The WAL is
+				// the full feedback history, so the safe recovery is to
+				// treat the shard as never folded: its entire tail
+				// re-pends below and the next epoch refolds it.
+				seg = nil
+			}
+			if seg == nil {
+				// A shard that never folded has no (usable) segment yet.
+				seg = store.NewBootShardSnapshot(s.n, sh, manifest.Shards, now)
+			}
+			segs[sh] = seg
+		}
+		if manifest.Shards != s.shards {
+			// Reshard: stitch the old layout and split along the new one.
+			// The stitched Seq is the conservative minimum, so any entries
+			// some old shards had already folded simply replay (folds are
+			// idempotent).
+			full, err := store.StitchSnapshot(segs)
+			if err != nil {
+				return nil, err
+			}
+			segs, err = store.SplitSnapshot(full, s.shards)
+			if err != nil {
+				return nil, err
+			}
+			freshLayout = true
+		}
+	}
+
+	if segs != nil {
+		full, err := store.StitchSnapshot(segs)
+		if err != nil {
+			return nil, err
+		}
+		s.master = full.Trust // stitched fresh, owned by the service
+	} else {
+		s.master = trust.NewMatrix(s.n)
+	}
+
+	// Validate before mutating: the ledger-truncation guard must run before
+	// any migration or reshard write, so a directory that should be refused
+	// is refused untouched (and the operator diagnoses exactly what the
+	// last process left behind).
+	ledger, replayed, err := store.OpenLedger(ledgerPath(dir), s.n)
+	if err != nil {
+		return nil, err
+	}
+	s.ledger = ledger
+	if err := s.ledger.SetShards(s.shards); err != nil {
+		ledger.Close()
+		return nil, err
+	}
+	// A segment claiming more folded entries than the ledger ever assigned
+	// means the ledger file was truncated or swapped out from under the
+	// snapshots — refuse to serve silently-corrupt state.
+	var maxSeq uint64
+	for _, seg := range segs {
+		if seg != nil && seg.Seq > maxSeq {
+			maxSeq = seg.Seq
+		}
+	}
+	if ledger.Seq() < maxSeq {
+		ledger.Close()
+		return nil, fmt.Errorf("service: ledger ends at seq %d but a segment has folded seq %d — ledger truncated or mismatched",
+			ledger.Seq(), maxSeq)
+	}
+
+	// Persist the (validated) layout before serving it: segments first,
+	// manifest last, so a crash mid-migration leaves the directory readable
+	// by the old path. (The legacy snapshot.gob is kept but ignored once a
+	// manifest exists.)
+	persistLayout := func() error {
+		if freshLayout {
+			for _, seg := range segs {
+				if err := seg.SaveFile(shardPath(dir, seg.Shard)); err != nil {
+					return err
+				}
+			}
+		}
+		if freshLayout || manifest == nil {
+			m := store.Manifest{N: s.n, Shards: s.shards, CreatedUnixNano: time.Now().UnixNano()}
+			if err := store.SaveManifestFile(m, manifestPath(dir)); err != nil {
+				return err
+			}
+		}
+		if manifest != nil && manifest.Shards > s.shards {
+			// Downsharding leaves old high-index segment files behind;
+			// remove them (best effort) so the directory lists only the
+			// live layout.
+			for sh := s.shards; sh < manifest.Shards; sh++ {
+				os.Remove(shardPath(dir, sh))
+			}
+		}
+		return nil
+	}
+	if err := persistLayout(); err != nil {
+		ledger.Close()
+		return nil, err
+	}
+	// Entries already folded into their subject's shard are dropped; the
+	// per-shard tails past each segment's Seq wait for the next epoch.
+	var tail []store.Feedback
+	for _, fb := range replayed {
+		var folded uint64
+		if segs != nil {
+			folded = segs[store.ShardOf(fb.Subject, s.shards)].Seq
+		}
+		if fb.Seq > folded {
+			tail = append(tail, fb)
+		}
+	}
+	s.ledger.Restore(tail)
+	return segs, nil
+}
 
 // Submit records one feedback entry ("rater now places trust value in
 // subject") and returns its ledger sequence number. The entry takes effect
-// at the next epoch; until then reads serve the current snapshot.
+// when its subject's shard next folds; until then reads serve the current
+// shard snapshots.
 func (s *Service) Submit(rater, subject int, value float64) (uint64, error) {
 	return s.ledger.Append(rater, subject, value, time.Now().UnixNano())
 }
 
-// Snapshot returns the currently published snapshot. The load is a single
-// atomic pointer read — it never blocks, regardless of concurrent ingest or
-// a running epoch — and the returned snapshot is immutable.
-func (s *Service) Snapshot() *store.Snapshot {
-	return s.snap.Load()
+// View captures the current composite read state: S atomic pointer loads,
+// no locks, immutable afterwards. See View's consistency notes.
+func (s *Service) View() *View {
+	segs := make([]*store.ShardSnapshot, s.shards)
+	for i := range segs {
+		segs[i] = s.states[i].Load()
+	}
+	return &View{n: s.n, segs: segs}
 }
 
-// Reputation returns subject's global reputation under the current snapshot,
-// along with the snapshot it came from.
-func (s *Service) Reputation(subject int) (float64, *store.Snapshot, error) {
-	snap := s.Snapshot()
-	v, err := snap.Reputation(subject)
-	return v, snap, err
+// Reputation returns subject's global reputation under the current view,
+// along with the view it came from.
+func (s *Service) Reputation(subject int) (float64, *View, error) {
+	v := s.View()
+	r, err := v.Reputation(subject)
+	return r, v, err
+}
+
+// SubjectRead returns the shard snapshot owning subject — everything a
+// single-subject global read needs (value, rater count, fold point) behind
+// ONE atomic pointer load with no allocation. The HTTP reputation endpoint
+// uses it; cross-shard reads (GCLR views, epoch metadata) capture a full
+// View instead.
+func (s *Service) SubjectRead(subject int) (*store.ShardSnapshot, error) {
+	if subject < 0 || subject >= s.n {
+		return nil, fmt.Errorf("service: subject %d out of range [0,%d)", subject, s.n)
+	}
+	return s.states[store.ShardOf(subject, s.shards)].Load(), nil
 }
 
 // PersonalReputation returns the globally calibrated local (GCLR) view of
-// subject as seen by rater, under the current snapshot.
-func (s *Service) PersonalReputation(rater, subject int) (float64, *store.Snapshot, error) {
-	snap := s.Snapshot()
+// subject as seen by rater, under the current view.
+func (s *Service) PersonalReputation(rater, subject int) (float64, *View, error) {
+	v := s.View()
 	p := s.cfg.Params.Weights
 	if p == (trust.WeightParams{}) {
 		p = trust.DefaultWeightParams
 	}
-	v, err := snap.Personal(rater, subject, p)
-	return v, snap, err
+	r, err := v.Personal(rater, subject, p)
+	return r, v, err
 }
 
-// Pending returns the number of feedback entries awaiting the next epoch.
+// Pending returns the number of feedback entries awaiting the next epoch
+// (lock-free).
 func (s *Service) Pending() int { return s.ledger.PendingCount() }
 
 // N returns the network size.
 func (s *Service) N() int { return s.n }
+
+// Shards returns the subject-shard count.
+func (s *Service) Shards() int { return s.shards }
+
+// Epochs returns the number of fold rounds completed.
+func (s *Service) Epochs() uint64 { return s.epochs.Load() }
+
+// FoldedSubjects returns the cumulative number of per-subject gossip
+// campaigns the service has run — the incrementality meter: clean shards
+// (and unrated subjects) never advance it.
+func (s *Service) FoldedSubjects() uint64 { return s.foldedSubjects.Load() }
+
+// FoldedShards returns the cumulative number of shard folds.
+func (s *Service) FoldedShards() uint64 { return s.foldedShards.Load() }
 
 // Err returns the last epoch error observed by the background scheduler, or
 // nil. A successful epoch clears it.
@@ -207,85 +450,181 @@ func (s *Service) Err() error {
 	return nil
 }
 
-// RunEpoch folds all pending feedback into the trust state, runs one
-// differential-gossip epoch over the frozen copy, and atomically publishes
-// the resulting snapshot. It reports whether an epoch actually ran: with no
-// pending feedback the current snapshot is already up to date and is
-// returned unchanged. Epochs are serialised; concurrent callers queue.
+// RunEpoch folds all pending feedback into the trust state, recomputes every
+// dirty shard (per-subject gossip campaigns on a bounded worker pool),
+// publishes each shard snapshot as its fold completes, and finally — outside
+// the epoch critical section — persists the ledger and the dirty segments.
+// It reports whether an epoch actually ran: with no pending feedback every
+// shard is clean and the current view is returned unchanged. Epochs are
+// serialised; concurrent callers queue for the compute phase but never for
+// disk.
 //
-// The epoch runs entirely off the read path — readers keep serving the old
-// snapshot until the new one is published in a single atomic store.
-func (s *Service) RunEpoch() (*store.Snapshot, bool, error) {
+// Compute runs entirely off the read path — readers keep serving the old
+// shard snapshots until each new one is published in a single atomic store.
+// An epoch with k of S shards dirty does only those k shards' work.
+func (s *Service) RunEpoch() (*View, bool, error) {
 	s.epochMu.Lock()
-	defer s.epochMu.Unlock()
 
 	batch := s.ledger.TakePending()
-	cur := s.snap.Load()
 	if len(batch) == 0 {
-		return cur, false, nil
+		s.epochMu.Unlock()
+		return s.View(), false, nil
 	}
-	// On ANY failure below, the batch goes back to the front of the pending
-	// window so no feedback is ever dropped: the next epoch retries it.
-	// (The fold into master is not undone — refolding the same entries in
-	// the same order is idempotent under Set's last-wins semantics.)
-	restore := func(err error) (*store.Snapshot, bool, error) {
+	// On any compute failure the batch goes back to the front of the
+	// pending window so no feedback is ever dropped: the next epoch retries
+	// it. (The fold into master is not undone — refolding the same entries
+	// in the same order is idempotent under Set's last-wins semantics, and
+	// any shards already republished stay correct: they reflect the folded
+	// values.)
+	restore := func(err error) (*View, bool, error) {
 		s.ledger.Restore(batch)
-		return cur, false, err
+		s.epochMu.Unlock()
+		return s.View(), false, err
 	}
-	seq := cur.Seq
+
+	dirty := make(map[int]bool)
+	seq := uint64(0)
 	for _, fb := range batch {
 		// Ledger entries were validated at append time; Set only fails on
 		// values outside [0,1], which therefore cannot happen here.
 		if err := s.master.Set(fb.Rater, fb.Subject, fb.Value); err != nil {
 			return restore(fmt.Errorf("service: fold seq %d: %w", fb.Seq, err))
 		}
+		dirty[fb.Shard] = true
 		seq = fb.Seq
 	}
-	frozen := s.master.Clone()
+	dirtyList := make([]int, 0, len(dirty))
+	for sh := range dirty {
+		dirtyList = append(dirtyList, sh)
+	}
+	sort.Ints(dirtyList)
 
-	p := s.cfg.Params
 	epoch := s.epochs.Load() + 1
+	p := s.cfg.Params
 	p.Seed = epochSeed(p.Seed, epoch)
-	start := time.Now()
-	res, err := core.GlobalAll(s.cfg.Graph, frozen, p)
-	if err != nil {
-		return restore(fmt.Errorf("service: epoch %d gossip: %w", epoch, err))
-	}
-	elapsed := time.Since(start)
 
-	root := p.Root // zero value = node 0, matching core's default
-	global := make([]float64, s.n)
-	copy(global, res.Reputation[root])
-	raters := make([]int, s.n)
-	for j := 0; j < s.n; j++ {
-		_, raters[j] = frozen.ColumnSum(j)
+	// Fold the dirty shards on a bounded worker pool. Each fold freezes its
+	// shard's columns from master (stable under epochMu), runs one
+	// independent campaign per rated subject, and publishes through its own
+	// atomic pointer the moment it completes — results are bit-identical
+	// for any FoldWorkers and Params.Workers.
+	results := make([]*store.ShardSnapshot, len(dirtyList))
+	errs := make([]error, len(dirtyList))
+	foldWorkers := s.cfg.FoldWorkers
+	if foldWorkers < 0 {
+		foldWorkers = runtime.GOMAXPROCS(0)
 	}
-	snap := &store.Snapshot{
-		Epoch:           epoch,
-		Seq:             seq,
-		N:               s.n,
-		Trust:           frozen,
-		Global:          global,
-		Raters:          raters,
-		Steps:           res.Steps,
-		Converged:       res.Converged,
-		ElapsedNs:       elapsed.Nanoseconds(),
-		CreatedUnixNano: time.Now().UnixNano(),
+	if foldWorkers < 1 {
+		foldWorkers = 1
 	}
-	if s.cfg.Dir != "" {
-		// The ledger is fsynced before the snapshot is persisted, so after
-		// any crash the on-disk ledger covers everything the on-disk
-		// snapshot claims to have folded (the boot guard's invariant).
-		if err := s.ledger.Sync(); err != nil {
-			return restore(err)
-		}
-		if err := snap.SaveFile(snapshotPath(s.cfg.Dir)); err != nil {
+	if foldWorkers > len(dirtyList) {
+		foldWorkers = len(dirtyList)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < foldWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(dirtyList) {
+					return
+				}
+				seg, err := s.foldShard(dirtyList[idx], epoch, seq, p)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				results[idx] = seg
+				s.states[seg.Shard].Store(seg)
+				s.foldedShards.Add(1)
+				s.foldedSubjects.Add(uint64(seg.Computed))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return restore(err)
 		}
 	}
 	s.epochs.Store(epoch)
-	s.snap.Store(snap)
-	return snap, true, nil
+	s.epochMu.Unlock()
+
+	// Persistence phase: after the critical section, so a slow disk delays
+	// durability, never ingest or the next epoch's compute. A persist error
+	// is I/O-side only — the published state is correct and the WAL still
+	// holds everything, so on restart the affected shards simply refold
+	// from their last durable segments.
+	if s.cfg.Dir != "" {
+		if err := s.persist(results); err != nil {
+			return s.View(), true, err
+		}
+	}
+	return s.View(), true, nil
+}
+
+// foldShard recomputes one dirty shard at the given epoch: freeze its trust
+// columns, run the per-subject campaigns, assemble the shard snapshot.
+func (s *Service) foldShard(shard int, epoch, seq uint64, p core.Params) (*store.ShardSnapshot, error) {
+	subjects := store.ShardSubjects(s.n, shard, s.shards)
+	cols, err := trust.ColumnsOf(s.master, subjects)
+	if err != nil {
+		return nil, fmt.Errorf("service: freeze shard %d: %w", shard, err)
+	}
+	start := time.Now()
+	res, err := core.GlobalSubjects(s.cfg.Graph, cols, subjects, p)
+	if err != nil {
+		return nil, fmt.Errorf("service: epoch %d shard %d gossip: %w", epoch, shard, err)
+	}
+	elapsed := time.Since(start)
+
+	root := p.Root // zero value = node 0, matching core's default
+	global := make([]float64, len(subjects))
+	for k := range subjects {
+		global[k] = res.Columns[k][root]
+	}
+	return &store.ShardSnapshot{
+		Shard:           shard,
+		Shards:          s.shards,
+		N:               s.n,
+		Epoch:           epoch,
+		Seq:             seq,
+		Global:          global,
+		Raters:          res.Raters,
+		Steps:           res.Steps,
+		Converged:       res.Converged,
+		Computed:        res.Computed,
+		ElapsedNs:       elapsed.Nanoseconds(),
+		CreatedUnixNano: time.Now().UnixNano(),
+		Cols:            cols,
+	}, nil
+}
+
+// persist makes one epoch's outcome durable: ledger fsync first (the boot
+// guard's invariant), then each refolded segment by atomic rename. It runs
+// outside epochMu; the per-shard epoch watermark keeps a late writer from
+// clobbering a newer segment when epochs overlap their persistence.
+func (s *Service) persist(segs []*store.ShardSnapshot) error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.persistHook != nil {
+		s.persistHook()
+	}
+	if err := s.ledger.Sync(); err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg.Epoch <= s.persistedEpoch[seg.Shard] {
+			continue // a newer fold already persisted this shard
+		}
+		if err := seg.SaveFile(shardPath(s.cfg.Dir, seg.Shard)); err != nil {
+			return err
+		}
+		s.persistedEpoch[seg.Shard] = seg.Epoch
+	}
+	return nil
 }
 
 // epochSeed mixes the base seed with the epoch number (SplitMix64-style
@@ -322,5 +661,8 @@ func (s *Service) loop() {
 func (s *Service) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	// Serialise with any in-flight persistence before closing the WAL.
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
 	return s.ledger.Close()
 }

@@ -49,27 +49,37 @@ func TestNewValidates(t *testing.T) {
 	if _, err := New(Config{Graph: testGraph(t, 10, 1), EpochInterval: -time.Second}); err == nil {
 		t.Error("negative interval accepted")
 	}
+	if _, err := New(Config{Graph: testGraph(t, 10, 1), Shards: 11}); err == nil {
+		t.Error("shard count above N accepted")
+	}
+	if _, err := New(Config{Graph: testGraph(t, 10, 1), Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
 }
 
-func TestBootSnapshotAndEmptyEpoch(t *testing.T) {
+func TestBootViewAndEmptyEpoch(t *testing.T) {
 	s := newTestService(t, 20, Config{})
-	snap := s.Snapshot()
-	if snap.Epoch != 0 || snap.Seq != 0 || snap.N != 20 {
-		t.Fatalf("boot snapshot %+v", snap)
+	v := s.View()
+	if v.Epoch() != 0 || v.Seq() != 0 || v.N() != 20 || v.Shards() != 1 {
+		t.Fatalf("boot view: epoch %d seq %d n %d shards %d", v.Epoch(), v.Seq(), v.N(), v.Shards())
 	}
-	if v, _, err := s.Reputation(3); err != nil || v != 0 {
-		t.Fatalf("boot reputation = (%v, %v)", v, err)
+	if r, _, err := s.Reputation(3); err != nil || r != 0 {
+		t.Fatalf("boot reputation = (%v, %v)", r, err)
 	}
-	// No pending feedback: RunEpoch is a no-op returning the same snapshot.
+	// No pending feedback: RunEpoch is a no-op leaving the shard states
+	// untouched.
 	got, ran, err := s.RunEpoch()
-	if err != nil || ran || got != snap {
-		t.Fatalf("empty epoch = (%p, %v, %v), want (%p, false, nil)", got, ran, err, snap)
+	if err != nil || ran {
+		t.Fatalf("empty epoch = (ran=%v, err=%v), want (false, nil)", ran, err)
+	}
+	if got.Shard(0) != v.Shard(0) {
+		t.Fatal("empty epoch republished a shard snapshot")
 	}
 }
 
 func TestEpochMatchesGlobalReference(t *testing.T) {
 	const n = 60
-	s := newTestService(t, n, Config{})
+	s := newTestService(t, n, Config{Shards: 4})
 	src := rng.New(99)
 	for k := 0; k < 400; k++ {
 		rater, subject := src.Intn(n), src.Intn(n)
@@ -77,29 +87,35 @@ func TestEpochMatchesGlobalReference(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap, ran, err := s.RunEpoch()
+	v, ran, err := s.RunEpoch()
 	if err != nil || !ran {
 		t.Fatalf("epoch = (ran=%v, err=%v)", ran, err)
 	}
-	if snap.Epoch != 1 || snap.Seq != 400 || !snap.Converged {
-		t.Fatalf("snapshot %+v", snap)
+	if v.Epoch() != 1 || v.Seq() != 400 || !v.Converged() {
+		t.Fatalf("view: epoch %d seq %d converged %v", v.Epoch(), v.Seq(), v.Converged())
 	}
 	for j := 0; j < n; j++ {
-		want := core.GlobalRef(snap.Trust, j)
-		if math.Abs(snap.Global[j]-want) > epsTol {
-			t.Errorf("subject %d: global %v, reference %v", j, snap.Global[j], want)
-		}
-	}
-	// Personal views come from the same frozen matrix.
-	for _, pair := range [][2]int{{0, 5}, {7, 12}, {59, 0}} {
-		got, pSnap, err := s.PersonalReputation(pair[0], pair[1])
+		got, err := v.Reputation(j)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if pSnap != snap {
-			t.Fatal("personal read served a different snapshot")
+		// The view doubles as a trust.Reader over its frozen shard columns,
+		// so the reference evaluates against exactly the folded state.
+		want := core.GlobalRef(v, j)
+		if math.Abs(got-want) > epsTol {
+			t.Errorf("subject %d: global %v, reference %v", j, got, want)
 		}
-		want := core.GCLRRef(s.cfg.Graph, snap.Trust, pair[0], pair[1], s.cfg.Params)
+	}
+	// Personal views come from the same frozen columns.
+	for _, pair := range [][2]int{{0, 5}, {7, 12}, {59, 0}} {
+		got, pv, err := s.PersonalReputation(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv.SubjectEpoch(pair[1]) != v.SubjectEpoch(pair[1]) {
+			t.Fatal("personal read served a different shard epoch")
+		}
+		want := core.GCLRRef(s.cfg.Graph, pv, pair[0], pair[1], s.cfg.Params)
 		if math.Abs(got-want) > 1e-9 {
 			t.Errorf("personal (%d,%d): got %v, want %v", pair[0], pair[1], got, want)
 		}
@@ -111,21 +127,21 @@ func TestFeedbackVisibleOnlyAfterEpoch(t *testing.T) {
 	if _, err := s.Submit(3, 9, 0.8); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.Reputation(9); v != 0 {
-		t.Fatalf("unfolded feedback visible: %v", v)
+	if r, _, _ := s.Reputation(9); r != 0 {
+		t.Fatalf("unfolded feedback visible: %v", r)
 	}
 	if s.Pending() != 1 {
 		t.Fatalf("Pending = %d, want 1", s.Pending())
 	}
-	snap, ran, err := s.RunEpoch()
+	v, ran, err := s.RunEpoch()
 	if err != nil || !ran {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.Reputation(9); math.Abs(v-0.8) > epsTol {
-		t.Fatalf("reputation after epoch = %v, want ≈0.8", v)
+	if r, _, _ := s.Reputation(9); math.Abs(r-0.8) > epsTol {
+		t.Fatalf("reputation after epoch = %v, want ≈0.8", r)
 	}
-	if snap.Raters[9] != 1 {
-		t.Fatalf("Raters[9] = %d, want 1", snap.Raters[9])
+	if v.Raters(9) != 1 {
+		t.Fatalf("Raters(9) = %d, want 1", v.Raters(9))
 	}
 	if s.Pending() != 0 {
 		t.Fatal("pending not drained by epoch")
@@ -141,29 +157,37 @@ func TestLatestFeedbackWins(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snap, _, err := s.RunEpoch()
+	view, _, err := s.RunEpoch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := snap.Trust.Value(2, 6); got != 0.4 {
+	if got := view.Value(2, 6); got != 0.4 {
 		t.Fatalf("folded value %v, want 0.4 (latest)", got)
 	}
 }
 
 func TestEpochDeterministicGivenSeed(t *testing.T) {
-	run := func() []float64 {
-		s := newTestService(t, 40, Config{})
+	run := func(shards, foldWorkers, workers int) []float64 {
+		s := newTestService(t, 40, Config{
+			Shards:      shards,
+			FoldWorkers: foldWorkers,
+			Params:      core.Params{Epsilon: 1e-6, Seed: 11, Workers: workers},
+		})
 		src := rng.New(5)
 		for k := 0; k < 200; k++ {
 			s.Submit(src.Intn(40), src.Intn(40), src.Float64())
 		}
-		snap, _, err := s.RunEpoch()
+		v, _, err := s.RunEpoch()
 		if err != nil {
 			t.Fatal(err)
 		}
-		return snap.Global
+		out := make([]float64, 40)
+		for j := range out {
+			out[j], _ = v.Reputation(j)
+		}
+		return out
 	}
-	a, b := run(), run()
+	a, b := run(1, 1, 0), run(1, 1, 0)
 	for j := range a {
 		if a[j] != b[j] {
 			t.Fatalf("subject %d: %v vs %v — epochs not reproducible", j, a[j], b[j])
@@ -176,12 +200,13 @@ func TestSchedulerRunsEpochs(t *testing.T) {
 		Graph:         testGraph(t, 30, 7),
 		Params:        core.Params{Epsilon: 1e-5, Seed: 3},
 		EpochInterval: 5 * time.Millisecond,
+		Shards:        3,
 	})
 	if _, err := s.Submit(1, 2, 0.5); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for s.Snapshot().Epoch == 0 {
+	for s.View().Epoch() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("scheduler never published an epoch")
 		}
@@ -190,71 +215,74 @@ func TestSchedulerRunsEpochs(t *testing.T) {
 	if err := s.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := s.Reputation(2); math.Abs(v-0.5) > epsTol {
-		t.Fatalf("reputation = %v, want ≈0.5", v)
+	if r, _, _ := s.Reputation(2); math.Abs(r-0.5) > epsTol {
+		t.Fatalf("reputation = %v, want ≈0.5", r)
 	}
 }
 
 func TestPersistenceAcrossRestart(t *testing.T) {
-	dir := t.TempDir()
-	g := testGraph(t, 30, 7)
-	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir}
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		g := testGraph(t, 30, 7)
+		cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir, Shards: shards}
 
-	s1, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s1.Submit(1, 4, 0.9)
-	s1.Submit(2, 4, 0.5)
-	snap1, _, err := s1.RunEpoch()
-	if err != nil {
-		t.Fatal(err)
-	}
-	s1.Submit(3, 4, 0.1) // pending, never folded before shutdown
-	if err := s1.Close(); err != nil {
-		t.Fatal(err)
-	}
+		s1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1.Submit(1, 4, 0.9)
+		s1.Submit(2, 4, 0.5)
+		v1, _, err := s1.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep1, _ := v1.Reputation(4)
+		s1.Submit(3, 4, 0.1) // pending, never folded before shutdown
+		if err := s1.Close(); err != nil {
+			t.Fatal(err)
+		}
 
-	s2, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s2.Close()
-	got := s2.Snapshot()
-	if got.Epoch != snap1.Epoch || got.Seq != snap1.Seq {
-		t.Fatalf("restart published epoch %d/seq %d, want %d/%d", got.Epoch, got.Seq, snap1.Epoch, snap1.Seq)
-	}
-	if math.Abs(got.Global[4]-snap1.Global[4]) > 1e-12 {
-		t.Fatal("restart lost the published reputation")
-	}
-	if s2.Pending() != 1 {
-		t.Fatalf("restart replayed %d pending entries, want 1 (the unfolded tail)", s2.Pending())
-	}
-	snap2, ran, err := s2.RunEpoch()
-	if err != nil || !ran {
-		t.Fatal(err)
-	}
-	if snap2.Epoch != snap1.Epoch+1 || snap2.Seq != 3 {
-		t.Fatalf("post-restart epoch %d/seq %d", snap2.Epoch, snap2.Seq)
-	}
-	// The tail entry and the pre-restart folds are all reflected.
-	want := (0.9 + 0.5 + 0.1) / 3
-	if math.Abs(snap2.Global[4]-want) > epsTol {
-		t.Fatalf("reputation after replayed epoch = %v, want ≈%v", snap2.Global[4], want)
-	}
-	// Sequence numbers keep increasing across the restart.
-	if seq, err := s2.Submit(5, 6, 0.2); err != nil || seq != 4 {
-		t.Fatalf("post-restart Submit = (%d, %v), want (4, nil)", seq, err)
+		s2, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s2.View()
+		if got.Epoch() != v1.Epoch() || got.Seq() != v1.Seq() {
+			t.Fatalf("restart published epoch %d/seq %d, want %d/%d", got.Epoch(), got.Seq(), v1.Epoch(), v1.Seq())
+		}
+		if rep2, _ := got.Reputation(4); math.Abs(rep2-rep1) > 1e-12 {
+			t.Fatal("restart lost the published reputation")
+		}
+		if s2.Pending() != 1 {
+			t.Fatalf("restart replayed %d pending entries, want 1 (the unfolded tail)", s2.Pending())
+		}
+		v2, ran, err := s2.RunEpoch()
+		if err != nil || !ran {
+			t.Fatal(err)
+		}
+		if v2.Epoch() != v1.Epoch()+1 || v2.Seq() != 3 {
+			t.Fatalf("post-restart epoch %d/seq %d", v2.Epoch(), v2.Seq())
+		}
+		// The tail entry and the pre-restart folds are all reflected.
+		want := (0.9 + 0.5 + 0.1) / 3
+		if rep, _ := v2.Reputation(4); math.Abs(rep-want) > epsTol {
+			t.Fatalf("reputation after replayed epoch = %v, want ≈%v", rep, want)
+		}
+		// Sequence numbers keep increasing across the restart.
+		if seq, err := s2.Submit(5, 6, 0.2); err != nil || seq != 4 {
+			t.Fatalf("post-restart Submit = (%d, %v), want (4, nil)", seq, err)
+		}
+		s2.Close()
 	}
 }
 
-// TestBootRejectsTruncatedLedger: a snapshot claiming folded entries the
+// TestBootRejectsTruncatedLedger: a segment claiming folded entries the
 // ledger never assigned (operator deleted/swapped ledger.jsonl) must fail
 // loudly at boot instead of serving state that can never reconcile.
 func TestBootRejectsTruncatedLedger(t *testing.T) {
 	dir := t.TempDir()
 	g := testGraph(t, 20, 7)
-	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-5, Seed: 1}, Dir: dir}
+	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-5, Seed: 1}, Dir: dir, Shards: 2}
 	s1, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +298,6 @@ func TestBootRejectsTruncatedLedger(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := New(cfg); err == nil {
-		t.Fatal("truncated ledger accepted against a newer snapshot")
+		t.Fatal("truncated ledger accepted against a newer segment")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"diffgossip/internal/rng"
 	"diffgossip/internal/scenario"
 	"diffgossip/internal/service"
+	"diffgossip/internal/store"
 )
 
 // BenchConfig parameterises the perf-trajectory benchmark that cmd/dgsim's
@@ -27,6 +28,11 @@ type BenchConfig struct {
 	N int
 	// VectorN is the vector workload size (default 1,000).
 	VectorN int
+	// ShardN is the sharded-service workload size (default 5,000) and
+	// Shards its subject-shard count (default 20): the schema-v4 rows
+	// measure epoch latency against the fraction of shards dirtied.
+	ShardN int
+	Shards int
 	// Epsilon is the convergence bound (default 1e-3).
 	Epsilon float64
 	// Seed drives everything.
@@ -61,6 +67,14 @@ type BenchResult struct {
 	// Events is the number of churn/fault events the churn-scenario row
 	// executed (joins + crashes + leaves + rejoins).
 	Events int `json:"events,omitempty"`
+	// Shards, DirtyShards and FoldedSubjects describe the sharded-service
+	// rows (schema v4): the subject-shard count, how many shards the
+	// measured epoch had to fold, and how many per-subject campaigns
+	// actually ran — EpochNs against DirtyShards/Shards is the
+	// incrementality curve.
+	Shards         int    `json:"shards,omitempty"`
+	DirtyShards    int    `json:"dirty_shards,omitempty"`
+	FoldedSubjects uint64 `json:"folded_subjects,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
@@ -69,7 +83,12 @@ type BenchResult struct {
 // ingest/query-throughput fields; v3 adds the churn-scenario row (steps are
 // scenario rounds, ns_per_step is scenario wall time per round including
 // event application and invariant checks, events counts executed churn
-// events). Earlier rows are unchanged.
+// events); v4 adds the sharded-service rows — one epoch-latency measurement
+// per dirty-shard fraction at large N, with shards/dirty_shards/
+// folded_subjects recording how much of the subject space each epoch
+// actually recomputed. Earlier rows are unchanged in shape; note the v4
+// service epochs run the per-subject campaign pipeline, so service-row
+// numbers are not directly comparable to v2/v3 runs.
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go"`
@@ -121,6 +140,12 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	if cfg.VectorN == 0 {
 		cfg.VectorN = 1000
 	}
+	if cfg.ShardN == 0 {
+		cfg.ShardN = 5000
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 20
+	}
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 1e-3
 	}
@@ -130,8 +155,11 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	if err := checkPositive("vector network size", cfg.VectorN); err != nil {
 		return nil, err
 	}
+	if err := checkPositive("sharded network size", cfg.ShardN); err != nil {
+		return nil, err
+	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v3",
+		Schema:     "diffgossip-bench/v4",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
@@ -198,7 +226,104 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
+
+	// Sharded service (schema v4): epoch latency vs dirty-shard fraction at
+	// large N — the incrementality curve of the subject-sharded pipeline.
+	{
+		rows, err := benchSharded(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
 	return report, nil
+}
+
+// benchSharded measures the sharded epoch pipeline: one full-dirty epoch,
+// then epochs touching progressively fewer shards, on one long-lived
+// service. Each row's EpochNs is the wall-clock RunEpoch latency and
+// FoldedSubjects the campaigns that epoch actually ran — the curve should
+// fall roughly linearly with the dirty fraction, i.e. clean shards cost
+// nothing.
+func benchSharded(cfg BenchConfig) ([]BenchResult, error) {
+	n, shards := cfg.ShardN, cfg.Shards
+	if shards > n {
+		shards = n
+	}
+	g, err := buildPA(n, cfg.Seed+40)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(service.Config{
+		Graph:  g,
+		Params: core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 41, Workers: -1},
+		Shards: shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+
+	src := rng.New(cfg.Seed + 42)
+	// Rate every subject once up front so later folds recompute full shards.
+	submitShardRange := func(dirtyShards int) error {
+		for j := 0; j < n; j++ {
+			if store.ShardOf(j, shards) >= dirtyShards {
+				continue
+			}
+			rater := src.Intn(n - 1)
+			if rater >= j {
+				rater++
+			}
+			if _, err := svc.Submit(rater, j, src.Float64()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Warm-up epoch (unmeasured): rate every subject and fold once, so the
+	// measured epochs all recompute comparably-sized columns — otherwise the
+	// full-dirty row would fold cheaper first-rating campaigns than the
+	// incremental rows and skew the curve.
+	if err := submitShardRange(shards); err != nil {
+		return nil, err
+	}
+	if _, _, err := svc.RunEpoch(); err != nil {
+		return nil, err
+	}
+
+	var rows []BenchResult
+	for _, frac := range []float64{1, 0.25, 0.05} {
+		dirty := int(float64(shards)*frac + 0.5)
+		if dirty < 1 {
+			dirty = 1
+		}
+		if err := submitShardRange(dirty); err != nil {
+			return nil, err
+		}
+		before := svc.FoldedSubjects()
+		start := time.Now()
+		view, ran, err := svc.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if !ran {
+			return nil, fmt.Errorf("bench: sharded epoch had nothing to fold")
+		}
+		rows = append(rows, BenchResult{
+			Name:           fmt.Sprintf("sharded-service/N=%d/S=%d/dirty=%d", n, shards, dirty),
+			N:              n,
+			Steps:          view.Steps(),
+			Converged:      view.Converged(),
+			EpochNs:        float64(elapsed.Nanoseconds()),
+			Shards:         shards,
+			DirtyShards:    dirty,
+			FoldedSubjects: svc.FoldedSubjects() - before,
+		})
+	}
+	return rows, nil
 }
 
 // benchChurn times one deterministic churn scenario on the scalar engine.
@@ -282,7 +407,7 @@ func benchService(cfg BenchConfig) (BenchResult, error) {
 	})
 	totalOps := float64(workers * perWorker)
 
-	snap, ran, err := svc.RunEpoch()
+	view, ran, err := svc.RunEpoch()
 	if err != nil {
 		return BenchResult{}, err
 	}
@@ -304,14 +429,14 @@ func benchService(cfg BenchConfig) (BenchResult, error) {
 	res := BenchResult{
 		Name:         fmt.Sprintf("service/N=%d", n),
 		N:            n,
-		Steps:        snap.Steps,
-		Converged:    snap.Converged,
+		Steps:        view.Steps(),
+		Converged:    view.Converged(),
 		IngestPerSec: totalOps / ingestElapsed.Seconds(),
 		QueryPerSec:  totalOps / queryElapsed.Seconds(),
-		EpochNs:      float64(snap.ElapsedNs),
+		EpochNs:      float64(view.ElapsedNs()),
 	}
-	if snap.Steps > 0 {
-		res.NsPerStep = float64(snap.ElapsedNs) / float64(snap.Steps)
+	if view.Steps() > 0 {
+		res.NsPerStep = float64(view.ElapsedNs()) / float64(view.Steps())
 	}
 	return res, nil
 }

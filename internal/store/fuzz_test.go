@@ -159,3 +159,47 @@ func FuzzSnapshotLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardSnapshotLoad throws arbitrary bytes at the shard segment decoder
+// (which nests the trust columns decoder). It must reject corrupt input with
+// an error — never a panic or an out-of-bounds allocation — and anything it
+// accepts must satisfy the segment's layout invariants.
+func FuzzShardSnapshotLoad(f *testing.F) {
+	// Seed with a genuine segment so the fuzzer mutates realistic bytes.
+	snap := NewBootSnapshot(9, 1)
+	snap.Trust.Set(1, 4, 0.5)
+	snap.Trust.Set(2, 4, 0.25)
+	snap.Global[4] = 0.375
+	snap.Raters[4] = 2
+	segs, err := SplitSnapshot(snap, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := segs[1].Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadShardSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s.Shard < 0 || s.Shard >= s.Shards || s.N < 0 {
+			t.Fatalf("accepted segment with bad layout: shard %d/%d over N=%d", s.Shard, s.Shards, s.N)
+		}
+		want := len(ShardSubjects(s.N, s.Shard, s.Shards))
+		if len(s.Global) != want || len(s.Raters) != want || len(s.Cols.Subjects()) != want {
+			t.Fatalf("accepted segment with inconsistent slots: %d/%d/%d want %d",
+				len(s.Global), len(s.Raters), len(s.Cols.Subjects()), want)
+		}
+		for k, j := range s.Cols.Subjects() {
+			if ShardOf(j, s.Shards) != s.Shard || SlotOf(j, s.Shards) != k {
+				t.Fatalf("accepted segment whose column %d holds foreign subject %d", k, j)
+			}
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrInvalidFeedback marks feedback rejected by validation (out-of-range ids
@@ -45,6 +46,43 @@ type Feedback struct {
 	// UnixNano is the ingest wall-clock time (0 when unknown, e.g. entries
 	// replayed from ledgers written by older builds).
 	UnixNano int64 `json:"unix_nano,omitempty"`
+	// Shard is the subject shard this entry belongs to under the ledger's
+	// configured shard count, stamped by TakePending for the epoch
+	// scheduler. It is derived state (Subject mod shards), never persisted:
+	// the shard count may change across restarts.
+	Shard int `json:"-"`
+}
+
+// ShardOf maps a subject to its shard under S subject shards. Modulo
+// placement spreads id-adjacent hot subjects across shards; every layer
+// (ledger dirty tracking, segment files, the composite read view) uses this
+// one function so the partition can never skew.
+func ShardOf(subject, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return subject % shards
+}
+
+// ShardSubjects returns shard's subjects — ascending ids congruent to shard
+// mod shards — over an N-node id space.
+func ShardSubjects(n, shard, shards int) []int {
+	if shards <= 1 {
+		shard, shards = 0, 1
+	}
+	out := make([]int, 0, (n-shard+shards-1)/shards)
+	for j := shard; j < n; j += shards {
+		out = append(out, j)
+	}
+	return out
+}
+
+// SlotOf maps a subject to its position inside its shard's subject list.
+func SlotOf(subject, shards int) int {
+	if shards <= 1 {
+		return subject
+	}
+	return subject / shards
 }
 
 // Ledger is the append-only feedback log. Appends are cheap and concurrent
@@ -60,12 +98,71 @@ type Ledger struct {
 	pending []Feedback
 	f       *os.File
 	w       *bufio.Writer
+
+	// syncMu serialises fsync without holding mu, so a slow disk never
+	// blocks Append (see Sync).
+	syncMu sync.Mutex
+
+	// Shard-aware pending accounting. shards is fixed by SetShards before
+	// concurrent use; dirty[s] reports whether shard s has pending entries.
+	// The flags and counters are atomics updated under mu, so the stats
+	// path reads them lock-free while writers stay serialised.
+	shards     int
+	dirty      []atomic.Bool
+	dirtyCount atomic.Int64
+	pendingN   atomic.Int64
 }
 
-// NewLedger returns a memory-only ledger over n nodes.
+// NewLedger returns a memory-only ledger over n nodes with a single shard.
 func NewLedger(n int) *Ledger {
-	return &Ledger{n: n}
+	l := &Ledger{n: n}
+	l.initShards(1)
+	return l
 }
+
+func (l *Ledger) initShards(s int) {
+	l.shards = s
+	l.dirty = make([]atomic.Bool, s)
+}
+
+// SetShards configures the subject-shard count the ledger tracks dirtiness
+// at. It must be called before concurrent use (the service sets it at
+// boot); the dirty set is recomputed from whatever is pending.
+func (l *Ledger) SetShards(s int) error {
+	if s < 1 {
+		return fmt.Errorf("store: shard count %d must be >= 1", s)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.initShards(s)
+	l.dirtyCount.Store(0)
+	for i := range l.pending {
+		l.pending[i].Shard = ShardOf(l.pending[i].Subject, s)
+		l.markDirtyLocked(l.pending[i].Shard)
+	}
+	return nil
+}
+
+// markDirtyLocked flags a shard as having pending feedback; callers hold mu.
+func (l *Ledger) markDirtyLocked(shard int) {
+	if !l.dirty[shard].Swap(true) {
+		l.dirtyCount.Add(1)
+	}
+}
+
+// Shards returns the configured subject-shard count.
+func (l *Ledger) Shards() int { return l.shards }
+
+// ShardDirty reports, lock-free, whether shard s has pending feedback.
+func (l *Ledger) ShardDirty(s int) bool {
+	if s < 0 || s >= len(l.dirty) {
+		return false
+	}
+	return l.dirty[s].Load()
+}
+
+// DirtyCount returns, lock-free, the number of shards with pending feedback.
+func (l *Ledger) DirtyCount() int { return int(l.dirtyCount.Load()) }
 
 // OpenLedger opens (creating if absent) the JSON-lines ledger file at path
 // and replays every existing entry, returning them in append order so the
@@ -78,6 +175,7 @@ func OpenLedger(path string, n int) (*Ledger, []Feedback, error) {
 		return nil, nil, fmt.Errorf("store: open ledger: %w", err)
 	}
 	l := &Ledger{n: n, f: f}
+	l.initShards(1)
 	replayed, goodEnd, err := l.replay(f)
 	if err != nil {
 		f.Close()
@@ -184,7 +282,10 @@ func (l *Ledger) Append(rater, subject int, value float64, unixNano int64) (uint
 		}
 	}
 	l.seq = fb.Seq
+	fb.Shard = ShardOf(fb.Subject, l.shards)
 	l.pending = append(l.pending, fb)
+	l.pendingN.Store(int64(len(l.pending)))
+	l.markDirtyLocked(fb.Shard)
 	return fb.Seq, nil
 }
 
@@ -200,44 +301,64 @@ func (l *Ledger) Restore(entries []Feedback) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.pending = append(append(make([]Feedback, 0, len(entries)+len(l.pending)), entries...), l.pending...)
+	l.pendingN.Store(int64(len(l.pending)))
+	for i := range entries {
+		l.pending[i].Shard = ShardOf(l.pending[i].Subject, l.shards)
+		l.markDirtyLocked(l.pending[i].Shard)
+	}
 }
 
 // TakePending atomically removes and returns the pending window in append
-// order; the epoch scheduler calls it once per epoch.
+// order, each entry stamped with its subject shard; the epoch scheduler
+// calls it once per epoch. The per-shard dirty set transfers to the caller
+// with the batch.
 func (l *Ledger) TakePending() []Feedback {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := l.pending
 	l.pending = nil
+	l.pendingN.Store(0)
+	for s := range l.dirty {
+		l.dirty[s].Store(false)
+	}
+	l.dirtyCount.Store(0)
 	return out
 }
 
-// PendingCount returns the number of entries awaiting the next epoch.
+// PendingCount returns the number of entries awaiting the next epoch. It is
+// a single atomic load — the stats endpoint reads it lock-free.
 func (l *Ledger) PendingCount() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.pending)
+	return int(l.pendingN.Load())
 }
 
 // Sync fsyncs the backing file (no-op for memory-only ledgers). The service
-// calls it at each epoch boundary before persisting the snapshot, so that
-// after any crash the on-disk ledger is always at least as new as the
-// on-disk snapshot — the invariant the boot-time truncation guard checks.
+// calls it at each epoch boundary before persisting snapshot segments, so
+// that after any crash the on-disk ledger is always at least as new as the
+// on-disk segments — the invariant the boot-time truncation guard checks.
 // Individual appends are flushed to the OS but not fsynced; a power loss can
 // drop the tail since the last epoch, which replay handles, never entries a
-// persisted snapshot claims to have folded.
+// persisted segment claims to have folded.
+//
+// Only the buffered flush runs under the append mutex; the fsync syscall
+// itself holds a separate sync mutex, so a slow disk delays at most other
+// syncers — Submit keeps ingesting at memory speed while the kernel drains.
 func (l *Ledger) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
+	f := l.f
+	if f == nil {
+		l.mu.Unlock()
 		return nil
 	}
 	if l.w != nil {
 		if err := l.w.Flush(); err != nil {
+			l.mu.Unlock()
 			return fmt.Errorf("store: flush ledger: %w", err)
 		}
 	}
-	if err := l.f.Sync(); err != nil {
+	l.mu.Unlock()
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("store: sync ledger: %w", err)
 	}
 	return nil
@@ -253,8 +374,11 @@ func (l *Ledger) Seq() uint64 {
 // N returns the node-id bound the ledger validates against.
 func (l *Ledger) N() int { return l.n }
 
-// Close flushes and closes the backing file, if any.
+// Close flushes and closes the backing file, if any. It takes the sync
+// mutex first so an in-flight fsync never races the close.
 func (l *Ledger) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"diffgossip/internal/rng"
+	"diffgossip/internal/trust"
+)
+
+func TestShardHelpers(t *testing.T) {
+	if ShardOf(7, 1) != 0 || ShardOf(7, 3) != 1 || SlotOf(7, 3) != 2 || SlotOf(7, 1) != 7 {
+		t.Fatal("shard/slot arithmetic broken")
+	}
+	subs := ShardSubjects(10, 2, 3) // 2, 5, 8
+	if len(subs) != 3 || subs[0] != 2 || subs[1] != 5 || subs[2] != 8 {
+		t.Fatalf("ShardSubjects(10,2,3) = %v", subs)
+	}
+	for _, j := range subs {
+		if ShardOf(j, 3) != 2 || subs[SlotOf(j, 3)] != j {
+			t.Fatalf("subject %d does not round-trip its shard/slot", j)
+		}
+	}
+}
+
+func randomSnapshot(t *testing.T, n int, seed uint64) *Snapshot {
+	t.Helper()
+	src := rng.New(seed)
+	snap := &Snapshot{
+		Epoch: 5, Seq: 123, N: n,
+		Trust:           trust.NewMatrix(n),
+		Global:          make([]float64, n),
+		Raters:          make([]int, n),
+		Steps:           17,
+		Converged:       true,
+		ElapsedNs:       999,
+		CreatedUnixNano: 424242,
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && src.Bool(0.3) {
+				if err := snap.Trust.Set(i, j, src.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		sum, cnt := snap.Trust.ColumnSum(j)
+		snap.Raters[j] = cnt
+		if cnt > 0 {
+			snap.Global[j] = sum / float64(cnt)
+		}
+	}
+	return snap
+}
+
+// TestSplitStitchRoundTrip: SplitSnapshot and StitchSnapshot are inverses on
+// the data that matters (values, raters, trust entries, fold point).
+func TestSplitStitchRoundTrip(t *testing.T) {
+	snap := randomSnapshot(t, 23, 9)
+	for _, shards := range []int{1, 4, 7} {
+		segs, err := SplitSnapshot(snap, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) != shards {
+			t.Fatalf("split into %d segments, want %d", len(segs), shards)
+		}
+		for j := 0; j < snap.N; j++ {
+			seg := segs[ShardOf(j, shards)]
+			got, err := seg.Reputation(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != snap.Global[j] || seg.RaterCount(j) != snap.Raters[j] {
+				t.Fatalf("S=%d subject %d: split lost data", shards, j)
+			}
+		}
+		back, err := StitchSnapshot(segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Epoch != snap.Epoch || back.Seq != snap.Seq || back.N != snap.N {
+			t.Fatalf("S=%d: stitched header %d/%d/%d", shards, back.Epoch, back.Seq, back.N)
+		}
+		for j := 0; j < snap.N; j++ {
+			if back.Global[j] != snap.Global[j] || back.Raters[j] != snap.Raters[j] {
+				t.Fatalf("S=%d subject %d: stitch lost globals", shards, j)
+			}
+			for i := 0; i < snap.N; i++ {
+				a, aok := snap.Trust.Get(i, j)
+				b, bok := back.Trust.Get(i, j)
+				if a != b || aok != bok {
+					t.Fatalf("S=%d entry (%d,%d): stitch lost trust", shards, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestShardSnapshotFileRoundTrip pins the segment wire format.
+func TestShardSnapshotFileRoundTrip(t *testing.T) {
+	snap := randomSnapshot(t, 15, 4)
+	segs, err := SplitSnapshot(snap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segs[2]
+	seg.Computed = 3
+	path := filepath.Join(t.TempDir(), "shard-0002.gob")
+	if err := seg.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadShardFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != 2 || got.Shards != 4 || got.N != 15 || got.Epoch != seg.Epoch || got.Seq != seg.Seq || got.Computed != 3 {
+		t.Fatalf("reloaded header %+v", got)
+	}
+	for _, j := range got.Cols.Subjects() {
+		a, _ := seg.Reputation(j)
+		b, _ := got.Reputation(j)
+		if a != b {
+			t.Fatalf("subject %d: reloaded %v != %v", j, b, a)
+		}
+		sumA, cntA := seg.Cols.ColumnSum(j)
+		sumB, cntB := got.Cols.ColumnSum(j)
+		if sumA != sumB || cntA != cntB {
+			t.Fatalf("subject %d: reloaded columns differ", j)
+		}
+	}
+	// Missing files are a clean nil.
+	if s, err := LoadShardFile(filepath.Join(t.TempDir(), "nope.gob")); s != nil || err != nil {
+		t.Fatalf("missing segment = (%v, %v)", s, err)
+	}
+	// Corrupt payloads fail loudly.
+	if _, err := LoadShardSnapshot(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage segment accepted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if m, err := LoadManifestFile(path); m != nil || err != nil {
+		t.Fatalf("missing manifest = (%v, %v)", m, err)
+	}
+	if err := SaveManifestFile(Manifest{N: 100, Shards: 8, CreatedUnixNano: 5}, path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 100 || m.Shards != 8 || m.Version != manifestVersion {
+		t.Fatalf("manifest %+v", m)
+	}
+}
+
+// TestLedgerShardTracking: per-shard dirty accounting across append, take
+// and restore, with lock-free counters.
+func TestLedgerShardTracking(t *testing.T) {
+	l := NewLedger(10)
+	if err := l.SetShards(3); err != nil {
+		t.Fatal(err)
+	}
+	if l.DirtyCount() != 0 || l.PendingCount() != 0 {
+		t.Fatal("fresh ledger not clean")
+	}
+	// Subjects 0 (shard 0) and 4 (shard 1).
+	if _, err := l.Append(1, 0, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(2, 4, 0.6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(3, 0, 0.7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if l.DirtyCount() != 2 || !l.ShardDirty(0) || !l.ShardDirty(1) || l.ShardDirty(2) {
+		t.Fatalf("dirty set wrong: count=%d", l.DirtyCount())
+	}
+	if l.PendingCount() != 3 {
+		t.Fatalf("pending %d", l.PendingCount())
+	}
+	batch := l.TakePending()
+	if len(batch) != 3 || batch[0].Shard != 0 || batch[1].Shard != 1 || batch[2].Shard != 0 {
+		t.Fatalf("batch shards: %+v", batch)
+	}
+	if l.DirtyCount() != 0 || l.PendingCount() != 0 || l.ShardDirty(0) {
+		t.Fatal("take did not clear the dirty set")
+	}
+	// Restore re-marks.
+	l.Restore(batch)
+	if l.DirtyCount() != 2 || l.PendingCount() != 3 {
+		t.Fatalf("restore: dirty=%d pending=%d", l.DirtyCount(), l.PendingCount())
+	}
+	// SetShards recomputes from pending.
+	if err := l.SetShards(10); err != nil {
+		t.Fatal(err)
+	}
+	if l.DirtyCount() != 2 || !l.ShardDirty(0) || !l.ShardDirty(4) {
+		t.Fatalf("reshard recompute: dirty=%d", l.DirtyCount())
+	}
+	if err := l.SetShards(0); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+}

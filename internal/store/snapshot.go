@@ -157,25 +157,33 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 // power loss) the path holds either the old snapshot or the complete new
 // one, never a torn file.
 func (s *Snapshot) SaveFile(path string) error {
+	return writeFileAtomic(path, ".snapshot-*.tmp", s.Save)
+}
+
+// writeFileAtomic is the shared atomic-and-durable publication primitive:
+// write to a same-directory temp file, fsync, rename over path, fsync the
+// directory entry. After a crash the path holds either the old contents or
+// the complete new ones, never a torn file.
+func writeFileAtomic(path, tmpPattern string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	tmp, err := os.CreateTemp(dir, tmpPattern)
 	if err != nil {
-		return fmt.Errorf("store: temp snapshot: %w", err)
+		return fmt.Errorf("store: temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := s.Save(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: sync snapshot: %w", err)
+		return fmt.Errorf("store: sync %s: %w", filepath.Base(path), err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close snapshot: %w", err)
+		return fmt.Errorf("store: close %s: %w", filepath.Base(path), err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: publish snapshot: %w", err)
+		return fmt.Errorf("store: publish %s: %w", filepath.Base(path), err)
 	}
 	if d, err := os.Open(dir); err == nil {
 		// Directory fsync makes the rename itself durable; best effort on

@@ -1,0 +1,236 @@
+package trust
+
+import (
+	"bytes"
+	"testing"
+
+	"diffgossip/internal/rng"
+)
+
+func randomMatrix(t testing.TB, n int, density float64, seed uint64) *Matrix {
+	t.Helper()
+	src := rng.New(seed)
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && src.Bool(density) {
+				if err := m.Set(i, j, src.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// TestRatersOfIntoMatchesRatersOf: the append-style form returns exactly
+// what RatersOf does, already sorted, reusing the caller's buffers.
+func TestRatersOfIntoMatchesRatersOf(t *testing.T) {
+	m := randomMatrix(t, 50, 0.3, 7)
+	ids := make([]int, 0, 64)
+	vals := make([]float64, 0, 64)
+	for j := 0; j < 50; j++ {
+		wantIds, wantVals := m.RatersOf(j)
+		ids, vals = m.RatersOfInto(j, ids[:0], vals[:0])
+		if len(ids) != len(wantIds) {
+			t.Fatalf("subject %d: %d raters, want %d", j, len(ids), len(wantIds))
+		}
+		for k := range ids {
+			if ids[k] != wantIds[k] || vals[k] != wantVals[k] {
+				t.Fatalf("subject %d rater %d: (%d,%v) != (%d,%v)", j, k, ids[k], vals[k], wantIds[k], wantVals[k])
+			}
+			if k > 0 && ids[k] <= ids[k-1] {
+				t.Fatalf("subject %d: raters not strictly ascending", j)
+			}
+		}
+	}
+}
+
+// TestColumnsReaderMatchesMatrix: a frozen column set answers every Reader
+// query identically to the matrix it was cut from, for covered subjects.
+func TestColumnsReaderMatchesMatrix(t *testing.T) {
+	const n = 40
+	m := randomMatrix(t, n, 0.25, 11)
+	subjects := []int{0, 3, 7, 21, 39}
+	c, err := ColumnsOf(m, subjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != n || len(c.Subjects()) != len(subjects) {
+		t.Fatalf("shape: n=%d subjects=%v", c.N(), c.Subjects())
+	}
+	covered := map[int]bool{}
+	for _, j := range subjects {
+		covered[j] = true
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range subjects {
+			a, aok := m.Get(i, j)
+			b, bok := c.Get(i, j)
+			if a != b || aok != bok {
+				t.Fatalf("entry (%d,%d): columns (%v,%v) != matrix (%v,%v)", i, j, b, bok, a, aok)
+			}
+		}
+		// Row restricted to the covered subjects.
+		want := 0
+		for _, j := range m.InteractedWith(i) {
+			if covered[j] {
+				want++
+			}
+		}
+		if got := len(c.InteractedWith(i)); got != want {
+			t.Fatalf("row %d: %d covered interactions, want %d", i, got, want)
+		}
+	}
+	for _, j := range subjects {
+		aSum, aCnt := m.ColumnSum(j)
+		bSum, bCnt := c.ColumnSum(j)
+		if aSum != bSum || aCnt != bCnt {
+			t.Fatalf("column %d: (%v,%d) != (%v,%d)", j, bSum, bCnt, aSum, aCnt)
+		}
+	}
+	// Uncovered subjects read as empty.
+	if v, ok := c.Get(1, 2); v != 0 || ok {
+		t.Fatal("uncovered subject has entries")
+	}
+	if sum, cnt := c.ColumnSum(2); sum != 0 || cnt != 0 {
+		t.Fatal("uncovered subject has a column sum")
+	}
+	if c.Covers(2) || !c.Covers(21) {
+		t.Fatal("Covers wrong")
+	}
+	// WeightedColumn over the Reader interface agrees for covered columns.
+	for _, o := range []int{0, 13, 39} {
+		for _, j := range subjects {
+			a := WeightedColumn(m, o, j, c.InteractedWith(o), DefaultWeightParams, true)
+			b := WeightedColumn(c, o, j, c.InteractedWith(o), DefaultWeightParams, true)
+			if a != b {
+				t.Fatalf("WeightedColumn(%d,%d): %v != %v", o, j, b, a)
+			}
+		}
+	}
+}
+
+// TestColumnsSaveLoadRoundTrip pins the gob wire format.
+func TestColumnsSaveLoadRoundTrip(t *testing.T) {
+	m := randomMatrix(t, 30, 0.3, 13)
+	subjects := []int{2, 5, 8, 11, 29}
+	c, err := ColumnsOf(m, subjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadColumns(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != c.N() || got.NumEntries() != c.NumEntries() {
+		t.Fatalf("reload shape: n=%d entries=%d", got.N(), got.NumEntries())
+	}
+	for i := 0; i < 30; i++ {
+		for _, j := range subjects {
+			a, aok := c.Get(i, j)
+			b, bok := got.Get(i, j)
+			if a != b || aok != bok {
+				t.Fatalf("entry (%d,%d) drifted through the wire", i, j)
+			}
+		}
+	}
+	// Corruption fails loudly.
+	if _, err := LoadColumns(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage columns accepted")
+	}
+}
+
+// TestNewColumnsValidates rejects malformed raw column data.
+func TestNewColumnsValidates(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		subjects []int
+		raters   [][]int
+		vals     [][]float64
+	}{
+		{"dup subject", 5, []int{1, 1}, [][]int{{0}, {0}}, [][]float64{{0.5}, {0.5}}},
+		{"subject range", 5, []int{5}, [][]int{{0}}, [][]float64{{0.5}}},
+		{"rater range", 5, []int{1}, [][]int{{5}}, [][]float64{{0.5}}},
+		{"not ascending", 5, []int{1}, [][]int{{2, 2}}, [][]float64{{0.5, 0.5}}},
+		{"value range", 5, []int{1}, [][]int{{0}}, [][]float64{{1.5}}},
+		{"length mismatch", 5, []int{1}, [][]int{{0, 1}}, [][]float64{{0.5}}},
+		{"column count", 5, []int{1, 2}, [][]int{{0}}, [][]float64{{0.5}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewColumns(tc.n, tc.subjects, tc.raters, tc.vals); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// BenchmarkRatersOf vs BenchmarkRatersOfInto: the satellite's alloc+sort
+// churn comparison — Into reuses buffers and skips the redundant sort.
+func BenchmarkRatersOf(b *testing.B) {
+	m := randomMatrix(b, 1000, 0.1, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RatersOf(i % 1000)
+	}
+}
+
+func BenchmarkRatersOfInto(b *testing.B) {
+	m := randomMatrix(b, 1000, 0.1, 3)
+	ids := make([]int, 0, 256)
+	vals := make([]float64, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, vals = m.RatersOfInto(i%1000, ids[:0], vals[:0])
+	}
+}
+
+// FuzzColumnsLoad hammers the gob columns decoder: arbitrary bytes must be
+// rejected with an error — never a panic or a hostile allocation — and any
+// accepted column set must satisfy the Columns invariants.
+func FuzzColumnsLoad(f *testing.F) {
+	m := NewMatrix(6)
+	m.Set(0, 2, 0.5)
+	m.Set(4, 2, 1)
+	m.Set(1, 5, 0.25)
+	c, err := ColumnsOf(m, []int{2, 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadColumns(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, j := range got.Subjects() {
+			if j < 0 || j >= got.N() {
+				t.Fatalf("accepted columns with out-of-range subject %d", j)
+			}
+			ids, vals := got.Column(j)
+			prev := -1
+			for k, i := range ids {
+				if i <= prev || i >= got.N() {
+					t.Fatalf("accepted column %d with bad rater order", j)
+				}
+				if vals[k] < 0 || vals[k] > 1 {
+					t.Fatalf("accepted column %d with value %v", j, vals[k])
+				}
+				prev = i
+			}
+		}
+	})
+}

@@ -39,6 +39,66 @@ func (m *Matrix) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(wire)
 }
 
+// columnsWire is the gob representation of a frozen Columns: the subject
+// list plus one flat triple list, reusing the Matrix layout column by
+// column so the format stays compact and deterministic.
+type columnsWire struct {
+	N        int
+	Subjects []int
+	Counts   []int // entries per subject, parallel to Subjects
+	I        []int // rater ids, concatenated in subject order
+	V        []float64
+	Version  int
+}
+
+// Save serialises the column set with gob, deterministically (subjects in
+// construction order, raters ascending).
+func (c *Columns) Save(w io.Writer) error {
+	wire := columnsWire{N: c.n, Version: wireVersion}
+	for s := range c.subjects {
+		j, ids, vals := c.ColumnAt(s)
+		wire.Subjects = append(wire.Subjects, j)
+		wire.Counts = append(wire.Counts, len(ids))
+		wire.I = append(wire.I, ids...)
+		wire.V = append(wire.V, vals...)
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadColumns deserialises a column set written by (*Columns).Save,
+// validating shape, ranges and ordering.
+func LoadColumns(r io.Reader) (*Columns, error) {
+	var wire columnsWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("trust: decode columns: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("trust: unsupported columns version %d", wire.Version)
+	}
+	if wire.N < 0 || wire.N > maxWireN || len(wire.Counts) != len(wire.Subjects) || len(wire.Subjects) > wire.N {
+		return nil, fmt.Errorf("trust: malformed columns payload")
+	}
+	if len(wire.I) != len(wire.V) {
+		return nil, fmt.Errorf("trust: malformed columns payload")
+	}
+	raters := make([][]int, len(wire.Subjects))
+	vals := make([][]float64, len(wire.Subjects))
+	off := 0
+	for s, cnt := range wire.Counts {
+		// Subtraction form: off+cnt can overflow on a hostile count.
+		if cnt < 0 || cnt > len(wire.I)-off {
+			return nil, fmt.Errorf("trust: malformed columns payload")
+		}
+		raters[s] = wire.I[off : off+cnt]
+		vals[s] = wire.V[off : off+cnt]
+		off += cnt
+	}
+	if off != len(wire.I) {
+		return nil, fmt.Errorf("trust: malformed columns payload")
+	}
+	return NewColumns(wire.N, wire.Subjects, raters, vals)
+}
+
 // Load deserialises a matrix written by Save, validating every entry.
 func Load(r io.Reader) (*Matrix, error) {
 	var wire matrixWire

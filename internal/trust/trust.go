@@ -109,18 +109,22 @@ func (m *Matrix) Row(i int) map[int]float64 {
 // their values. This is the set that starts a gossip round with weight 1 in
 // Algorithm 1.
 func (m *Matrix) RatersOf(j int) ([]int, []float64) {
-	var ids []int
+	return m.RatersOfInto(j, nil, nil)
+}
+
+// RatersOfInto appends j's raters and their values to ids and vals and
+// returns the extended slices, in ascending rater order (the row sweep
+// yields sorted output by construction, so no sort pass runs). This is the
+// allocation-free form of RatersOf for the shard fold path, which gathers
+// thousands of columns per epoch into reused buffers.
+func (m *Matrix) RatersOfInto(j int, ids []int, vals []float64) ([]int, []float64) {
 	for i := 0; i < m.n; i++ {
-		if m.rows[i] != nil {
-			if _, ok := m.rows[i][j]; ok {
+		if r := m.rows[i]; r != nil {
+			if v, ok := r[j]; ok {
 				ids = append(ids, i)
+				vals = append(vals, v)
 			}
 		}
-	}
-	sort.Ints(ids)
-	vals := make([]float64, len(ids))
-	for k, i := range ids {
-		vals[k] = m.rows[i][j]
 	}
 	return ids, vals
 }

@@ -65,7 +65,7 @@ func Weights(m *Matrix, i int, nbrs []int, p WeightParams) map[int]float64 {
 // where N_d is the number of raters of j when raterDenominator is true
 // (matching Algorithm 2's count gossip) or the full N otherwise (matching
 // the eq. (6) derivation). The two coincide when every node has rated j.
-func WeightedColumn(m *Matrix, o, j int, nbrs []int, p WeightParams, raterDenominator bool) float64 {
+func WeightedColumn(m Reader, o, j int, nbrs []int, p WeightParams, raterDenominator bool) float64 {
 	sumT, raters := m.ColumnSum(j)
 	num := sumT
 	den := float64(raters)

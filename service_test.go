@@ -35,18 +35,21 @@ func TestServicePublicAPI(t *testing.T) {
 		t.Fatalf("seq = %d, want 2", seq)
 	}
 
-	snap, ran, err := svc.RunEpoch()
+	view, ran, err := svc.RunEpoch()
 	if err != nil || !ran {
 		t.Fatalf("epoch: ran=%v err=%v", ran, err)
 	}
-	if snap.Seq != seq {
-		t.Fatalf("snapshot folded seq %d, want %d", snap.Seq, seq)
+	if view.Seq() != seq {
+		t.Fatalf("view folded seq %d, want %d", view.Seq(), seq)
+	}
+	if view.SubjectSeq(11) != seq {
+		t.Fatalf("subject 11 folded seq %d, want %d", view.SubjectSeq(11), seq)
 	}
 	got, _, err := svc.Reputation(11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := diffgossip.GlobalReference(snap.Trust, 11)
+	want := diffgossip.GlobalReference(view, 11)
 	if math.Abs(got-want) > 1e-2 {
 		t.Fatalf("reputation %v, reference %v", got, want)
 	}
@@ -78,7 +81,7 @@ func TestServiceSchedulerPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for svc.Snapshot().Epoch == 0 {
+	for svc.View().Epoch() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("scheduler never ran")
 		}
