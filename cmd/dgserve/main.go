@@ -14,6 +14,25 @@
 //	curl -s 'localhost:8080/v1/reputation/7?as=3'    # rater 3's GCLR view
 //	curl -s localhost:8080/v1/epoch                  # snapshot metadata
 //
+// Cluster mode federates several dgserve processes into one reputation
+// system: each node keeps serving its own HTTP clients while an anti-entropy
+// loop (internal/cluster) replicates the feedback ledgers over TCP, so
+// feedback submitted to any node becomes readable — with identical values —
+// from every node:
+//
+//	dgserve -listen :8080 -data /var/lib/dg0 -cluster-listen 127.0.0.1:9080 \
+//	        -join 127.0.0.1:9081,127.0.0.1:9082
+//	dgserve -listen :8081 -data /var/lib/dg1 -cluster-listen 127.0.0.1:9081 \
+//	        -join 127.0.0.1:9080,127.0.0.1:9082   # … and so on per node
+//
+// All nodes must share -n, -m, -graph-seed and -seed (same overlay, same
+// epoch randomness); -cluster-listen must be a stable address, since it is
+// the node's origin id in peers' ledgers; -data is required, since origin
+// sequence numbers must survive restarts (a reset ledger would reuse seqs
+// peers have already seen and its new entries would be discarded as
+// duplicates). GET /v1/stats gains a "cluster" section with watermarks and
+// per-peer health.
+//
 // Load-generator mode measures service throughput over real HTTP: it spins
 // up an in-process server (or targets -target), hammers it with concurrent
 // feedback writers and reputation readers for -duration, forces a final
@@ -27,11 +46,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"diffgossip/internal/cluster"
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
 	"diffgossip/internal/service"
+	"diffgossip/internal/transport"
 )
 
 func main() {
@@ -48,6 +70,10 @@ func main() {
 		foldWkrs  = flag.Int("fold-workers", 1, "dirty shards folding concurrently per epoch (-1 = GOMAXPROCS)")
 		dataDir   = flag.String("data", "", "persistence directory (empty = in-memory)")
 
+		clusterListen = flag.String("cluster-listen", "", "TCP address for ledger replication; enables cluster mode (use a stable address — it is this node's origin id)")
+		join          = flag.String("join", "", "comma-separated peer cluster addresses to replicate with")
+		antiEntropy   = flag.Duration("anti-entropy", time.Second, "cluster digest exchange interval (also runs before each scheduled epoch)")
+
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		duration = flag.Duration("duration", 5*time.Second, "loadgen: how long to generate load")
 		writers  = flag.Int("writers", 8, "loadgen: concurrent feedback writers")
@@ -56,10 +82,19 @@ func main() {
 	)
 	flag.Parse()
 
+	var peers []string
+	if *join != "" {
+		for _, p := range strings.Split(*join, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
 	if err := run(runConfig{
 		listen: *listen, n: *n, m: *m, graphSeed: *graphSeed, seed: *seed,
 		epsilon: *epsilon, epoch: *epoch, workers: *workers, shards: *shards,
 		foldWorkers: *foldWkrs, dataDir: *dataDir,
+		clusterListen: *clusterListen, peers: peers, antiEntropy: *antiEntropy,
 		loadgen: *loadgen, duration: *duration, writers: *writers,
 		readers: *readers, target: *target,
 	}); err != nil {
@@ -78,39 +113,93 @@ type runConfig struct {
 	shards           int
 	foldWorkers      int
 	dataDir          string
+	clusterListen    string
+	peers            []string
+	antiEntropy      time.Duration
 	loadgen          bool
 	duration         time.Duration
 	writers, readers int
 	target           string
 }
 
-// newService builds the overlay and the reputation service from flags.
+// newService builds the overlay and the reputation service from flags. In
+// cluster mode the service runs with a replicating ledger and fixed epoch
+// seeds, so converged replicas serve bit-identical reputations.
 func (c runConfig) newService() (*service.Service, error) {
 	g, err := graph.PreferentialAttachment(graph.PAConfig{N: c.n, M: c.m, Seed: c.graphSeed})
 	if err != nil {
 		return nil, err
 	}
+	clustered := c.clusterListen != ""
 	return service.New(service.Config{
-		Graph:         g,
-		Params:        core.Params{Epsilon: c.epsilon, Seed: c.seed, Workers: c.workers},
-		EpochInterval: c.epoch,
-		Dir:           c.dataDir,
-		Shards:        c.shards,
-		FoldWorkers:   c.foldWorkers,
+		Graph:          g,
+		Params:         core.Params{Epsilon: c.epsilon, Seed: c.seed, Workers: c.workers},
+		EpochInterval:  c.epoch,
+		Dir:            c.dataDir,
+		Shards:         c.shards,
+		FoldWorkers:    c.foldWorkers,
+		Replicate:      clustered,
+		FixedEpochSeed: clustered,
 	})
+}
+
+// newCluster starts the replication transport and agent when cluster mode is
+// on; the returned cleanup closes both. It returns (nil, noop, nil) outside
+// cluster mode.
+func (c runConfig) newCluster(svc *service.Service) (*cluster.Node, func(), error) {
+	if c.clusterListen == "" {
+		return nil, func() {}, nil
+	}
+	tr, err := transport.ListenTCP(c.clusterListen)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := cluster.New(cluster.Config{
+		Service:   svc,
+		Transport: tr,
+		Peers:     c.peers,
+		Interval:  c.antiEntropy,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
+	node.Start()
+	svc.SetReplicator(node)
+	return node, func() {
+		svc.SetReplicator(nil)
+		node.Close()
+		tr.Close()
+	}, nil
 }
 
 func run(c runConfig) error {
 	if c.loadgen {
 		return runLoadgen(c, os.Stdout)
 	}
+	if c.clusterListen != "" && c.dataDir == "" {
+		// A replica's origin sequence numbers live in its ledger; an
+		// in-memory ledger restarts from seq 1, and peers — whose watermarks
+		// survived — would silently discard every post-restart entry as a
+		// duplicate. Refuse the foot-gun instead of diverging quietly.
+		return fmt.Errorf("cluster mode requires -data: origin sequence numbers must survive restarts")
+	}
 	svc, err := c.newService()
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+	node, stopCluster, err := c.newCluster(svc)
+	if err != nil {
+		return err
+	}
+	defer stopCluster()
 	fmt.Printf("dgserve: N=%d overlay (m=%d, graph-seed=%d), %d subject shard(s), epoch interval %v, data %q\n",
 		c.n, c.m, c.graphSeed, svc.Shards(), c.epoch, c.dataDir)
+	if node != nil {
+		fmt.Printf("dgserve: cluster node %s replicating with %d peer(s) every %v\n",
+			node.Self(), len(c.peers), c.antiEntropy)
+	}
 	fmt.Printf("dgserve: listening on %s\n", c.listen)
-	return http.ListenAndServe(c.listen, newServer(svc))
+	return http.ListenAndServe(c.listen, newClusterServer(svc, node))
 }

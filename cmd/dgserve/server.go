@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"diffgossip/internal/cluster"
 	"diffgossip/internal/service"
 	"diffgossip/internal/store"
 )
@@ -26,12 +27,18 @@ import (
 // internal/service consistency model). Responses to subject queries carry
 // the fold point (epoch, seq) of that subject's own shard.
 type server struct {
-	svc *service.Service
-	mux *http.ServeMux
+	svc  *service.Service
+	node *cluster.Node // nil outside cluster mode
+	mux  *http.ServeMux
 }
 
-func newServer(svc *service.Service) *server {
-	s := &server{svc: svc, mux: http.NewServeMux()}
+func newServer(svc *service.Service) *server { return newClusterServer(svc, nil) }
+
+// newClusterServer builds the HTTP surface over a service and, in cluster
+// mode, its replication node — /v1/stats then carries the peer health and
+// replication counters alongside the shard pipeline statistics.
+func newClusterServer(svc *service.Service, node *cluster.Node) *server {
+	s := &server{svc: svc, node: node, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /v1/reputation/{subject}", s.handleReputation)
 	s.mux.HandleFunc("GET /v1/epoch", s.handleEpochGet)
@@ -210,11 +217,25 @@ func (s *server) handleEpochPost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleStats serves the shard pipeline statistics. The whole path is
-// lock-free — atomic counter loads and per-shard pointer loads — so it can
-// be scraped aggressively without perturbing ingest or epochs.
+// statsResponse is the /v1/stats body: the shard pipeline statistics plus,
+// in cluster mode, the replication layer's watermarks, counters and per-peer
+// health.
+type statsResponse struct {
+	service.Stats
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+}
+
+// handleStats serves the shard pipeline statistics (and cluster peer health
+// when federated). The service half of the path is lock-free — atomic
+// counter loads and per-shard pointer loads — so it can be scraped
+// aggressively without perturbing ingest or epochs.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	resp := statsResponse{Stats: s.svc.Stats()}
+	if s.node != nil {
+		st := s.node.Stats()
+		resp.Cluster = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,212 @@
+// Command doclint enforces the repository's documentation contract in CI:
+//
+//   - every exported symbol in the public diffgossip package and in
+//     internal/service, internal/store and internal/cluster carries a doc
+//     comment (these are the packages whose contracts — consistency,
+//     durability, replication — live in their comments);
+//   - every relative markdown link in README.md, PAPER.md, CHANGES.md,
+//     ROADMAP.md and docs/*.md points at a file that exists.
+//
+// Run from the repository root (or pass -root); exits non-zero listing every
+// violation. The cmd/doclint tests run the same checks under plain `go
+// test`, so drift fails tier-1 locally before CI sees it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// lintPackages are the directories (relative to the repo root) whose
+// exported symbols must all be documented.
+var lintPackages = []string{".", "internal/service", "internal/store", "internal/cluster"}
+
+// lintMarkdown are the markdown files (and globs) whose relative links must
+// resolve.
+var lintMarkdown = []string{"README.md", "PAPER.md", "CHANGES.md", "ROADMAP.md", "docs/*.md"}
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+	problems, err := Lint(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doclint: ok")
+}
+
+// Lint runs every check rooted at root and returns the sorted problem list.
+func Lint(root string) ([]string, error) {
+	var problems []string
+	for _, dir := range lintPackages {
+		ps, err := lintPackageDocs(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	ps, err := lintMarkdownLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, ps...)
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// lintPackageDocs parses one directory (non-test files only) and reports
+// every exported top-level symbol — functions, methods on exported types,
+// types, and const/var specs — that lacks a doc comment. A documented
+// const/var group covers its members.
+func lintPackageDocs(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if os.IsNotExist(err) {
+		return nil, nil // a lint target that does not exist yet has no symbols
+	}
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, symbol string) {
+		p := fset.Position(pos)
+		rel, err := filepath.Rel(root, p.Filename)
+		if err != nil {
+			rel = p.Filename
+		}
+		problems = append(problems, fmt.Sprintf("%s:%d: exported symbol %s lacks a doc comment", rel, p.Line, symbol))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					name := d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) == 1 {
+						recv := receiverName(d.Recv.List[0].Type)
+						if recv != "" && !ast.IsExported(recv) {
+							continue // method on an unexported type
+						}
+						name = recv + "." + name
+					}
+					report(d.Pos(), name)
+				case *ast.GenDecl:
+					switch d.Tok {
+					case token.TYPE:
+						for _, spec := range d.Specs {
+							ts := spec.(*ast.TypeSpec)
+							if !ts.Name.IsExported() {
+								continue
+							}
+							// A doc on the decl covers a single-spec block.
+							if ts.Doc == nil && !(d.Doc != nil && len(d.Specs) == 1) {
+								report(ts.Pos(), ts.Name.Name)
+							}
+						}
+					case token.CONST, token.VAR:
+						for _, spec := range d.Specs {
+							vs := spec.(*ast.ValueSpec)
+							for _, nm := range vs.Names {
+								if !nm.IsExported() {
+									continue
+								}
+								// Either the spec documents itself (doc or
+								// line comment) or the group is documented.
+								if vs.Doc == nil && vs.Comment == nil && d.Doc == nil {
+									report(nm.Pos(), nm.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// receiverName unwraps a method receiver type expression to its base
+// identifier ("*Foo" and generic instantiations included).
+func receiverName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// mdLink matches inline markdown links; group 1 is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintMarkdownLinks checks that every relative link target in the documented
+// markdown set exists on disk. External schemes and pure anchors are
+// skipped; a target's own #fragment is stripped before the stat.
+func lintMarkdownLinks(root string) ([]string, error) {
+	var files []string
+	for _, pat := range lintMarkdown {
+		matches, err := filepath.Glob(filepath.Join(root, pat))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, matches...)
+	}
+	var problems []string
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, f)
+		if err != nil {
+			rel = f
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if j := strings.IndexByte(target, '#'); j >= 0 {
+					target = target[:j]
+				}
+				if target == "" {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(filepath.Dir(f), target)); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", rel, i+1, m[1]))
+				}
+			}
+		}
+	}
+	return problems, nil
+}

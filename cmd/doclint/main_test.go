@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepositoryIsLintClean runs the full doc lint against this repository:
+// the same gate CI applies, enforced under plain `go test`.
+func TestRepositoryIsLintClean(t *testing.T) {
+	problems, err := Lint(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestLintCatchesMissingDocAndBrokenLink proves the two checks actually
+// fire, using a synthetic mini-repo.
+func TestLintCatchesMissingDocAndBrokenLink(t *testing.T) {
+	dir := t.TempDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.MkdirAll(filepath.Join(dir, "internal/store"), 0o755))
+	must(os.MkdirAll(filepath.Join(dir, "docs"), 0o755))
+	must(os.WriteFile(filepath.Join(dir, "root.go"), []byte(`// Package x.
+package x
+
+func Undocumented() {}
+
+// Documented is fine.
+func Documented() {}
+
+type AlsoUndocumented struct{}
+
+func (AlsoUndocumented) Method() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {} // method on unexported type: not reported
+`), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "README.md"), []byte("[ok](docs/GOOD.md) [bad](docs/MISSING.md) [ext](https://x.test/a.md)\n"), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "docs/GOOD.md"), []byte("hi [up](../README.md)\n"), 0o644))
+	must(os.WriteFile(filepath.Join(dir, "internal/store/s.go"), []byte("package store\n\nvar Loose = 1\n"), 0o644))
+
+	problems, err := Lint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, p := range problems {
+		switch {
+		case strings.Contains(p, "Undocumented") && !strings.Contains(p, "Also"):
+			got = append(got, "func")
+		case strings.Contains(p, "AlsoUndocumented lacks"):
+			got = append(got, "type")
+		case strings.Contains(p, "AlsoUndocumented.Method"):
+			got = append(got, "method")
+		case strings.Contains(p, "Loose"):
+			got = append(got, "var")
+		case strings.Contains(p, "MISSING.md"):
+			got = append(got, "link")
+		case strings.Contains(p, "Documented") || strings.Contains(p, "hidden") || strings.Contains(p, "GOOD"):
+			t.Errorf("false positive: %s", p)
+		default:
+			t.Errorf("unexpected problem: %s", p)
+		}
+	}
+	want := map[string]bool{"func": true, "type": true, "method": true, "var": true, "link": true}
+	for _, g := range got {
+		delete(want, g)
+	}
+	for missing := range want {
+		t.Errorf("lint never reported the %s violation; problems: %v", missing, problems)
+	}
+}

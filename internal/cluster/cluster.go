@@ -1,0 +1,464 @@
+// Package cluster federates dgserve replicas: an anti-entropy layer that
+// replicates the append-only feedback ledger between reputation services
+// over transport.Transport — the in-memory channel hub for tests and
+// simulations, TCP for deployment.
+//
+// # Protocol
+//
+// Replication is pull-based and rides the ledger's monotonic sequence
+// numbers. Every entry belongs to exactly one origin stream — the node whose
+// ledger first accepted it — and is globally identified by (origin,
+// origin-seq). Each node keeps, per origin, the highest origin-seq it has
+// applied (its watermark; for its own stream that is just the local ledger
+// seq). An anti-entropy exchange is then two message kinds:
+//
+//	digest    A → B   "my watermarks are {origin: seq, …}"
+//	entries   B → A   one batch per origin A trails on, each framed with
+//	                  (origin, after): the batch contiguously extends
+//	                  origin's stream past seq `after`
+//
+// B answers a digest only with entries A is missing; A applies a batch only
+// if its watermark for that origin is ≥ the batch's `after` frame (a lower
+// watermark means an earlier batch was lost — the batch is discarded and the
+// next digest re-pulls from the true watermark). Application is idempotent
+// (store.Ledger.AppendReplicated skips entries at or below the watermark),
+// so duplicate delivery, crashed-and-restarted peers and overlapping pulls
+// are all harmless. Replicated entries enter the service's shard-aware
+// ingest path like local submissions and fold at the next epoch.
+//
+// # Convergence
+//
+// Entries of one origin apply in origin-seq order on every node, and entries
+// of different (rater, subject) cells commute under trust.Matrix.Set, so all
+// nodes converge to the same trust state whenever each rater's stream enters
+// the cluster through one home node (the natural deployment: a client
+// sticks to its server). With service.Config.FixedEpochSeed set, a node's
+// published reputations are a pure function of that folded state — so
+// converged nodes serve bit-identical reputations, no matter how many
+// epochs each ran or in what batches the entries arrived. Concurrent writes
+// to the same cell through different nodes resolve in per-node arrival
+// order; see docs/ARCHITECTURE.md for the contract and its planned
+// last-writer-wins tightening.
+//
+// # Modes
+//
+// Start launches the asynchronous production form: a receive loop draining
+// the transport inbox plus, with Config.Interval > 0, a digest ticker. For
+// deterministic tests and the scenario engine, skip Start and drive the node
+// manually with Exchange (send digests) and Drain (synchronously process
+// everything queued); single-threaded driving makes whole-cluster runs
+// replay bit-identically.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"diffgossip/internal/service"
+	"diffgossip/internal/transport"
+)
+
+// Config parameterises a cluster node.
+type Config struct {
+	// Service is the reputation service this node replicates; it must have
+	// been built with service.Config.Replicate (and, for bit-identical
+	// cross-node reads, FixedEpochSeed). Required.
+	Service *service.Service
+	// Transport carries the anti-entropy messages; its address is the node's
+	// origin id, so deployments must bind stable addresses (origin ids are
+	// written into peers' ledgers) AND keep the service's ledger durable
+	// across restarts — a reset ledger reuses origin seqs peers have
+	// already marked applied, and its new entries would be silently dropped
+	// cluster-wide (cmd/dgserve enforces -data for this reason). Required;
+	// the node never closes it.
+	Transport transport.Transport
+	// Peers are the other nodes' transport addresses (static membership).
+	Peers []string
+	// Interval is the digest ticker period in Start mode. 0 disables the
+	// ticker: digests then go out only via Exchange — typically the epoch
+	// scheduler's pre-fold poke (service.Replicator) or a test driver. Note
+	// an Exchange only initiates pulls; the replies land asynchronously on
+	// the receive loop, so a pre-fold poke feeds the next epoch, not the
+	// one it precedes — run the ticker faster than the epoch interval when
+	// replication lag matters.
+	Interval time.Duration
+	// MaxBatch caps the entries per KindEntries message (default 256).
+	// Larger backlogs stream across successive digest exchanges.
+	MaxBatch int
+}
+
+// Node is one cluster member: the replication agent gluing a reputation
+// service to the transport. Exchange, Drain and Stats are safe for
+// concurrent use; a node is driven either by Start (asynchronous) or by an
+// external single-threaded Exchange/Drain loop, never both.
+type Node struct {
+	svc      *service.Service
+	tr       transport.Transport
+	self     string
+	peers    []string
+	maxBatch int
+	interval time.Duration
+
+	mu    sync.Mutex
+	peerH map[string]*peerHealth
+
+	stats struct {
+		digestsSent, digestsRecv   uint64
+		batchesSent, batchesRecv   uint64
+		applied, duplicate, gapped uint64
+	}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type peerHealth struct {
+	lastSeen    int64 // unix nanos of the last message received
+	lastSendErr string
+}
+
+// New builds a cluster node over an already-listening transport. The node's
+// origin id is the transport address.
+func New(cfg Config) (*Node, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: nil service")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("cluster: nil transport")
+	}
+	if cfg.Service.ReplicationMarks() == nil {
+		// EnableReplication leaves a non-nil (possibly empty) mark map; nil
+		// means the service was built without Config.Replicate.
+		return nil, fmt.Errorf("cluster: service was not built with Config.Replicate")
+	}
+	n := &Node{
+		svc:      cfg.Service,
+		tr:       cfg.Transport,
+		self:     cfg.Transport.Addr(),
+		peers:    append([]string(nil), cfg.Peers...),
+		maxBatch: cfg.MaxBatch,
+		interval: cfg.Interval,
+		peerH:    make(map[string]*peerHealth),
+		stop:     make(chan struct{}),
+	}
+	if n.maxBatch <= 0 {
+		n.maxBatch = 256
+	}
+	for _, p := range n.peers {
+		if p == n.self {
+			return nil, fmt.Errorf("cluster: peer list contains self (%s)", p)
+		}
+		n.peerH[p] = &peerHealth{}
+	}
+	return n, nil
+}
+
+// Self returns this node's origin id (its transport address).
+func (n *Node) Self() string { return n.self }
+
+// marks assembles the digest payload: this node's watermark for every origin
+// stream it holds anything of, keyed by origin id (its own stream under its
+// own id). Zero watermarks are omitted — an absent key reads as 0 on the
+// receiving side, and canonical digests make cross-node convergence a plain
+// map comparison.
+func (n *Node) marks() map[string]uint64 {
+	out := n.svc.ReplicationMarks()
+	if out == nil {
+		out = make(map[string]uint64)
+	}
+	if s := n.svc.LocalStreamMark(); s > 0 {
+		out[n.self] = s
+	}
+	return out
+}
+
+// Exchange sends one digest to every peer — the pull half of anti-entropy.
+// Send failures are recorded per peer (see Stats) and never abort the round:
+// an unreachable peer simply catches up on a later exchange.
+func (n *Node) Exchange() {
+	digest := n.marks()
+	for _, p := range n.peers {
+		err := n.tr.Send(p, transport.Message{Kind: transport.KindDigest, Watermarks: digest})
+		n.mu.Lock()
+		n.stats.digestsSent++
+		if h := n.peerH[p]; h != nil {
+			if err != nil {
+				h.lastSendErr = err.Error()
+			} else {
+				h.lastSendErr = ""
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// Drain synchronously processes every message currently queued on the
+// transport inbox and returns how many it handled. It never blocks waiting
+// for more — the deterministic driving mode for tests and the scenario
+// engine (call Exchange on every node, then Drain on every node until the
+// cluster quiesces).
+func (n *Node) Drain() int {
+	count := 0
+	for {
+		select {
+		case msg, ok := <-n.tr.Inbox():
+			if !ok {
+				return count
+			}
+			n.handle(msg)
+			count++
+		default:
+			return count
+		}
+	}
+}
+
+// Start launches the asynchronous mode: a goroutine draining the inbox and,
+// with Config.Interval > 0, a digest ticker. Close stops both.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case msg, ok := <-n.tr.Inbox():
+				if !ok {
+					return
+				}
+				n.handle(msg)
+			}
+		}
+	}()
+	if n.interval > 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			t := time.NewTicker(n.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-n.stop:
+					return
+				case <-t.C:
+					n.Exchange()
+				}
+			}
+		}()
+	}
+}
+
+// Close stops the Start goroutines. It does not close the transport (the
+// caller owns it) and is a no-op for manually driven nodes.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	return nil
+}
+
+// handle dispatches one inbound message.
+func (n *Node) handle(msg transport.Message) {
+	n.mu.Lock()
+	h := n.peerH[msg.From]
+	if h == nil {
+		h = &peerHealth{}
+		n.peerH[msg.From] = h
+	}
+	h.lastSeen = time.Now().UnixNano()
+	n.mu.Unlock()
+
+	switch msg.Kind {
+	case transport.KindDigest:
+		n.handleDigest(msg)
+	case transport.KindEntries:
+		n.handleEntries(msg)
+	default:
+		// Not a cluster message; the replication transport is dedicated, so
+		// anything else is a peer bug — ignore rather than crash.
+	}
+}
+
+// handleDigest answers a peer's watermark digest with one entries batch per
+// origin stream the peer trails on, capped at MaxBatch entries each; deeper
+// backlogs continue on the peer's next digest. When the digest shows the
+// *sender* ahead instead, one digest goes back to it — so replication is
+// two-way on any connected join graph, even if only one side lists the
+// other as a peer. The reciprocal fires only while strictly behind, so it
+// cannot ping-pong once the streams agree.
+func (n *Node) handleDigest(msg transport.Message) {
+	n.mu.Lock()
+	n.stats.digestsRecv++
+	n.mu.Unlock()
+
+	mine := n.marks()
+	behind := false
+	for o, theirs := range msg.Watermarks {
+		if o != n.self && theirs > mine[o] {
+			behind = true
+			break
+		}
+	}
+	if behind {
+		err := n.tr.Send(msg.From, transport.Message{Kind: transport.KindDigest, Watermarks: mine})
+		n.mu.Lock()
+		n.stats.digestsSent++
+		if h := n.peerH[msg.From]; h != nil && err != nil {
+			h.lastSendErr = err.Error()
+		}
+		n.mu.Unlock()
+	}
+	// Deterministic origin order keeps manually driven clusters replayable.
+	origins := make([]string, 0, len(mine))
+	for o := range mine {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, o := range origins {
+		theirs := msg.Watermarks[o]
+		if mine[o] <= theirs {
+			continue
+		}
+		streamKey := o
+		if o == n.self {
+			streamKey = "" // the ledger keys the local stream as ""
+		}
+		ents := n.svc.ReplicationEntriesSince(streamKey, theirs, n.maxBatch)
+		if len(ents) == 0 {
+			continue
+		}
+		batch := transport.Message{
+			Kind:    transport.KindEntries,
+			Origin:  o,
+			After:   theirs,
+			Entries: make([]transport.FeedbackEntry, len(ents)),
+		}
+		for i, fb := range ents {
+			oseq := fb.OriginSeq
+			if streamKey == "" {
+				oseq = fb.Seq // local entries carry their seq as the origin seq
+			}
+			batch.Entries[i] = transport.FeedbackEntry{
+				OriginSeq: oseq,
+				Rater:     fb.Rater,
+				Subject:   fb.Subject,
+				Value:     fb.Value,
+				UnixNano:  fb.UnixNano,
+			}
+		}
+		err := n.tr.Send(msg.From, batch)
+		n.mu.Lock()
+		n.stats.batchesSent++
+		if h := n.peerH[msg.From]; h != nil && err != nil {
+			h.lastSendErr = err.Error()
+		}
+		n.mu.Unlock()
+	}
+}
+
+// handleEntries applies one replicated batch in order. A batch whose After
+// frame is above this node's watermark for the origin is discarded whole —
+// an earlier batch was lost in transit, and applying this one would leave a
+// permanent hole in the stream; the next digest exchange re-pulls from the
+// true watermark. Entries at or below the watermark are duplicates and skip
+// for free.
+func (n *Node) handleEntries(msg transport.Message) {
+	n.mu.Lock()
+	n.stats.batchesRecv++
+	n.mu.Unlock()
+	if msg.Origin == "" || msg.Origin == n.self {
+		return // malformed, or our own stream echoed back
+	}
+	mark := n.svc.ReplicationMark(msg.Origin)
+	if msg.After > mark {
+		n.mu.Lock()
+		n.stats.gapped++
+		n.mu.Unlock()
+		return
+	}
+	for _, e := range msg.Entries {
+		applied, err := n.svc.ReplicatedSubmit(msg.Origin, e.OriginSeq, e.Rater, e.Subject, e.Value, e.UnixNano)
+		n.mu.Lock()
+		if err != nil {
+			// Validation or WAL I/O failure: surface on the peer record and
+			// stop the batch — the stream re-pulls from the watermark, so
+			// nothing is skipped.
+			if h := n.peerH[msg.From]; h != nil {
+				h.lastSendErr = fmt.Sprintf("apply %s/%d: %v", msg.Origin, e.OriginSeq, err)
+			}
+			n.mu.Unlock()
+			return
+		}
+		if applied {
+			n.stats.applied++
+		} else {
+			n.stats.duplicate++
+		}
+		n.mu.Unlock()
+	}
+}
+
+// PeerStat is one peer's health entry in Stats.
+type PeerStat struct {
+	// Addr is the peer's transport address.
+	Addr string `json:"addr"`
+	// LastSeenUnixNano is when this node last received any message from the
+	// peer (0 = never).
+	LastSeenUnixNano int64 `json:"last_seen_unix_nano,omitempty"`
+	// LastErr is the most recent send or apply error involving this peer
+	// (empty = healthy).
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// Stats is a point-in-time observation of the replication layer: this node's
+// watermarks, per-peer health, and the exchange counters.
+type Stats struct {
+	// Self is this node's origin id.
+	Self string `json:"self"`
+	// Marks maps every origin stream this node holds to its watermark.
+	Marks map[string]uint64 `json:"marks"`
+	// Peers lists configured peers (plus any address that has messaged this
+	// node), in address order.
+	Peers []PeerStat `json:"peers"`
+	// DigestsSent/DigestsReceived and BatchesSent/BatchesReceived count the
+	// anti-entropy messages exchanged.
+	DigestsSent     uint64 `json:"digests_sent"`
+	DigestsReceived uint64 `json:"digests_received"`
+	BatchesSent     uint64 `json:"batches_sent"`
+	BatchesReceived uint64 `json:"batches_received"`
+	// EntriesApplied counts replicated entries folded in; EntriesDuplicate
+	// counts idempotent re-deliveries skipped; BatchesGapped counts batches
+	// discarded because an earlier one was lost.
+	EntriesApplied   uint64 `json:"entries_applied"`
+	EntriesDuplicate uint64 `json:"entries_duplicate"`
+	BatchesGapped    uint64 `json:"batches_gapped,omitempty"`
+}
+
+// Stats assembles the current replication statistics.
+func (n *Node) Stats() Stats {
+	st := Stats{Self: n.self, Marks: n.marks()}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st.DigestsSent = n.stats.digestsSent
+	st.DigestsReceived = n.stats.digestsRecv
+	st.BatchesSent = n.stats.batchesSent
+	st.BatchesReceived = n.stats.batchesRecv
+	st.EntriesApplied = n.stats.applied
+	st.EntriesDuplicate = n.stats.duplicate
+	st.BatchesGapped = n.stats.gapped
+	addrs := make([]string, 0, len(n.peerH))
+	for a := range n.peerH {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		h := n.peerH[a]
+		st.Peers = append(st.Peers, PeerStat{Addr: a, LastSeenUnixNano: h.lastSeen, LastErr: h.lastSendErr})
+	}
+	return st
+}
+
+var _ service.Replicator = (*Node)(nil)

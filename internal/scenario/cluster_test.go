@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestClusterCrashRejoinConverges is the federation acceptance scenario: a
+// 3-replica cluster under client churn loses replica 1 mid-run, gets it
+// back, and still converges — every live replica ends bit-identical
+// (FinalErr exactly 0) with no invariant violations.
+func TestClusterCrashRejoinConverges(t *testing.T) {
+	res, err := Run(Config{
+		Target:     TargetCluster,
+		N:          36,
+		Rounds:     60,
+		Epsilon:    1e-6,
+		Seed:       42,
+		EpochEvery: 6,
+		Script: []Event{
+			{Round: 10, Kind: KindCrash, Node: 1},  // replica 1 dies
+			{Round: 20, Kind: KindCrash, Node: 17}, // a client drops too
+			{Round: 34, Kind: KindRejoin, Node: 1}, // replica 1 returns
+			{Round: 40, Kind: KindRejoin, Node: 17},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Crashes != 2 || res.Rejoins != 2 {
+		t.Fatalf("executed %d crashes / %d rejoins, want 2 / 2\nlog:\n%v", res.Crashes, res.Rejoins, res.Log)
+	}
+	if res.FinalErr != 0 {
+		t.Fatalf("replicas diverged: FinalErr = %v (must be bit-identical)", res.FinalErr)
+	}
+	rated := 0
+	for _, v := range res.Reputations {
+		if v > 0 {
+			rated++
+		}
+	}
+	if rated == 0 {
+		t.Fatal("no reputation ever formed")
+	}
+}
+
+// TestClusterScenarioReplays pins determinism: the same config replays to a
+// bit-identical result, including the event log and final reputations.
+func TestClusterScenarioReplays(t *testing.T) {
+	cfg := Config{
+		Target:     TargetCluster,
+		N:          24,
+		Rounds:     40,
+		Epsilon:    1e-5,
+		Seed:       7,
+		EpochEvery: 5,
+		Script: []Event{
+			{Round: 8, Kind: KindCrash, Node: 2},
+			{Round: 22, Kind: KindRejoin, Node: 2},
+			{Round: 30, Kind: KindCollude, Frac: 0.2, Value: 0.95},
+		},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Log, b.Log) {
+		t.Fatalf("event logs differ:\n%v\n%v", a.Log, b.Log)
+	}
+	if !reflect.DeepEqual(a.Reputations, b.Reputations) {
+		t.Fatal("final reputations differ between identical runs")
+	}
+	if a.FinalErr != b.FinalErr || math.IsInf(a.FinalErr, 1) {
+		t.Fatalf("FinalErr %v vs %v", a.FinalErr, b.FinalErr)
+	}
+}
+
+// TestClusterRejectsUnsupportedEvents: the cluster target must refuse the
+// events it cannot model rather than silently ignoring them.
+func TestClusterRejectsUnsupportedEvents(t *testing.T) {
+	for _, ev := range []Event{
+		{Round: 1, Kind: KindJoin},
+		{Round: 1, Kind: KindLoss, Value: 0.2},
+		{Round: 1, Kind: KindPartition, Span: 2},
+	} {
+		_, err := Run(Config{
+			Target: TargetCluster, N: 12, Rounds: 5, Seed: 1,
+			Script: []Event{ev},
+		})
+		if err == nil {
+			t.Fatalf("event %v silently accepted", ev.Kind)
+		}
+	}
+}

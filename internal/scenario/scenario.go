@@ -143,9 +143,13 @@ type Config struct {
 	// round (default 1e-8; push-sum redistribution accrues rounding error
 	// linear in rounds × N).
 	MassTol float64
-	// EpochEvery is the service target's epoch cadence in rounds
-	// (default 8).
+	// EpochEvery is the service and cluster targets' epoch cadence in
+	// rounds (default 8).
 	EpochEvery int
+	// Replicas is the cluster target's replica count (default 3): nodes
+	// 0..Replicas-1 of the timeline are dgserve replicas, the rest are
+	// feedback clients homed on replica id mod Replicas.
+	Replicas int
 	// Workers parallelises the vector engine's accumulation (same
 	// convention as gossip.Config.Workers; results are identical).
 	Workers int
@@ -168,6 +172,9 @@ func (c *Config) withDefaults() Config {
 	if out.EpochEvery == 0 {
 		out.EpochEvery = 8
 	}
+	if out.Replicas == 0 {
+		out.Replicas = 3
+	}
 	return out
 }
 
@@ -186,6 +193,9 @@ func (c *Config) validate() error {
 	}
 	if c.Epsilon <= 0 {
 		return fmt.Errorf("scenario: epsilon %v must be > 0", c.Epsilon)
+	}
+	if c.Target == TargetCluster && (c.Replicas < 1 || c.Replicas > c.N) {
+		return fmt.Errorf("scenario: cluster replicas %d out of [1,%d]", c.Replicas, c.N)
 	}
 	return nil
 }

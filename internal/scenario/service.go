@@ -197,7 +197,12 @@ func (t *serviceTarget) Check(float64) (float64, []string) {
 
 // viewErr is the worst |Global[j] − GlobalRef(j)| over the view's own
 // frozen per-shard columns.
-func (t *serviceTarget) viewErr(v *service.View) float64 {
+func (t *serviceTarget) viewErr(v *service.View) float64 { return viewRefErr(v) }
+
+// viewRefErr is the worst |Global[j] − GlobalRef(j)| over a view's own
+// frozen per-shard columns — the snapshot-consistency check shared by the
+// service and cluster targets.
+func viewRefErr(v *service.View) float64 {
 	worst := 0.0
 	for j := 0; j < v.N(); j++ {
 		got, err := v.Reputation(j)

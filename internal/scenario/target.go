@@ -22,6 +22,12 @@ const (
 	// TargetService drives the reputation service's epoch loop under
 	// ingest-side churn (raters joining and departing the feedback stream).
 	TargetService
+	// TargetCluster drives a federated dgserve cluster — R replicas
+	// replicating their ledgers by anti-entropy over the in-memory hub —
+	// under replica crash/rejoin and client churn. Crash/rejoin of node
+	// i < Replicas takes replica i down and back; higher ids are light
+	// clients that enter and leave the feedback stream.
+	TargetCluster
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +39,8 @@ func (k TargetKind) String() string {
 		return "vector"
 	case TargetService:
 		return "service"
+	case TargetCluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("target(%d)", int(k))
 	}
@@ -47,8 +55,10 @@ func ParseTargetKind(s string) (TargetKind, error) {
 		return TargetVector, nil
 	case "service":
 		return TargetService, nil
+	case "cluster":
+		return TargetCluster, nil
 	default:
-		return 0, fmt.Errorf("scenario: unknown target %q (want scalar|vector|service)", s)
+		return 0, fmt.Errorf("scenario: unknown target %q (want scalar|vector|service|cluster)", s)
 	}
 }
 
@@ -93,6 +103,8 @@ func newTarget(cfg Config, g *graph.Graph, gossipSeed uint64, values *rng.Source
 		return newVectorTarget(cfg, g, gossipSeed, values)
 	case TargetService:
 		return newServiceTarget(cfg, g, gossipSeed, values)
+	case TargetCluster:
+		return newClusterTarget(cfg, g, gossipSeed, values)
 	default:
 		return nil, fmt.Errorf("scenario: unknown target kind %d", int(cfg.Target))
 	}

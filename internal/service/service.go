@@ -83,6 +83,32 @@ type Config struct {
 	// across its subjects via Params.Workers); negative selects GOMAXPROCS.
 	// Results are bit-identical for any value.
 	FoldWorkers int
+	// Replicate switches the ledger into cluster mode: accepted entries are
+	// retained per origin and replicated entries apply idempotently, so an
+	// internal/cluster node can run anti-entropy over this service. The
+	// standalone service leaves it off and pays nothing.
+	Replicate bool
+	// FixedEpochSeed makes epoch randomness depend only on Params.Seed and
+	// the subject id, not the epoch counter. Successive epochs then reuse
+	// the same gossip streams, which costs statistical freshness but buys
+	// the property cluster replication needs: any node that has folded the
+	// same trust state serves bit-identical reputations, regardless of how
+	// many epochs it took to get there. Cluster deployments set it; the
+	// standalone default (off) draws an independent stream per epoch.
+	FixedEpochSeed bool
+}
+
+// Replicator is the cluster-side hook the epoch scheduler drives: one
+// anti-entropy exchange (digest broadcast to peers) before each scheduled
+// epoch, keeping replication at least on the scheduler's cadence. The
+// exchange only *initiates* pulls — the replies arrive asynchronously on
+// the cluster node's receive loop, so entries it triggers are typically
+// folded by the NEXT epoch, not the one about to run. internal/cluster.Node
+// implements it.
+type Replicator interface {
+	// Exchange sends one round of anti-entropy digests to the peers. It
+	// does not wait for the resulting entry batches.
+	Exchange()
 }
 
 // Service is a long-running reputation service over one overlay. Submit and
@@ -113,6 +139,10 @@ type Service struct {
 	foldedShards   atomic.Uint64
 
 	lastErr atomic.Pointer[epochError]
+
+	// replicator, when set, is poked for an anti-entropy exchange before
+	// each scheduled epoch (never by manual RunEpoch calls).
+	replicator atomic.Pointer[Replicator]
 
 	// persistMu serialises the off-critical-section persistence phase;
 	// persistedEpoch[s] (guarded by it) keeps late writers from clobbering
@@ -180,6 +210,11 @@ func New(cfg Config) (*Service, error) {
 		s.ledger = store.NewLedger(n)
 		if err := s.ledger.SetShards(shards); err != nil {
 			return nil, err
+		}
+		if cfg.Replicate {
+			if err := s.ledger.EnableReplication(nil); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if segs == nil {
@@ -307,6 +342,14 @@ func (s *Service) loadDir() ([]*store.ShardSnapshot, error) {
 		ledger.Close()
 		return nil, err
 	}
+	if s.cfg.Replicate {
+		// Seed the per-origin history and watermarks from the full replay,
+		// so anti-entropy pulls and duplicate detection survive restarts.
+		if err := s.ledger.EnableReplication(replayed); err != nil {
+			ledger.Close()
+			return nil, err
+		}
+	}
 	// A segment claiming more folded entries than the ledger ever assigned
 	// means the ledger file was truncated or swapped out from under the
 	// snapshots — refuse to serve silently-corrupt state.
@@ -420,6 +463,55 @@ func (s *Service) PersonalReputation(rater, subject int) (float64, *View, error)
 	return r, v, err
 }
 
+// SetReplicator installs (or, with nil, removes) the cluster replicator the
+// background scheduler pokes before each scheduled epoch. Safe to call at any
+// time; cmd/dgserve wires it right after building the cluster node.
+func (s *Service) SetReplicator(r Replicator) {
+	if r == nil {
+		s.replicator.Store(nil)
+		return
+	}
+	s.replicator.Store(&r)
+}
+
+// ReplicatedSubmit applies one feedback entry pulled from a peer's ledger
+// stream, idempotently: an entry at or below the origin's watermark reports
+// applied=false and changes nothing. Requires Config.Replicate. The entry
+// takes effect like a local Submit — when its subject's shard next folds.
+func (s *Service) ReplicatedSubmit(origin string, originSeq uint64, rater, subject int, value float64, unixNano int64) (bool, error) {
+	_, applied, err := s.ledger.AppendReplicated(store.Feedback{
+		Origin: origin, OriginSeq: originSeq,
+		Rater: rater, Subject: subject, Value: value, UnixNano: unixNano,
+	})
+	return applied, err
+}
+
+// ReplicationMarks returns a copy of the per-remote-origin watermarks
+// (highest OriginSeq applied). Nil unless Config.Replicate. For a single
+// origin's watermark use ReplicationMark — it is O(1) and allocation-free.
+func (s *Service) ReplicationMarks() map[string]uint64 { return s.ledger.OriginMarks() }
+
+// ReplicationMark returns one origin stream's watermark ("" = the local
+// stream) without copying the whole mark map.
+func (s *Service) ReplicationMark(origin string) uint64 { return s.ledger.OriginMark(origin) }
+
+// ReplicationEntriesSince returns up to limit retained entries of one origin
+// stream ("" = locally accepted) past the given watermark, for answering an
+// anti-entropy pull. Nil unless Config.Replicate.
+func (s *Service) ReplicationEntriesSince(origin string, after uint64, limit int) []store.Feedback {
+	return s.ledger.EntriesSince(origin, after, limit)
+}
+
+// LedgerSeq returns the last locally assigned ledger sequence number (local
+// submissions and replicated appends alike).
+func (s *Service) LedgerSeq() uint64 { return s.ledger.Seq() }
+
+// LocalStreamMark returns the watermark of this node's own origin stream —
+// the Seq of the last locally-submitted entry, which is what a cluster
+// digest advertises for this node (replicated appends consume ledger seqs
+// too, so this is ≤ LedgerSeq).
+func (s *Service) LocalStreamMark() uint64 { return s.ledger.OriginMark("") }
+
 // Pending returns the number of feedback entries awaiting the next epoch
 // (lock-free).
 func (s *Service) Pending() int { return s.ledger.PendingCount() }
@@ -501,7 +593,9 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 
 	epoch := s.epochs.Load() + 1
 	p := s.cfg.Params
-	p.Seed = epochSeed(p.Seed, epoch)
+	if !s.cfg.FixedEpochSeed {
+		p.Seed = epochSeed(p.Seed, epoch)
+	}
 
 	// Fold the dirty shards on a bounded worker pool. Each fold freezes its
 	// shard's columns from master (stable under epochMu), runs one
@@ -646,6 +740,9 @@ func (s *Service) loop() {
 		case <-s.stop:
 			return
 		case <-t.C:
+			if r := s.replicator.Load(); r != nil {
+				(*r).Exchange()
+			}
 			if _, _, err := s.RunEpoch(); err != nil {
 				s.lastErr.Store(&epochError{err})
 			} else {

@@ -136,8 +136,8 @@ func (v *View) Raters(j int) int {
 	return seg.RaterCount(j)
 }
 
-// SubjectEpoch and SubjectSeq return subject j's own fold point — the
-// epoch and ledger sequence number of its shard's captured snapshot.
+// SubjectEpoch returns subject j's own fold point epoch — the epoch of its
+// shard's captured snapshot.
 func (v *View) SubjectEpoch(j int) uint64 {
 	if seg, err := v.seg(j); err == nil {
 		return seg.Epoch
@@ -145,6 +145,8 @@ func (v *View) SubjectEpoch(j int) uint64 {
 	return 0
 }
 
+// SubjectSeq returns the ledger sequence number through which subject j's
+// shard is folded; a Submit is visible once this reaches its returned seq.
 func (v *View) SubjectSeq(j int) uint64 {
 	if seg, err := v.seg(j); err == nil {
 		return seg.Seq

@@ -46,6 +46,15 @@ type Feedback struct {
 	// UnixNano is the ingest wall-clock time (0 when unknown, e.g. entries
 	// replayed from ledgers written by older builds).
 	UnixNano int64 `json:"unix_nano,omitempty"`
+	// Origin is the cluster node id that first accepted this entry, for
+	// entries replicated in from a peer; empty for entries this ledger
+	// accepted itself (the common, standalone case — the WAL format is
+	// unchanged when clustering is off). OriginSeq is the sequence number the
+	// origin's own ledger assigned. The (Origin, OriginSeq) pair globally
+	// identifies a replicated entry, which is what makes replicated
+	// application idempotent.
+	Origin    string `json:"origin,omitempty"`
+	OriginSeq uint64 `json:"origin_seq,omitempty"`
 	// Shard is the subject shard this entry belongs to under the ledger's
 	// configured shard count, stamped by TakePending for the epoch
 	// scheduler. It is derived state (Subject mod shards), never persisted:
@@ -111,6 +120,14 @@ type Ledger struct {
 	dirty      []atomic.Bool
 	dirtyCount atomic.Int64
 	pendingN   atomic.Int64
+
+	// Replication state, nil until EnableReplication: marks holds the
+	// highest OriginSeq applied per remote origin (the local stream's
+	// watermark is just seq), and hist retains every accepted entry per
+	// origin ("" = locally accepted) so anti-entropy pulls are answered from
+	// memory instead of re-reading the WAL. Both guarded by mu.
+	marks map[string]uint64
+	hist  map[string][]Feedback
 }
 
 // NewLedger returns a memory-only ledger over n nodes with a single shard.
@@ -261,32 +278,189 @@ func (l *Ledger) Append(rater, subject int, value float64, unixNano int64) (uint
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	fb := Feedback{Rater: rater, Subject: subject, Value: value, UnixNano: unixNano}
+	if err := l.appendLocked(&fb); err != nil {
+		return 0, err
+	}
+	return fb.Seq, nil
+}
+
+// appendLocked assigns the next local sequence number, durably writes the WAL
+// line, and admits the entry to the pending window (and, in replication mode,
+// the retained per-origin history). Callers hold mu; fb.Seq and fb.Shard are
+// filled in on success, and on error nothing — file or memory — has changed.
+func (l *Ledger) appendLocked(fb *Feedback) error {
 	if l.seq == math.MaxUint64 {
 		// Replaying a hostile ledger can leave seq at the top of its range;
 		// wrapping to 0 would durably write an entry that poisons every
 		// future replay (seq must be strictly increasing), so refuse.
-		return 0, fmt.Errorf("store: ledger sequence space exhausted")
+		return fmt.Errorf("store: ledger sequence space exhausted")
 	}
-	fb := Feedback{Seq: l.seq + 1, Rater: rater, Subject: subject, Value: value, UnixNano: unixNano}
+	fb.Seq = l.seq + 1
 	if l.w != nil {
 		b, err := json.Marshal(fb)
 		if err != nil {
-			return 0, fmt.Errorf("store: encode feedback: %w", err)
+			return fmt.Errorf("store: encode feedback: %w", err)
 		}
 		b = append(b, '\n')
 		if _, err := l.w.Write(b); err != nil {
-			return 0, fmt.Errorf("store: write ledger: %w", err)
+			return fmt.Errorf("store: write ledger: %w", err)
 		}
 		if err := l.w.Flush(); err != nil {
-			return 0, fmt.Errorf("store: flush ledger: %w", err)
+			return fmt.Errorf("store: flush ledger: %w", err)
 		}
 	}
 	l.seq = fb.Seq
 	fb.Shard = ShardOf(fb.Subject, l.shards)
-	l.pending = append(l.pending, fb)
+	l.pending = append(l.pending, *fb)
 	l.pendingN.Store(int64(len(l.pending)))
 	l.markDirtyLocked(fb.Shard)
-	return fb.Seq, nil
+	if l.hist != nil {
+		l.hist[fb.Origin] = append(l.hist[fb.Origin], *fb)
+		if fb.Origin != "" {
+			l.marks[fb.Origin] = fb.OriginSeq
+		}
+	}
+	return nil
+}
+
+// EnableReplication switches the ledger into cluster mode: every accepted
+// entry is retained in a per-origin in-memory history (so anti-entropy pulls
+// are answered without touching the WAL) and per-origin watermarks track the
+// highest replicated OriginSeq applied. replayed is the full entry list a
+// boot-time OpenLedger returned (nil for a fresh or memory-only ledger); it
+// seeds the history and watermarks. Must be called before concurrent use.
+// The retained history mirrors the WAL, so memory grows with ledger size —
+// the standalone service never enables it and pays nothing.
+func (l *Ledger) EnableReplication(replayed []Feedback) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist != nil {
+		return fmt.Errorf("store: replication already enabled")
+	}
+	marks := make(map[string]uint64)
+	hist := make(map[string][]Feedback)
+	for _, fb := range replayed {
+		if fb.Origin != "" {
+			if fb.OriginSeq <= marks[fb.Origin] {
+				return fmt.Errorf("store: ledger seq %d: origin %q seq %d not increasing (after %d)",
+					fb.Seq, fb.Origin, fb.OriginSeq, marks[fb.Origin])
+			}
+			marks[fb.Origin] = fb.OriginSeq
+		}
+		fb.Shard = ShardOf(fb.Subject, l.shards)
+		hist[fb.Origin] = append(hist[fb.Origin], fb)
+	}
+	l.marks, l.hist = marks, hist
+	return nil
+}
+
+// AppendReplicated applies one entry pulled from a peer, idempotently: an
+// entry at or below its origin's watermark reports (0, false, nil) and
+// changes nothing; a new entry is appended exactly like a local one — WAL
+// line (with its origin tags), local sequence number, pending window, shard
+// dirty set — and advances the origin's watermark. Requires
+// EnableReplication. Entries of one origin must be applied in ascending
+// OriginSeq order; the cluster layer's batch framing guarantees it.
+func (l *Ledger) AppendReplicated(fb Feedback) (uint64, bool, error) {
+	if fb.Origin == "" || fb.OriginSeq == 0 {
+		return 0, false, fmt.Errorf("store: replicated entry missing origin tags")
+	}
+	if err := l.check(fb.Rater, fb.Subject, fb.Value); err != nil {
+		return 0, false, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist == nil {
+		return 0, false, fmt.Errorf("store: replication not enabled")
+	}
+	if fb.OriginSeq <= l.marks[fb.Origin] {
+		return 0, false, nil // duplicate: already applied
+	}
+	if err := l.appendLocked(&fb); err != nil {
+		return 0, false, err
+	}
+	return fb.Seq, true, nil
+}
+
+// OriginMarks returns a copy of the per-origin replication watermarks: for
+// each remote origin, the highest OriginSeq applied. The local stream's
+// watermark is Seq(). Nil before EnableReplication.
+func (l *Ledger) OriginMarks() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.marks == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(l.marks))
+	for o, s := range l.marks {
+		out[o] = s
+	}
+	return out
+}
+
+// OriginMark returns the replication watermark of one origin stream. For a
+// remote origin that is the highest OriginSeq applied. For the local stream
+// ("") it is the Seq of the last locally-originated entry — NOT the raw
+// ledger seq, which also counts replicated appends: peers can only ever
+// catch up to the local stream's own entries, so that is the number a
+// digest must advertise for convergence to be detectable.
+func (l *Ledger) OriginMark(origin string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if origin == "" {
+		if l.hist != nil {
+			if h := l.hist[""]; len(h) > 0 {
+				return h[len(h)-1].Seq
+			}
+			return 0
+		}
+		return l.seq
+	}
+	return l.marks[origin]
+}
+
+// EntriesSince returns up to limit retained entries of one origin stream
+// ("" = locally accepted) whose origin sequence number exceeds after, in
+// ascending order — the payload of one anti-entropy pull. For the local
+// stream the ordering key is Seq; for a remote origin it is OriginSeq.
+// Requires EnableReplication (nil otherwise). The returned entries are
+// copies; local ones carry Origin=="" and the caller stamps its own node id
+// before putting them on the wire.
+func (l *Ledger) EntriesSince(origin string, after uint64, limit int) []Feedback {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist == nil {
+		return nil
+	}
+	h := l.hist[origin]
+	key := func(fb Feedback) uint64 {
+		if origin == "" {
+			return fb.Seq
+		}
+		return fb.OriginSeq
+	}
+	// Binary search for the first entry past the watermark: both streams are
+	// appended in ascending key order.
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key(h[mid]) <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(h) {
+		return nil
+	}
+	end := len(h)
+	if limit > 0 && lo+limit < end {
+		end = lo + limit
+	}
+	out := make([]Feedback, end-lo)
+	copy(out, h[lo:end])
+	return out
 }
 
 // Restore re-queues entries as pending without re-appending them to the

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendReplicatedIdempotent(t *testing.T) {
+	l := NewLedger(10)
+	if err := l.EnableReplication(nil); err != nil {
+		t.Fatal(err)
+	}
+	fb := Feedback{Origin: "peer-a", OriginSeq: 3, Rater: 1, Subject: 2, Value: 0.5}
+	seq, applied, err := l.AppendReplicated(fb)
+	if err != nil || !applied || seq != 1 {
+		t.Fatalf("first apply: seq=%d applied=%v err=%v", seq, applied, err)
+	}
+	// Exact duplicate and an older entry are both no-ops.
+	for _, dup := range []Feedback{fb, {Origin: "peer-a", OriginSeq: 2, Rater: 4, Subject: 5, Value: 0.9}} {
+		seq, applied, err = l.AppendReplicated(dup)
+		if err != nil || applied || seq != 0 {
+			t.Fatalf("duplicate apply: seq=%d applied=%v err=%v", seq, applied, err)
+		}
+	}
+	if got := l.OriginMark("peer-a"); got != 3 {
+		t.Fatalf("watermark = %d, want 3", got)
+	}
+	if got := l.PendingCount(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+}
+
+func TestAppendReplicatedValidation(t *testing.T) {
+	l := NewLedger(10)
+	if err := l.EnableReplication(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.AppendReplicated(Feedback{Rater: 1, Subject: 2, Value: 0.5}); err == nil {
+		t.Fatal("entry without origin tags accepted")
+	}
+	if _, _, err := l.AppendReplicated(Feedback{Origin: "p", OriginSeq: 1, Rater: 99, Subject: 2, Value: 0.5}); err == nil {
+		t.Fatal("out-of-range rater accepted")
+	}
+	l2 := NewLedger(10)
+	if _, _, err := l2.AppendReplicated(Feedback{Origin: "p", OriginSeq: 1, Rater: 1, Subject: 2, Value: 0.5}); err == nil {
+		t.Fatal("replicated append without EnableReplication accepted")
+	}
+}
+
+func TestEntriesSinceLocalAndRemote(t *testing.T) {
+	l := NewLedger(10)
+	if err := l.EnableReplication(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave local and replicated entries; local seqs then have gaps
+	// from each origin's point of view.
+	if _, err := l.Append(0, 1, 0.1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.AppendReplicated(Feedback{Origin: "b", OriginSeq: 1, Rater: 2, Subject: 3, Value: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(4, 5, 0.3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.AppendReplicated(Feedback{Origin: "b", OriginSeq: 4, Rater: 6, Subject: 7, Value: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+
+	local := l.EntriesSince("", 0, 0)
+	if len(local) != 2 || local[0].Seq != 1 || local[1].Seq != 3 {
+		t.Fatalf("local stream = %+v", local)
+	}
+	if got := l.EntriesSince("", 1, 0); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("local past 1 = %+v", got)
+	}
+	remote := l.EntriesSince("b", 1, 0)
+	if len(remote) != 1 || remote[0].OriginSeq != 4 {
+		t.Fatalf("remote past 1 = %+v", remote)
+	}
+	if got := l.EntriesSince("b", 4, 0); got != nil {
+		t.Fatalf("remote past watermark = %+v, want nil", got)
+	}
+	if got := l.EntriesSince("", 0, 1); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("limit=1 = %+v", got)
+	}
+	// TakePending drains the fold window but never the retained history.
+	l.TakePending()
+	if got := l.EntriesSince("", 0, 0); len(got) != 2 {
+		t.Fatalf("history after TakePending = %+v", got)
+	}
+}
+
+// TestReplicationSurvivesReopen proves the WAL round-trips origin tags: a
+// reopened ledger re-seeded from its own replay serves the same watermarks
+// and pull answers as the original.
+func TestReplicationSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.jsonl")
+	l, replayed, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.EnableReplication(replayed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, 1, 0.9, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.AppendReplicated(Feedback{Origin: "peer-b", OriginSeq: 7, Rater: 2, Subject: 3, Value: 0.4, UnixNano: 43}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, replayed2, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.EnableReplication(replayed2); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.OriginMark("peer-b"); got != 7 {
+		t.Fatalf("reopened watermark = %d, want 7", got)
+	}
+	// The local stream's watermark is the last locally-originated entry's
+	// seq (1); the replicated entry consumed ledger seq 2 but belongs to
+	// peer-b's stream.
+	if got := l2.OriginMark(""); got != 1 {
+		t.Fatalf("reopened local-stream mark = %d, want 1", got)
+	}
+	if got := l2.Seq(); got != 2 {
+		t.Fatalf("reopened ledger seq = %d, want 2", got)
+	}
+	remote := l2.EntriesSince("peer-b", 0, 0)
+	if len(remote) != 1 || remote[0].OriginSeq != 7 || remote[0].Value != 0.4 || remote[0].UnixNano != 43 {
+		t.Fatalf("reopened remote stream = %+v", remote)
+	}
+	// A duplicate of the persisted entry is still recognised after reopen.
+	if _, applied, err := l2.AppendReplicated(Feedback{Origin: "peer-b", OriginSeq: 7, Rater: 2, Subject: 3, Value: 0.4}); err != nil || applied {
+		t.Fatalf("duplicate after reopen: applied=%v err=%v", applied, err)
+	}
+}
+
+// TestEnableReplicationRejectsNonMonotonicWAL: a tampered WAL whose
+// replicated origin sequence numbers regress must be refused, not silently
+// re-marked.
+func TestEnableReplicationRejectsNonMonotonicWAL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.jsonl")
+	wal := `{"seq":1,"rater":0,"subject":1,"value":0.5,"origin":"p","origin_seq":5}
+{"seq":2,"rater":0,"subject":2,"value":0.5,"origin":"p","origin_seq":4}
+`
+	if err := os.WriteFile(path, []byte(wal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, replayed, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.EnableReplication(replayed); err == nil {
+		t.Fatal("non-monotonic origin seq accepted")
+	}
+}

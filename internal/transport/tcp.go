@@ -5,7 +5,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// dialTimeout bounds every outbound connection attempt so a blackholed peer
+// (SYN dropped, no RST) fails the Send instead of wedging the sender — and,
+// through it, everything serialised behind that peer's outConn mutex.
+const dialTimeout = 5 * time.Second
 
 // TCPTransport implements Transport over TCP with gob framing. Each outbound
 // peer gets one persistent connection, dialled lazily and redialled once on
@@ -139,7 +145,7 @@ func (oc *outConn) dial(addr string) error {
 	if oc.conn != nil {
 		oc.conn.Close()
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		oc.conn, oc.enc = nil, nil
 		return fmt.Errorf("transport: dial %s: %w", addr, err)

@@ -15,7 +15,8 @@ import (
 )
 
 // Message is the unit of exchange between agents. Payload fields cover every
-// message the differential gossip protocol needs; Kind discriminates.
+// message the differential gossip protocol and the cluster anti-entropy
+// exchange need; Kind discriminates.
 type Message struct {
 	// From is the sender's address.
 	From string
@@ -31,6 +32,36 @@ type Message struct {
 	Degree int
 	// Converged is the sender's convergence flag (KindConverged).
 	Converged bool
+	// Watermarks, on a KindDigest message, maps origin node ids to the
+	// highest origin sequence number the sender has applied; the receiver
+	// answers with KindEntries batches for every origin it knows more of.
+	Watermarks map[string]uint64
+	// Origin and After frame a KindEntries batch: every entry in Entries
+	// belongs to the feedback stream first accepted by the node Origin, and
+	// the batch contiguously extends that stream past origin sequence number
+	// After. A receiver whose watermark for Origin is below After must
+	// discard the batch (a gap — an earlier batch was lost) and re-pull on
+	// the next digest exchange.
+	Origin string
+	After  uint64
+	// Entries is the replicated feedback batch (KindEntries), in strictly
+	// ascending OriginSeq order.
+	Entries []FeedbackEntry
+}
+
+// FeedbackEntry is the wire form of one replicated feedback ledger entry: the
+// rating itself plus the sequence number its origin's ledger assigned it. The
+// (Origin, OriginSeq) pair — Origin rides on the enclosing Message — globally
+// identifies the entry, which is what makes replicated application
+// idempotent.
+type FeedbackEntry struct {
+	// OriginSeq is the sequence number the origin node's ledger assigned.
+	OriginSeq uint64
+	// Rater and Subject are node ids; Value is the direct trust t_ij ∈ [0,1].
+	Rater, Subject int
+	Value          float64
+	// UnixNano is the ingest wall-clock time at the origin (0 when unknown).
+	UnixNano int64
 }
 
 // Kind enumerates protocol message types.
@@ -46,6 +77,12 @@ const (
 	// KindFeedback carries a direct-trust feedback value (Algorithm 2's
 	// neighbour feedback phase).
 	KindFeedback
+	// KindDigest carries a cluster node's per-origin ledger watermarks — the
+	// "send me everything past seq S" half of the anti-entropy pull.
+	KindDigest
+	// KindEntries carries a batch of replicated feedback ledger entries
+	// answering a digest.
+	KindEntries
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +96,10 @@ func (k Kind) String() string {
 		return "converged"
 	case KindFeedback:
 		return "feedback"
+	case KindDigest:
+		return "digest"
+	case KindEntries:
+		return "entries"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
