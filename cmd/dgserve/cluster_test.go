@@ -20,17 +20,19 @@ import (
 // epoch seed), TCP replication transport, cluster node, HTTP server.
 func newClusterMember(t *testing.T, g *graph.Graph, peers []string) (*httptest.Server, *service.Service, *cluster.Node, *transport.TCPTransport) {
 	t.Helper()
+	// Transport first: its bound address is the service's LWW origin.
+	tr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
 	svc, err := service.New(service.Config{
 		Graph:          g,
 		Params:         core.Params{Epsilon: 1e-6, Seed: 3},
 		Shards:         2,
 		Replicate:      true,
 		FixedEpochSeed: true,
+		Origin:         tr.Addr(),
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	tr, err := transport.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func newClusterMember(t *testing.T, g *graph.Graph, peers []string) (*httptest.S
 	}
 	node.Start()
 	svc.SetReplicator(node)
-	ts := httptest.NewServer(newClusterServer(svc, node))
+	ts := httptest.NewServer(newClusterServer(svc, node, 0))
 	t.Cleanup(func() {
 		ts.Close()
 		node.Close()
@@ -166,7 +168,11 @@ func TestJoinFlagParsing(t *testing.T) {
 		peers:         []string{"10.0.0.1:9080", "10.0.0.2:9080"},
 		antiEntropy:   time.Hour, // no background churn in the test
 	}
-	svc, err := c.newService()
+	tr, err := transport.ListenTCP(c.clusterListen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := c.newService(tr.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +180,7 @@ func TestJoinFlagParsing(t *testing.T) {
 	if svc.ReplicationMarks() == nil {
 		t.Fatal("cluster-mode service was not built with a replicating ledger")
 	}
-	node, stop, err := c.newCluster(svc)
+	node, stop, err := c.newCluster(svc, tr)
 	if err != nil {
 		t.Fatal(err)
 	}

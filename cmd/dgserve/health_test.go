@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"diffgossip/internal/cluster"
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/service"
+	"diffgossip/internal/transport"
+)
+
+// readyBody decodes one /readyz response.
+type readyBody struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons"`
+}
+
+// TestReadyzStandalone: a healthy standalone server is ready, and /healthz
+// stays a pure liveness probe alongside it.
+func TestReadyzStandalone(t *testing.T) {
+	ts, _ := newTestServer(t, 16, 0)
+	var rb readyBody
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != 200 || !rb.Ready {
+		t.Fatalf("/readyz = %d %+v, want 200 ready", r.StatusCode, rb)
+	}
+	var hb map[string]any
+	if r := getJSON(t, ts.URL+"/healthz", &hb); r.StatusCode != 200 || hb["ok"] != true {
+		t.Fatalf("/healthz = %d %+v, want 200 ok", r.StatusCode, hb)
+	}
+}
+
+// TestReadyzDegradedMembership: a cluster member whose only peer is dead
+// fails readiness — and still answers /healthz 200, because a partitioned
+// process is alive, just not routable.
+func TestReadyzDegradedMembership(t *testing.T) {
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: 16, M: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	svc, err := service.New(service.Config{
+		Graph:  g,
+		Params: core.Params{Epsilon: 1e-6, Seed: 3},
+		// Replicate + fixed seed as in real cluster mode.
+		Replicate: true, FixedEpochSeed: true,
+		Origin: tr.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// The sole seed points at a port nobody listens on; with millisecond
+	// thresholds it is dead almost immediately.
+	node, err := cluster.New(cluster.Config{
+		Service: svc, Transport: tr, Peers: []string{"127.0.0.1:1"},
+		SuspectAfter: time.Millisecond, DeadAfter: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	ts := httptest.NewServer(newClusterServer(svc, node, 0))
+	defer ts.Close()
+	time.Sleep(5 * time.Millisecond) // let the thresholds pass
+
+	var rb readyBody
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != http.StatusServiceUnavailable || rb.Ready {
+		t.Fatalf("/readyz = %d %+v, want 503 not-ready", r.StatusCode, rb)
+	}
+	if len(rb.Reasons) == 0 {
+		t.Fatal("degraded /readyz carries no reasons")
+	}
+	var hb map[string]any
+	if r := getJSON(t, ts.URL+"/healthz", &hb); r.StatusCode != 200 {
+		t.Fatalf("/healthz = %d while degraded, want 200 (liveness is not readiness)", r.StatusCode)
+	}
+}
+
+// TestReadyzStalledScheduler: pending feedback past the stall grace with a
+// scheduled epoch interval fails readiness.
+func TestReadyzStalledScheduler(t *testing.T) {
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: 16, M: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EpochInterval stays 0 (no real scheduler runs) but the server is told
+	// one exists with a tiny interval: pending feedback then looks stalled
+	// as soon as the grace passes.
+	svc, err := service.New(service.Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := newClusterServer(svc, nil, time.Millisecond)
+	srv.started = time.Now().Add(-time.Second) // the grace has long passed
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var rb readyBody
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != 200 {
+		t.Fatalf("/readyz with empty backlog = %d %+v, want 200", r.StatusCode, rb)
+	}
+	if _, err := svc.Submit(1, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with stalled backlog = %d %+v, want 503", r.StatusCode, rb)
+	}
+	// An epoch clears the backlog and readiness recovers.
+	if _, _, err := svc.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if r := getJSON(t, ts.URL+"/readyz", &rb); r.StatusCode != 200 || !rb.Ready {
+		t.Fatalf("/readyz after fold = %d %+v, want 200 ready", r.StatusCode, rb)
+	}
+}
+
+// TestGracefulShutdownOnSIGTERM boots a full cluster-mode dgserve via run(),
+// exercises the write path, sends the process SIGTERM, and requires a clean
+// exit — with the WAL and hint log durable on disk afterwards.
+func TestGracefulShutdownOnSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(runConfig{
+			listen: "127.0.0.1:0", n: 16, m: 2, graphSeed: 42, seed: 1,
+			epsilon: 1e-6, epoch: 0, workers: 1, shards: 1, foldWorkers: 1,
+			dataDir: dir, clusterListen: "127.0.0.1:0", antiEntropy: time.Hour,
+			ready: func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, body := postJSON(t, "http://"+addr+"/v1/feedback", `{"rater":3,"subject":7,"value":0.9}`)
+	if resp.StatusCode != 202 {
+		t.Fatalf("feedback status %d: %s", resp.StatusCode, body)
+	}
+	var rb readyBody
+	if r := getJSON(t, "http://"+addr+"/readyz", &rb); r.StatusCode != 200 {
+		t.Fatalf("/readyz = %d %+v", r.StatusCode, rb)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down after SIGTERM")
+	}
+
+	// The accepted entry must have survived: the WAL was synced on the way
+	// out, and a fresh service over the same directory replays it.
+	svc, err := runConfig{
+		n: 16, m: 2, graphSeed: 42, seed: 1, epsilon: 1e-6,
+		workers: 1, shards: 1, foldWorkers: 1, dataDir: dir,
+		clusterListen: "x", // any non-empty value selects the replicating config
+	}.newService("node-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if got := svc.ReplicationMark(""); got != 1 {
+		t.Fatalf("replayed local watermark = %d, want the accepted entry", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hints.jsonl")); err != nil {
+		t.Fatalf("hint log missing after shutdown: %v", err)
+	}
+}
+
+// TestHealthzBody pins the liveness payload fields used by probes.
+func TestHealthzBody(t *testing.T) {
+	ts, svc := newTestServer(t, 16, 0)
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var hb struct {
+		OK     bool `json:"ok"`
+		N      int  `json:"n"`
+		Shards int  `json:"shards"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if !hb.OK || hb.N != svc.N() || hb.Shards != svc.Shards() {
+		t.Fatalf("healthz body %+v, want n=%d shards=%d", hb, svc.N(), svc.Shards())
+	}
+}

@@ -37,7 +37,7 @@ type loadgenReport struct {
 func runLoadgen(c runConfig, out io.Writer) error {
 	base := c.target
 	if base == "" {
-		svc, err := c.newService()
+		svc, err := c.newService("")
 		if err != nil {
 			return err
 		}

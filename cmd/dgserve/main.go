@@ -18,20 +18,25 @@
 // system: each node keeps serving its own HTTP clients while an anti-entropy
 // loop (internal/cluster) replicates the feedback ledgers over TCP, so
 // feedback submitted to any node becomes readable — with identical values —
-// from every node:
+// from every node. -join lists seeds, not the full topology: gossiped
+// membership discovers the rest of the cluster transitively, so every node
+// after the first needs exactly one address:
 //
-//	dgserve -listen :8080 -data /var/lib/dg0 -cluster-listen 127.0.0.1:9080 \
-//	        -join 127.0.0.1:9081,127.0.0.1:9082
+//	dgserve -listen :8080 -data /var/lib/dg0 -cluster-listen 127.0.0.1:9080
 //	dgserve -listen :8081 -data /var/lib/dg1 -cluster-listen 127.0.0.1:9081 \
-//	        -join 127.0.0.1:9080,127.0.0.1:9082   # … and so on per node
+//	        -join 127.0.0.1:9080                  # … and so on per node
 //
 // All nodes must share -n, -m, -graph-seed and -seed (same overlay, same
 // epoch randomness); -cluster-listen must be a stable address, since it is
-// the node's origin id in peers' ledgers; -data is required, since origin
-// sequence numbers must survive restarts (a reset ledger would reuse seqs
-// peers have already seen and its new entries would be discarded as
-// duplicates). GET /v1/stats gains a "cluster" section with watermarks and
-// per-peer health.
+// the node's origin id in peers' ledgers and the LWW origin tag on its
+// entries; -data is required, since origin sequence numbers must survive
+// restarts (a reset ledger would reuse seqs peers have already seen and its
+// new entries would be discarded as duplicates). Entries owed to a dead peer
+// buffer in <data>/hints.jsonl and replay when it returns. GET /v1/stats
+// gains a "cluster" section with membership, watermarks and per-peer health;
+// GET /readyz reports 503 while a majority of peers look down or the epoch
+// scheduler stalls, and SIGTERM drains in-flight HTTP, flushes buffered
+// hints, and fsyncs the WAL before exiting.
 //
 // Load-generator mode measures service throughput over real HTTP: it spins
 // up an in-process server (or targets -target), hammers it with concurrent
@@ -42,11 +47,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"diffgossip/internal/cluster"
@@ -71,7 +81,7 @@ func main() {
 		dataDir   = flag.String("data", "", "persistence directory (empty = in-memory)")
 
 		clusterListen = flag.String("cluster-listen", "", "TCP address for ledger replication; enables cluster mode (use a stable address — it is this node's origin id)")
-		join          = flag.String("join", "", "comma-separated peer cluster addresses to replicate with")
+		join          = flag.String("join", "", "comma-separated seed cluster addresses; the rest of the cluster is discovered via gossiped membership")
 		antiEntropy   = flag.Duration("anti-entropy", time.Second, "cluster digest exchange interval (also runs before each scheduled epoch)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
@@ -120,12 +130,17 @@ type runConfig struct {
 	duration         time.Duration
 	writers, readers int
 	target           string
+
+	// ready, when set, is called with the bound HTTP address once the
+	// server is accepting connections (tests use it to reach a :0 listener).
+	ready func(addr string)
 }
 
 // newService builds the overlay and the reputation service from flags. In
-// cluster mode the service runs with a replicating ledger and fixed epoch
-// seeds, so converged replicas serve bit-identical reputations.
-func (c runConfig) newService() (*service.Service, error) {
+// cluster mode the service runs with a replicating ledger, fixed epoch seeds
+// — so converged replicas serve bit-identical reputations — and the cluster
+// address as its LWW origin tag.
+func (c runConfig) newService(origin string) (*service.Service, error) {
 	g, err := graph.PreferentialAttachment(graph.PAConfig{N: c.n, M: c.m, Seed: c.graphSeed})
 	if err != nil {
 		return nil, err
@@ -140,25 +155,31 @@ func (c runConfig) newService() (*service.Service, error) {
 		FoldWorkers:    c.foldWorkers,
 		Replicate:      clustered,
 		FixedEpochSeed: clustered,
+		Origin:         origin,
 	})
 }
 
-// newCluster starts the replication transport and agent when cluster mode is
-// on; the returned cleanup closes both. It returns (nil, noop, nil) outside
-// cluster mode.
-func (c runConfig) newCluster(svc *service.Service) (*cluster.Node, func(), error) {
-	if c.clusterListen == "" {
+// newCluster starts the replication agent over an already-listening
+// transport; the returned cleanup closes both. It returns (nil, noop, nil)
+// outside cluster mode (tr == nil). The node's incarnation is the boot
+// wall-clock, which satisfies the must-increase-across-restarts contract
+// without any extra persisted state, and its hint queues are durable in
+// <data>/hints.jsonl.
+func (c runConfig) newCluster(svc *service.Service, tr *transport.TCPTransport) (*cluster.Node, func(), error) {
+	if tr == nil {
 		return nil, func() {}, nil
 	}
-	tr, err := transport.ListenTCP(c.clusterListen)
-	if err != nil {
-		return nil, nil, err
+	hintPath := ""
+	if c.dataDir != "" {
+		hintPath = filepath.Join(c.dataDir, "hints.jsonl")
 	}
 	node, err := cluster.New(cluster.Config{
-		Service:   svc,
-		Transport: tr,
-		Peers:     c.peers,
-		Interval:  c.antiEntropy,
+		Service:     svc,
+		Transport:   tr,
+		Peers:       c.peers,
+		Interval:    c.antiEntropy,
+		Incarnation: uint64(time.Now().UnixNano()),
+		HintPath:    hintPath,
 	})
 	if err != nil {
 		tr.Close()
@@ -184,22 +205,74 @@ func run(c runConfig) error {
 		// duplicate. Refuse the foot-gun instead of diverging quietly.
 		return fmt.Errorf("cluster mode requires -data: origin sequence numbers must survive restarts")
 	}
-	svc, err := c.newService()
+	// In cluster mode the replication listener comes up before the service:
+	// its bound address is the node's origin id, which the service stamps
+	// into LWW tags on locally submitted entries.
+	var tr *transport.TCPTransport
+	origin := ""
+	if c.clusterListen != "" {
+		var err error
+		if tr, err = transport.ListenTCP(c.clusterListen); err != nil {
+			return err
+		}
+		origin = tr.Addr()
+	}
+	svc, err := c.newService(origin)
 	if err != nil {
+		if tr != nil {
+			tr.Close()
+		}
 		return err
 	}
-	defer svc.Close()
-	node, stopCluster, err := c.newCluster(svc)
+	node, stopCluster, err := c.newCluster(svc, tr)
 	if err != nil {
+		svc.Close()
 		return err
 	}
-	defer stopCluster()
+	// Shutdown order is the durability order: drain HTTP first (no new
+	// writes), then the cluster node (flushes and fsyncs the hint log), then
+	// the service (fsyncs the WAL).
+	shutdown := func() error {
+		stopCluster()
+		return svc.Close()
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	ln, err := net.Listen("tcp", c.listen)
+	if err != nil {
+		shutdown()
+		return err
+	}
 	fmt.Printf("dgserve: N=%d overlay (m=%d, graph-seed=%d), %d subject shard(s), epoch interval %v, data %q\n",
 		c.n, c.m, c.graphSeed, svc.Shards(), c.epoch, c.dataDir)
 	if node != nil {
-		fmt.Printf("dgserve: cluster node %s replicating with %d peer(s) every %v\n",
+		fmt.Printf("dgserve: cluster node %s seeded with %d peer(s), anti-entropy every %v\n",
 			node.Self(), len(c.peers), c.antiEntropy)
 	}
-	fmt.Printf("dgserve: listening on %s\n", c.listen)
-	return http.ListenAndServe(c.listen, newClusterServer(svc, node))
+	fmt.Printf("dgserve: listening on %s\n", ln.Addr())
+	srv := &http.Server{Handler: newClusterServer(svc, node, c.epoch)}
+	if c.ready != nil {
+		c.ready(ln.Addr().String())
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		shutdown()
+		return err
+	case <-ctx.Done():
+		stopSignals() // a second signal kills immediately
+		fmt.Println("dgserve: signal received; draining HTTP, flushing hints, syncing WAL")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			shutdown()
+			return fmt.Errorf("drain http: %w", err)
+		}
+		if err := shutdown(); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Println("dgserve: clean shutdown")
+		return nil
+	}
 }

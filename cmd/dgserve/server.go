@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"diffgossip/internal/cluster"
 	"diffgossip/internal/service"
@@ -20,31 +21,46 @@ import (
 //	GET  /v1/epoch                       composite view metadata
 //	POST /v1/epoch                       force an epoch now
 //	GET  /v1/stats                       shard pipeline statistics
-//	GET  /healthz                        liveness + last epoch error
+//	GET  /healthz                        liveness: 200 while the process serves
+//	GET  /readyz                         readiness: 503 when degraded (see below)
 //
 // Reads are served lock-free from the published per-shard snapshots;
 // feedback becomes visible when its subject's shard next folds (see the
 // internal/service consistency model). Responses to subject queries carry
 // the fold point (epoch, seq) of that subject's own shard.
+//
+// The two probes split orchestrator concerns: /healthz answers "should this
+// process be restarted" (it always says 200 — a serving process is alive),
+// while /readyz answers "should a load balancer route here" and degrades to
+// 503 — with the reasons in the body — when the epoch pipeline has failed,
+// a majority of cluster peers look suspect or dead (this node is probably
+// the partitioned one), or the epoch scheduler has stalled with feedback
+// pending.
 type server struct {
-	svc  *service.Service
-	node *cluster.Node // nil outside cluster mode
-	mux  *http.ServeMux
+	svc        *service.Service
+	node       *cluster.Node // nil outside cluster mode
+	epochEvery time.Duration // scheduler interval, 0 = manual epochs
+	started    time.Time
+	mux        *http.ServeMux
 }
 
-func newServer(svc *service.Service) *server { return newClusterServer(svc, nil) }
+func newServer(svc *service.Service) *server { return newClusterServer(svc, nil, 0) }
 
 // newClusterServer builds the HTTP surface over a service and, in cluster
 // mode, its replication node — /v1/stats then carries the peer health and
-// replication counters alongside the shard pipeline statistics.
-func newClusterServer(svc *service.Service, node *cluster.Node) *server {
-	s := &server{svc: svc, node: node, mux: http.NewServeMux()}
+// replication counters alongside the shard pipeline statistics, and /readyz
+// watches cluster membership. epochEvery is the epoch scheduler interval
+// (0 = manual epochs), which bounds how long pending feedback may sit
+// unfolded before /readyz calls the scheduler stalled.
+func newClusterServer(svc *service.Service, node *cluster.Node, epochEvery time.Duration) *server {
+	s := &server{svc: svc, node: node, epochEvery: epochEvery, started: time.Now(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /v1/reputation/{subject}", s.handleReputation)
 	s.mux.HandleFunc("GET /v1/epoch", s.handleEpochGet)
 	s.mux.HandleFunc("POST /v1/epoch", s.handleEpochPost)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
@@ -238,15 +254,53 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealth is the liveness probe: a process that can answer it should
+// not be restarted, so it always reports 200. Degradation — epoch errors,
+// failing peers, a stalled scheduler — is readiness, on /readyz.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if err := s.svc.Err(); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":     true,
 		"epoch":  s.svc.Epochs(),
 		"n":      s.svc.N(),
 		"shards": s.svc.Shards(),
 	})
+}
+
+// stallGrace is how many scheduler intervals pending feedback may wait
+// before /readyz declares the epoch scheduler stalled. Three intervals
+// absorbs one slow fold without flapping.
+const stallGrace = 3
+
+// handleReady is the readiness probe: 200 while this node should receive
+// traffic, 503 with the reasons otherwise. A degraded node keeps serving —
+// clients that reach it directly still get answers — the probe only steers
+// load balancers away.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if err := s.svc.Err(); err != nil {
+		reasons = append(reasons, fmt.Sprintf("epoch pipeline failed: %v", err))
+	}
+	if s.node != nil {
+		if degraded, why := s.node.Degraded(); degraded {
+			reasons = append(reasons, "cluster membership degraded: "+why)
+		}
+	}
+	if s.epochEvery > 0 && s.svc.Pending() > 0 {
+		// Pending feedback with a running scheduler should fold within an
+		// interval; measure from the later of the last epoch and process
+		// start so a fresh server is not instantly stalled.
+		ref := s.started.UnixNano()
+		if last := s.svc.LastEpochUnixNano(); last > ref {
+			ref = last
+		}
+		if wait := time.Since(time.Unix(0, ref)); wait > stallGrace*s.epochEvery {
+			reasons = append(reasons, fmt.Sprintf("epoch scheduler stalled: %d entries pending for %v (interval %v)",
+				s.svc.Pending(), wait.Round(time.Millisecond), s.epochEvery))
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }

@@ -75,13 +75,13 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v4" {
+	if report.Schema != "diffgossip-bench/v5" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 8 {
-		t.Fatalf("benchmarks = %d, want 8 (scalar, vector, vector-sparse, service, churn, 3×sharded)", len(report.Benchmarks))
+	if len(report.Benchmarks) != 11 {
+		t.Fatalf("benchmarks = %d, want 11 (scalar, vector, vector-sparse, service, churn, 3×sharded, 3×anti-entropy)", len(report.Benchmarks))
 	}
-	var serviceRows, churnRows, shardedRows int
+	var serviceRows, churnRows, shardedRows, handoffRows int
 	for _, b := range report.Benchmarks {
 		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
 			t.Fatalf("malformed row %+v", b)
@@ -103,6 +103,18 @@ func TestBenchJSONWellFormed(t *testing.T) {
 		}
 		if b.NsPerStep <= 0 {
 			t.Fatalf("row %q has no timing", b.Name)
+		}
+		if strings.HasPrefix(b.Name, "cluster-antientropy/") {
+			// The schema-v5 rows: hinted-handoff catch-up time against the
+			// backlog buffered during a dead window.
+			handoffRows++
+			if b.HintedEntries <= 0 || b.ConvergeNs <= 0 {
+				t.Fatalf("anti-entropy row has no handoff accounting: %+v", b)
+			}
+			if !b.Converged {
+				t.Fatalf("anti-entropy row did not converge: %+v", b)
+			}
+			continue
 		}
 		if strings.HasPrefix(b.Name, "churn-scenario/") {
 			// The churn row runs a fixed timeline with events spread over
@@ -130,7 +142,8 @@ func TestBenchJSONWellFormed(t *testing.T) {
 			t.Fatalf("row %q has no message metric", b.Name)
 		}
 	}
-	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 {
-		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, want 1/1/3", serviceRows, churnRows, shardedRows)
+	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 || handoffRows != 3 {
+		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, handoff rows = %d, want 1/1/3/3",
+			serviceRows, churnRows, shardedRows, handoffRows)
 	}
 }

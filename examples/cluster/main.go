@@ -42,6 +42,9 @@ func main() {
 			Shards:         4,
 			Replicate:      true,
 			FixedEpochSeed: true,
+			// Origin must match the cluster transport address: it is the
+			// node's identity in every entry's LWW tag.
+			Origin: names[i],
 		})
 		if err != nil {
 			log.Fatal(err)

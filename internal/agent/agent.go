@@ -94,6 +94,9 @@ type Agent struct {
 	selfConv  bool
 	nbrConv   map[string]bool
 	nbrDeg    map[string]int
+	degAcked  map[string]bool // degree announcement accepted by a live connection
+	convAcked map[string]bool // last convergence flag a neighbour's connection accepted
+	convEver  map[string]bool // whether any convergence flag ever got through
 	extRecv   bool
 	ticks     int
 	sent      int
@@ -107,12 +110,15 @@ func New(cfg Config) (*Agent, error) {
 	}
 	cfg = cfg.withDefaults()
 	a := &Agent{
-		cfg:     cfg,
-		src:     rng.New(cfg.Seed),
-		y:       cfg.Y0,
-		g:       cfg.G0,
-		nbrConv: make(map[string]bool, len(cfg.Neighbors)),
-		nbrDeg:  make(map[string]int, len(cfg.Neighbors)),
+		cfg:       cfg,
+		src:       rng.New(cfg.Seed),
+		y:         cfg.Y0,
+		g:         cfg.G0,
+		nbrConv:   make(map[string]bool, len(cfg.Neighbors)),
+		nbrDeg:    make(map[string]int, len(cfg.Neighbors)),
+		degAcked:  make(map[string]bool, len(cfg.Neighbors)),
+		convAcked: make(map[string]bool, len(cfg.Neighbors)),
+		convEver:  make(map[string]bool, len(cfg.Neighbors)),
 	}
 	a.prevRatio = a.ratioLocked()
 	return a, nil
@@ -166,12 +172,18 @@ func (a *Agent) fanout() int {
 // returned with ctx.Err()).
 func (a *Agent) Run(ctx context.Context) (Result, error) {
 	tr := a.cfg.Transport
-	// Setup: announce degree to all neighbours.
+	// Setup: announce degree to all neighbours. Failed announcements (a
+	// neighbour not listening yet, or its transport in dial backoff) are
+	// retried from tick() until a connection accepts them.
 	for _, n := range a.cfg.Neighbors {
-		_ = tr.Send(n, transport.Message{
+		if tr.Send(n, transport.Message{
 			Kind:   transport.KindDegree,
 			Degree: len(a.cfg.Neighbors),
-		})
+		}) == nil {
+			a.mu.Lock()
+			a.degAcked[n] = true
+			a.mu.Unlock()
+		}
 	}
 
 	ticker := time.NewTicker(a.cfg.TickInterval)
@@ -258,16 +270,43 @@ func (a *Agent) tick() {
 		a.stable = 0
 	}
 	conv := a.stable >= a.cfg.StableTicks
-	changed := conv != a.selfConv
 	a.selfConv = conv
+	// Control-plane retry: unlike gossip shares (whose loss the protocol
+	// absorbs by re-absorbing mass), the degree and convergence
+	// announcements must eventually get through — a convergence flip that
+	// dies against a peer's dial-backoff window would otherwise be lost
+	// forever and deadlock finished(). Retry every tick until a live
+	// connection accepts the current value.
+	var degPending, convPending []string
+	for _, n := range a.cfg.Neighbors {
+		if !a.degAcked[n] {
+			degPending = append(degPending, n)
+		}
+		if !a.convEver[n] || a.convAcked[n] != conv {
+			convPending = append(convPending, n)
+		}
+	}
 	a.mu.Unlock()
 
-	if changed {
-		for _, n := range a.cfg.Neighbors {
-			_ = a.cfg.Transport.Send(n, transport.Message{
-				Kind:      transport.KindConverged,
-				Converged: conv,
-			})
+	for _, n := range degPending {
+		if a.cfg.Transport.Send(n, transport.Message{
+			Kind:   transport.KindDegree,
+			Degree: len(a.cfg.Neighbors),
+		}) == nil {
+			a.mu.Lock()
+			a.degAcked[n] = true
+			a.mu.Unlock()
+		}
+	}
+	for _, n := range convPending {
+		if a.cfg.Transport.Send(n, transport.Message{
+			Kind:      transport.KindConverged,
+			Converged: conv,
+		}) == nil {
+			a.mu.Lock()
+			a.convEver[n] = true
+			a.convAcked[n] = conv
+			a.mu.Unlock()
 		}
 	}
 }
@@ -283,7 +322,12 @@ func (a *Agent) pickNeighbors(k int) []string {
 }
 
 // finished reports whether this agent and every neighbour have announced
-// convergence.
+// convergence — AND this agent's own announcement has been delivered to
+// every neighbour. The delivery half matters: an agent that exits (and
+// closes its transport) while its flag is still stuck behind a neighbour's
+// dial-backoff window would strand that neighbour forever. Requiring
+// delivery cannot deadlock: a neighbour only exits after its own flag got
+// through to us, at which point nothing it still owes us is pending.
 func (a *Agent) finished() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -292,6 +336,9 @@ func (a *Agent) finished() bool {
 	}
 	for _, n := range a.cfg.Neighbors {
 		if !a.nbrConv[n] {
+			return false
+		}
+		if !a.convEver[n] || !a.convAcked[n] {
 			return false
 		}
 	}

@@ -26,19 +26,52 @@
 // are all harmless. Replicated entries enter the service's shard-aware
 // ingest path like local submissions and fold at the next epoch.
 //
+// On top of the pull, each node keeps a per-peer cache of the watermarks it
+// last saw in that peer's digests and eagerly *pushes* new entries past the
+// cached marks on every exchange — push-pull anti-entropy. The pull remains
+// the correctness backstop (a lost push is re-pulled from the true
+// watermark); the push cuts convergence from two digest round-trips to one
+// send, and is what turns an unreachable peer into buffered work — see
+// hinted handoff below.
+//
+// # Membership
+//
+// Digests piggyback a membership view: every peer this node knows of, with
+// the freshest (incarnation, heartbeat) liveness pair it has observed
+// (transport.PeerView). Merging views gives transitive discovery — a node
+// bootstrapped with a single seed learns the whole cluster — and the pair's
+// advance (or stall) drives a per-peer state machine: alive → suspect after
+// Config.SuspectAfter without advance → dead after Config.DeadAfter.
+// Suspect peers still exchange; dead peers stop receiving routine digests
+// (a periodic probe remains) and their owed entries buffer as hints. Any
+// message from a peer — or a higher liveness pair gossiped about it — makes
+// it alive again with no operator action; a restarted peer announces a
+// higher incarnation, so its pair advances past every stale observation.
+//
+// # Hinted handoff
+//
+// When a push to a peer fails, or the peer is dead at exchange time, the
+// framed batch joins a bounded per-peer hint queue (durable in a JSON-lines
+// log next to the WAL when Config.HintPath is set) and the cached watermark
+// advances so the next exchange hints the *next* chunk instead of this one
+// again. On the peer's first sign of life the queue replays in order. A
+// full queue drops new batches (tallied in Stats) — the pull recovers them
+// — and a replayed batch the peer already has is discarded by the normal
+// gap/duplicate rules, so hints are pure fast-path: they shorten a
+// recovering peer's catch-up without adding correctness obligations.
+//
 // # Convergence
 //
-// Entries of one origin apply in origin-seq order on every node, and entries
-// of different (rater, subject) cells commute under trust.Matrix.Set, so all
-// nodes converge to the same trust state whenever each rater's stream enters
-// the cluster through one home node (the natural deployment: a client
-// sticks to its server). With service.Config.FixedEpochSeed set, a node's
-// published reputations are a pure function of that folded state — so
-// converged nodes serve bit-identical reputations, no matter how many
-// epochs each ran or in what batches the entries arrived. Concurrent writes
-// to the same cell through different nodes resolve in per-node arrival
-// order; see docs/ARCHITECTURE.md for the contract and its planned
-// last-writer-wins tightening.
+// Entries of one origin apply in origin-seq order on every node, and every
+// entry carries the (timestamp, origin, origin-seq) tag under which the
+// service resolves same-cell conflicts — a total order, applied at fold
+// time, so any interleaving of streams folds to the same trust state on
+// every node regardless of which node each write entered through. With
+// service.Config.FixedEpochSeed set, published reputations are a pure
+// function of that folded state — converged nodes serve bit-identical
+// reputations, no matter how many epochs each ran, in what batches the
+// entries arrived, or how clients were routed. See docs/ARCHITECTURE.md
+// "Cross-node convergence" for the contract and its pinning tests.
 //
 // # Modes
 //
@@ -57,6 +90,7 @@ import (
 	"time"
 
 	"diffgossip/internal/service"
+	"diffgossip/internal/store"
 	"diffgossip/internal/transport"
 )
 
@@ -74,7 +108,10 @@ type Config struct {
 	// cluster-wide (cmd/dgserve enforces -data for this reason). Required;
 	// the node never closes it.
 	Transport transport.Transport
-	// Peers are the other nodes' transport addresses (static membership).
+	// Peers seeds the membership table with other nodes' transport
+	// addresses. One reachable seed suffices: the rest of the cluster is
+	// discovered transitively from gossiped views. An empty list is valid
+	// for the first node of a cluster — it waits to be discovered.
 	Peers []string
 	// Interval is the digest ticker period in Start mode. 0 disables the
 	// ticker: digests then go out only via Exchange — typically the epoch
@@ -87,6 +124,32 @@ type Config struct {
 	// MaxBatch caps the entries per KindEntries message (default 256).
 	// Larger backlogs stream across successive digest exchanges.
 	MaxBatch int
+	// Incarnation is this process's liveness generation. It must increase
+	// across restarts of the same node (cmd/dgserve derives it from the
+	// boot wall-clock) so peers' stale observations of the previous run
+	// cannot outrank the new one. 0 defaults to 1 — fine for tests that
+	// never restart a node.
+	Incarnation uint64
+	// Now supplies the local clock (unix nanoseconds) for membership
+	// recency. Nil defaults to time.Now; deterministic drivers (the
+	// scenario engine) inject a logical clock so suspect/dead transitions
+	// replay bit-identically.
+	Now func() int64
+	// SuspectAfter and DeadAfter are the failure-detection thresholds: a
+	// member whose liveness pair has not advanced for SuspectAfter is
+	// suspect, for DeadAfter dead. Zero defaults to 5× and 15× Interval
+	// (10s/30s when Interval is 0). DeadAfter must exceed SuspectAfter.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// MaxHintEntries bounds the hinted-handoff buffer per dead peer, in
+	// entries (default 4096). Batches past the bound are dropped and
+	// recovered by the anti-entropy pull when the peer returns.
+	MaxHintEntries int
+	// HintPath, when set, makes the hint queues durable: a JSON-lines log
+	// (store.HintLog) appended on enqueue and compacted after replay, so
+	// entries owed to a dead peer survive a restart of this node. Empty
+	// keeps hints in memory only.
+	HintPath string
 }
 
 // Node is one cluster member: the replication agent gluing a reputation
@@ -97,17 +160,40 @@ type Node struct {
 	svc      *service.Service
 	tr       transport.Transport
 	self     string
-	peers    []string
 	maxBatch int
 	interval time.Duration
 
+	now            func() int64
+	suspectAfter   int64 // nanos of the local clock
+	deadAfter      int64
+	maxHintEntries int
+
 	mu    sync.Mutex
 	peerH map[string]*peerHealth
+	// Membership: this node's liveness pair plus the table of every peer it
+	// knows of (seeded from Config.Peers, grown by view merges).
+	selfInc   uint64
+	selfHB    uint64
+	exchanges uint64 // exchange ticks, for the dead-probe cadence
+	members   map[string]*member
+	// ackMark caches, per peer, the watermarks it last advertised —
+	// authoritative on every digest received from it, advanced
+	// optimistically when entries are pushed or hinted to it. The eager
+	// push sends only what ackMark says the peer is missing.
+	ackMark map[string]map[string]uint64
+	// hintQ buffers batches owed to unreachable peers; hintLog (nil when
+	// Config.HintPath is empty, guarded by mu like the queues) makes them
+	// durable.
+	hintQ   map[string]*hintQueue
+	hintLog *store.HintLog
 
 	stats struct {
 		digestsSent, digestsRecv   uint64
 		batchesSent, batchesRecv   uint64
 		applied, duplicate, gapped uint64
+		hintsDropped               uint64
+		hintsReplayed              uint64
+		hintLogErrs                uint64
 	}
 
 	stop     chan struct{}
@@ -121,7 +207,9 @@ type peerHealth struct {
 }
 
 // New builds a cluster node over an already-listening transport. The node's
-// origin id is the transport address.
+// origin id is the transport address; the service must carry the same id as
+// its Config.Origin, or the LWW tags this node computes for local entries
+// would disagree with the tags peers compute for their replicated copies.
 func New(cfg Config) (*Node, error) {
 	if cfg.Service == nil {
 		return nil, fmt.Errorf("cluster: nil service")
@@ -134,24 +222,74 @@ func New(cfg Config) (*Node, error) {
 		// means the service was built without Config.Replicate.
 		return nil, fmt.Errorf("cluster: service was not built with Config.Replicate")
 	}
+	if got, want := cfg.Service.Origin(), cfg.Transport.Addr(); got != want {
+		return nil, fmt.Errorf("cluster: service origin %q != transport address %q — set service.Config.Origin to the cluster address so LWW tags agree across replicas", got, want)
+	}
 	n := &Node{
-		svc:      cfg.Service,
-		tr:       cfg.Transport,
-		self:     cfg.Transport.Addr(),
-		peers:    append([]string(nil), cfg.Peers...),
-		maxBatch: cfg.MaxBatch,
-		interval: cfg.Interval,
-		peerH:    make(map[string]*peerHealth),
-		stop:     make(chan struct{}),
+		svc:            cfg.Service,
+		tr:             cfg.Transport,
+		self:           cfg.Transport.Addr(),
+		maxBatch:       cfg.MaxBatch,
+		interval:       cfg.Interval,
+		now:            cfg.Now,
+		maxHintEntries: cfg.MaxHintEntries,
+		selfInc:        cfg.Incarnation,
+		peerH:          make(map[string]*peerHealth),
+		members:        make(map[string]*member),
+		ackMark:        make(map[string]map[string]uint64),
+		hintQ:          make(map[string]*hintQueue),
+		stop:           make(chan struct{}),
 	}
 	if n.maxBatch <= 0 {
 		n.maxBatch = 256
 	}
-	for _, p := range n.peers {
+	if n.maxHintEntries <= 0 {
+		n.maxHintEntries = 4096
+	}
+	if n.selfInc == 0 {
+		n.selfInc = 1
+	}
+	if n.now == nil {
+		n.now = func() int64 { return time.Now().UnixNano() }
+	}
+	suspect, dead := cfg.SuspectAfter, cfg.DeadAfter
+	if suspect == 0 {
+		if cfg.Interval > 0 {
+			suspect = 5 * cfg.Interval
+		} else {
+			suspect = 10 * time.Second
+		}
+	}
+	if dead == 0 {
+		dead = 3 * suspect
+	}
+	if dead <= suspect {
+		return nil, fmt.Errorf("cluster: DeadAfter (%v) must exceed SuspectAfter (%v)", dead, suspect)
+	}
+	n.suspectAfter, n.deadAfter = int64(suspect), int64(dead)
+	boot := n.now()
+	for _, p := range cfg.Peers {
 		if p == n.self {
 			return nil, fmt.Errorf("cluster: peer list contains self (%s)", p)
 		}
 		n.peerH[p] = &peerHealth{}
+		n.members[p] = &member{id: p, addr: p, lastAdvance: boot, state: MemberAlive}
+	}
+	if cfg.HintPath != "" {
+		hl, buffered, err := store.OpenHintLog(cfg.HintPath)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		n.hintLog = hl
+		for _, h := range buffered {
+			q := n.hintQ[h.Peer]
+			if q == nil {
+				q = &hintQueue{}
+				n.hintQ[h.Peer] = q
+			}
+			q.hints = append(q.hints, h)
+			q.entries += len(h.Entries)
+		}
 	}
 	return n, nil
 }
@@ -175,23 +313,117 @@ func (n *Node) marks() map[string]uint64 {
 	return out
 }
 
-// Exchange sends one digest to every peer — the pull half of anti-entropy.
-// Send failures are recorded per peer (see Stats) and never abort the round:
-// an unreachable peer simply catches up on a later exchange.
+// deadProbeEvery is the cadence (in exchange ticks) at which dead members
+// still receive a digest — the cheap probe that notices a peer which came
+// back without remembering us. The TCP transport's dial backoff keeps even
+// these probes from hammering a host that is really gone.
+const deadProbeEvery = 4
+
+// Exchange runs one anti-entropy tick: advance this node's heartbeat,
+// reclassify members, send a digest (with the membership view) to every
+// non-dead member — plus a periodic probe to dead ones — and eagerly push
+// entries past each peer's cached watermarks, buffering batches for
+// unreachable peers as hints. Send failures are recorded per peer (see
+// Stats) and never abort the round: an unreachable peer catches up on a
+// later exchange or from its hint queue.
 func (n *Node) Exchange() {
 	digest := n.marks()
-	for _, p := range n.peers {
-		err := n.tr.Send(p, transport.Message{Kind: transport.KindDigest, Watermarks: digest})
+	n.mu.Lock()
+	n.selfHB++
+	now := n.now()
+	n.updateStatesLocked(now)
+	n.exchanges++
+	probe := n.exchanges%deadProbeEvery == 0
+	view := n.viewLocked()
+	ids := n.memberIDsLocked()
+	states := make(map[string]MemberState, len(ids))
+	for _, id := range ids {
+		states[id] = n.members[id].state
+	}
+	n.mu.Unlock()
+
+	for _, p := range ids {
+		if states[p] == MemberDead && !probe {
+			continue
+		}
+		err := n.tr.Send(p, transport.Message{Kind: transport.KindDigest, Watermarks: digest, View: view})
 		n.mu.Lock()
 		n.stats.digestsSent++
-		if h := n.peerH[p]; h != nil {
-			if err != nil {
-				h.lastSendErr = err.Error()
-			} else {
-				h.lastSendErr = ""
-			}
-		}
+		n.recordSendLocked(p, err)
 		n.mu.Unlock()
+	}
+	n.pushEntries(digest, ids, states)
+}
+
+// pushEntries is the eager half of push-pull anti-entropy: for every member
+// whose digest we have seen (the ackMark cache), send up to one batch per
+// origin stream the cache says it is missing. Successful sends advance the
+// cache optimistically; failed sends — and dead members, which are not sent
+// to at all — buffer the batch as a hint and advance the cache so the next
+// exchange hints the following chunk. A cache that ran ahead of reality is
+// corrected by the peer's next digest (and the batch it gap-discards is
+// re-pulled), so optimism never loses entries.
+func (n *Node) pushEntries(digest map[string]uint64, ids []string, states map[string]MemberState) {
+	origins := make([]string, 0, len(digest))
+	for o := range digest {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, p := range ids {
+		n.mu.Lock()
+		known := n.ackMark[p] != nil
+		n.mu.Unlock()
+		if !known {
+			continue // never seen p's digest: don't guess what it needs
+		}
+		for _, o := range origins {
+			if o == p {
+				continue // p owns that stream; it cannot be missing it
+			}
+			n.mu.Lock()
+			after := n.ackMark[p][o]
+			n.mu.Unlock()
+			if digest[o] <= after {
+				continue
+			}
+			batch, ok := n.batchFor(o, after)
+			if !ok {
+				continue
+			}
+			last := batch.Entries[len(batch.Entries)-1].OriginSeq
+			if states[p] == MemberDead {
+				n.mu.Lock()
+				if n.enqueueHintLocked(p, hintFromBatch(p, batch)) && n.ackMark[p] != nil {
+					n.ackMark[p][o] = last
+				}
+				n.mu.Unlock()
+				continue
+			}
+			err := n.tr.Send(p, batch)
+			n.mu.Lock()
+			n.stats.batchesSent++
+			n.recordSendLocked(p, err)
+			ok = err == nil || n.enqueueHintLocked(p, hintFromBatch(p, batch))
+			if ok && n.ackMark[p] != nil {
+				n.ackMark[p][o] = last
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// recordSendLocked updates a peer's health record after a send attempt,
+// creating the record for peers discovered at runtime. Caller holds n.mu.
+func (n *Node) recordSendLocked(p string, err error) {
+	h := n.peerH[p]
+	if h == nil {
+		h = &peerHealth{}
+		n.peerH[p] = h
+	}
+	if err != nil {
+		h.lastSendErr = err.Error()
+	} else {
+		h.lastSendErr = ""
 	}
 }
 
@@ -252,23 +484,44 @@ func (n *Node) Start() {
 	}
 }
 
-// Close stops the Start goroutines. It does not close the transport (the
-// caller owns it) and is a no-op for manually driven nodes.
+// Close stops the Start goroutines and flushes and closes the durable hint
+// log, so buffered hints survive to the next run. It does not close the
+// transport (the caller owns it).
 func (n *Node) Close() error {
 	n.stopOnce.Do(func() { close(n.stop) })
 	n.wg.Wait()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.hintLog != nil {
+		err := n.hintLog.Close()
+		n.hintLog = nil
+		return err
+	}
 	return nil
 }
 
-// handle dispatches one inbound message.
+// handle dispatches one inbound message. Any message is first-hand liveness
+// evidence for its sender (re-admitting it if it was dead), a digest's view
+// is merged for transitive discovery, and after dispatch any hints owed to
+// the sender — or to members the view merge revived — replay.
 func (n *Node) handle(msg transport.Message) {
+	now := n.now()
 	n.mu.Lock()
 	h := n.peerH[msg.From]
 	if h == nil {
 		h = &peerHealth{}
 		n.peerH[msg.From] = h
 	}
-	h.lastSeen = time.Now().UnixNano()
+	h.lastSeen = now
+	n.observeDirectLocked(msg.From, now)
+	var revived []string
+	if msg.Kind == transport.KindDigest && len(msg.View) > 0 {
+		revived = n.mergeViewLocked(msg.View, now)
+	}
+	hasHints := false
+	if q := n.hintQ[msg.From]; q != nil && len(q.hints) > 0 {
+		hasHints = true
+	}
 	n.mu.Unlock()
 
 	switch msg.Kind {
@@ -279,6 +532,15 @@ func (n *Node) handle(msg transport.Message) {
 	default:
 		// Not a cluster message; the replication transport is dedicated, so
 		// anything else is a peer bug — ignore rather than crash.
+	}
+
+	if hasHints {
+		n.replayHints(msg.From)
+	}
+	for _, id := range revived {
+		if id != msg.From {
+			n.replayHints(id)
+		}
 	}
 }
 
@@ -292,6 +554,16 @@ func (n *Node) handle(msg transport.Message) {
 func (n *Node) handleDigest(msg transport.Message) {
 	n.mu.Lock()
 	n.stats.digestsRecv++
+	// The digest is the peer's authoritative statement of what it has:
+	// reset the push cache to it. It may move DOWN — e.g. our optimistic
+	// advance outran a batch the network dropped — which is exactly how the
+	// push resynchronises.
+	acks := make(map[string]uint64, len(msg.Watermarks))
+	for o, s := range msg.Watermarks {
+		acks[o] = s
+	}
+	n.ackMark[msg.From] = acks
+	view := n.viewLocked()
 	n.mu.Unlock()
 
 	mine := n.marks()
@@ -303,12 +575,10 @@ func (n *Node) handleDigest(msg transport.Message) {
 		}
 	}
 	if behind {
-		err := n.tr.Send(msg.From, transport.Message{Kind: transport.KindDigest, Watermarks: mine})
+		err := n.tr.Send(msg.From, transport.Message{Kind: transport.KindDigest, Watermarks: mine, View: view})
 		n.mu.Lock()
 		n.stats.digestsSent++
-		if h := n.peerH[msg.From]; h != nil && err != nil {
-			h.lastSendErr = err.Error()
-		}
+		n.recordSendLocked(msg.From, err)
 		n.mu.Unlock()
 	}
 	// Deterministic origin order keeps manually driven clusters replayable.
@@ -319,44 +589,59 @@ func (n *Node) handleDigest(msg transport.Message) {
 	sort.Strings(origins)
 	for _, o := range origins {
 		theirs := msg.Watermarks[o]
-		if mine[o] <= theirs {
+		if mine[o] <= theirs || o == msg.From {
+			continue // up to date — or the peer's own stream, which it cannot be missing
+		}
+		batch, ok := n.batchFor(o, theirs)
+		if !ok {
 			continue
-		}
-		streamKey := o
-		if o == n.self {
-			streamKey = "" // the ledger keys the local stream as ""
-		}
-		ents := n.svc.ReplicationEntriesSince(streamKey, theirs, n.maxBatch)
-		if len(ents) == 0 {
-			continue
-		}
-		batch := transport.Message{
-			Kind:    transport.KindEntries,
-			Origin:  o,
-			After:   theirs,
-			Entries: make([]transport.FeedbackEntry, len(ents)),
-		}
-		for i, fb := range ents {
-			oseq := fb.OriginSeq
-			if streamKey == "" {
-				oseq = fb.Seq // local entries carry their seq as the origin seq
-			}
-			batch.Entries[i] = transport.FeedbackEntry{
-				OriginSeq: oseq,
-				Rater:     fb.Rater,
-				Subject:   fb.Subject,
-				Value:     fb.Value,
-				UnixNano:  fb.UnixNano,
-			}
 		}
 		err := n.tr.Send(msg.From, batch)
 		n.mu.Lock()
 		n.stats.batchesSent++
-		if h := n.peerH[msg.From]; h != nil && err != nil {
-			h.lastSendErr = err.Error()
+		n.recordSendLocked(msg.From, err)
+		if err == nil {
+			last := batch.Entries[len(batch.Entries)-1].OriginSeq
+			if cur := n.ackMark[msg.From]; cur != nil && last > cur[o] {
+				cur[o] = last // don't re-push what this answer already carried
+			}
 		}
 		n.mu.Unlock()
 	}
+}
+
+// batchFor frames one KindEntries batch contiguously extending origin's
+// stream past `after`, capped at MaxBatch entries. ok is false when nothing
+// is retained past that point.
+func (n *Node) batchFor(origin string, after uint64) (batch transport.Message, ok bool) {
+	streamKey := origin
+	if origin == n.self {
+		streamKey = "" // the ledger keys the local stream as ""
+	}
+	ents := n.svc.ReplicationEntriesSince(streamKey, after, n.maxBatch)
+	if len(ents) == 0 {
+		return transport.Message{}, false
+	}
+	batch = transport.Message{
+		Kind:    transport.KindEntries,
+		Origin:  origin,
+		After:   after,
+		Entries: make([]transport.FeedbackEntry, len(ents)),
+	}
+	for i, fb := range ents {
+		oseq := fb.OriginSeq
+		if streamKey == "" {
+			oseq = fb.Seq // local entries carry their seq as the origin seq
+		}
+		batch.Entries[i] = transport.FeedbackEntry{
+			OriginSeq: oseq,
+			Rater:     fb.Rater,
+			Subject:   fb.Subject,
+			Value:     fb.Value,
+			UnixNano:  fb.UnixNano,
+		}
+	}
+	return batch, true
 }
 
 // handleEntries applies one replicated batch in order. A batch whose After
@@ -413,15 +698,38 @@ type PeerStat struct {
 	LastErr string `json:"last_err,omitempty"`
 }
 
+// MemberStat is one membership-table row in Stats.
+type MemberStat struct {
+	// ID is the member's origin id; Addr is where it is reached.
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// State is the failure detector's current classification: "alive",
+	// "suspect" or "dead".
+	State string `json:"state"`
+	// Incarnation and Heartbeat are the freshest liveness pair observed.
+	Incarnation uint64 `json:"incarnation"`
+	Heartbeat   uint64 `json:"heartbeat"`
+	// LastAdvanceUnixNano is the local clock reading when the pair last
+	// advanced.
+	LastAdvanceUnixNano int64 `json:"last_advance_unix_nano,omitempty"`
+}
+
 // Stats is a point-in-time observation of the replication layer: this node's
-// watermarks, per-peer health, and the exchange counters.
+// watermarks, membership table, hint-queue gauges, per-peer health, and the
+// exchange counters.
 type Stats struct {
-	// Self is this node's origin id.
-	Self string `json:"self"`
+	// Self is this node's origin id; Incarnation and Heartbeat its own
+	// liveness pair.
+	Self        string `json:"self"`
+	Incarnation uint64 `json:"incarnation"`
+	Heartbeat   uint64 `json:"heartbeat"`
 	// Marks maps every origin stream this node holds to its watermark.
 	Marks map[string]uint64 `json:"marks"`
-	// Peers lists configured peers (plus any address that has messaged this
-	// node), in address order.
+	// Members is the membership table (seeds plus discovered peers), in id
+	// order.
+	Members []MemberStat `json:"members,omitempty"`
+	// Peers lists per-peer transport health (any address exchanged with),
+	// in address order.
 	Peers []PeerStat `json:"peers"`
 	// DigestsSent/DigestsReceived and BatchesSent/BatchesReceived count the
 	// anti-entropy messages exchanged.
@@ -435,13 +743,32 @@ type Stats struct {
 	EntriesApplied   uint64 `json:"entries_applied"`
 	EntriesDuplicate uint64 `json:"entries_duplicate"`
 	BatchesGapped    uint64 `json:"batches_gapped,omitempty"`
+	// HintedEntries is the number of entries currently buffered for
+	// unreachable peers; HintsReplayed and HintsDropped are lifetime entry
+	// counts, and HintLogErrors counts durable-log I/O failures (hints then
+	// survive in memory only).
+	HintedEntries int    `json:"hinted_entries"`
+	HintsReplayed uint64 `json:"hints_replayed,omitempty"`
+	HintsDropped  uint64 `json:"hints_dropped,omitempty"`
+	HintLogErrors uint64 `json:"hint_log_errors,omitempty"`
+	// DialFailures maps peer address to consecutive failed connection
+	// attempts, when the transport tracks them (TCP dial backoff).
+	DialFailures map[string]int `json:"dial_failures,omitempty"`
 }
 
 // Stats assembles the current replication statistics.
 func (n *Node) Stats() Stats {
 	st := Stats{Self: n.self, Marks: n.marks()}
+	if fr, ok := n.tr.(transport.FailureReporter); ok {
+		if f := fr.ConsecutiveFailures(); len(f) > 0 {
+			st.DialFailures = f
+		}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.updateStatesLocked(n.now())
+	st.Incarnation = n.selfInc
+	st.Heartbeat = n.selfHB
 	st.DigestsSent = n.stats.digestsSent
 	st.DigestsReceived = n.stats.digestsRecv
 	st.BatchesSent = n.stats.batchesSent
@@ -449,6 +776,18 @@ func (n *Node) Stats() Stats {
 	st.EntriesApplied = n.stats.applied
 	st.EntriesDuplicate = n.stats.duplicate
 	st.BatchesGapped = n.stats.gapped
+	st.HintedEntries = n.hintedEntriesLocked()
+	st.HintsReplayed = n.stats.hintsReplayed
+	st.HintsDropped = n.stats.hintsDropped
+	st.HintLogErrors = n.stats.hintLogErrs
+	for _, id := range n.memberIDsLocked() {
+		m := n.members[id]
+		st.Members = append(st.Members, MemberStat{
+			ID: m.id, Addr: m.addr, State: m.state.String(),
+			Incarnation: m.incarnation, Heartbeat: m.heartbeat,
+			LastAdvanceUnixNano: m.lastAdvance,
+		})
+	}
 	addrs := make([]string, 0, len(n.peerH))
 	for a := range n.peerH {
 		addrs = append(addrs, a)

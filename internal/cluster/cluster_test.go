@@ -15,8 +15,9 @@ import (
 
 // newClusterService builds one replica's service: every replica shares the
 // overlay and the base seed, with FixedEpochSeed so converged replicas serve
-// bit-identical reputations regardless of their epoch counts.
-func newClusterService(t *testing.T, g *graph.Graph, shards int) *service.Service {
+// bit-identical reputations regardless of their epoch counts. origin must be
+// the replica's transport address (cluster.New enforces the match).
+func newClusterService(t *testing.T, g *graph.Graph, shards int, origin string) *service.Service {
 	t.Helper()
 	svc, err := service.New(service.Config{
 		Graph:          g,
@@ -24,6 +25,7 @@ func newClusterService(t *testing.T, g *graph.Graph, shards int) *service.Servic
 		Shards:         shards,
 		Replicate:      true,
 		FixedEpochSeed: true,
+		Origin:         origin,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +65,7 @@ func hubCluster(t *testing.T, g *graph.Graph, k, shards int) ([]*service.Service
 				peers = append(peers, nm)
 			}
 		}
-		svcs[i] = newClusterService(t, g, shards)
+		svcs[i] = newClusterService(t, g, shards, names[i])
 		nodes[i], err = New(Config{Service: svcs[i], Transport: ep, Peers: peers})
 		if err != nil {
 			t.Fatal(err)
@@ -116,7 +118,7 @@ func TestThreeNodeConvergence(t *testing.T) {
 
 	// Every rater submits through its home node (rater mod 3); values come
 	// from a seeded stream so the run is reproducible.
-	solo := newClusterService(t, g, 3)
+	solo := newClusterService(t, g, 3, "")
 	vals := rng.New(99)
 	for rater := 0; rater < n; rater++ {
 		for k := 0; k < 3; k++ {
@@ -205,7 +207,7 @@ func TestDuplicateAndGapHandling(t *testing.T) {
 	}
 	defer fake.Close()
 
-	svc := newClusterService(t, g, 1)
+	svc := newClusterService(t, g, 1, "node-0")
 	node, err := New(Config{Service: svc, Transport: ep, Peers: []string{"fake-peer"}})
 	if err != nil {
 		t.Fatal(err)
@@ -296,7 +298,7 @@ func TestOneWayJoinStillReplicatesBothWays(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer epB.Close()
-	svcA, svcB := newClusterService(t, g, 1), newClusterService(t, g, 1)
+	svcA, svcB := newClusterService(t, g, 1, "node-a"), newClusterService(t, g, 1, "node-b")
 	nodeA, err := New(Config{Service: svcA, Transport: epA}) // A joins nobody
 	if err != nil {
 		t.Fatal(err)
@@ -340,8 +342,8 @@ func TestTCPClusterReplication(t *testing.T) {
 	}
 	defer tr2.Close()
 
-	svc1 := newClusterService(t, g, 1)
-	svc2 := newClusterService(t, g, 1)
+	svc1 := newClusterService(t, g, 1, tr1.Addr())
+	svc2 := newClusterService(t, g, 1, tr2.Addr())
 	n1, err := New(Config{Service: svc1, Transport: tr1, Peers: []string{tr2.Addr()}, Interval: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
@@ -403,7 +405,7 @@ func TestClusterRaceHammer(t *testing.T) {
 				peers = append(peers, nm)
 			}
 		}
-		svcs[i] = newClusterService(t, g, 4)
+		svcs[i] = newClusterService(t, g, 4, names[i])
 		nodes[i], err = New(Config{Service: svcs[i], Transport: ep, Peers: peers, Interval: time.Millisecond})
 		if err != nil {
 			t.Fatal(err)

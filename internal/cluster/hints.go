@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sort"
+
+	"diffgossip/internal/store"
+	"diffgossip/internal/transport"
+)
+
+// hintQueue buffers framed entry batches owed to one unreachable peer, in
+// enqueue order (which is ascending (origin, after) order per origin, so a
+// full replay extends the peer's streams without gaps).
+type hintQueue struct {
+	hints     []store.Hint
+	entries   int  // total entries across hints, bounded by Config.MaxHintEntries
+	replaying bool // a replay loop is in flight; don't start a second
+}
+
+// hintFromBatch converts a framed KindEntries message into its durable form.
+func hintFromBatch(peer string, msg transport.Message) store.Hint {
+	h := store.Hint{Peer: peer, Origin: msg.Origin, After: msg.After,
+		Entries: make([]store.HintEntry, len(msg.Entries))}
+	for i, e := range msg.Entries {
+		h.Entries[i] = store.HintEntry{
+			OriginSeq: e.OriginSeq, Rater: e.Rater, Subject: e.Subject,
+			Value: e.Value, UnixNano: e.UnixNano,
+		}
+	}
+	return h
+}
+
+// batchFromHint converts a buffered hint back into its wire form.
+func batchFromHint(h store.Hint) transport.Message {
+	msg := transport.Message{Kind: transport.KindEntries, Origin: h.Origin, After: h.After,
+		Entries: make([]transport.FeedbackEntry, len(h.Entries))}
+	for i, e := range h.Entries {
+		msg.Entries[i] = transport.FeedbackEntry{
+			OriginSeq: e.OriginSeq, Rater: e.Rater, Subject: e.Subject,
+			Value: e.Value, UnixNano: e.UnixNano,
+		}
+	}
+	return msg
+}
+
+// enqueueHintLocked buffers one batch owed to peer, appending it to the
+// durable hint log when one is configured. It reports whether the hint was
+// accepted; past the per-peer bound the batch is dropped (and tallied) — the
+// anti-entropy pull remains the correctness backstop, hints only shorten the
+// catch-up. Caller holds n.mu.
+func (n *Node) enqueueHintLocked(peer string, h store.Hint) bool {
+	q := n.hintQ[peer]
+	if q == nil {
+		q = &hintQueue{}
+		n.hintQ[peer] = q
+	}
+	if q.entries+len(h.Entries) > n.maxHintEntries {
+		n.stats.hintsDropped += uint64(len(h.Entries))
+		return false
+	}
+	q.hints = append(q.hints, h)
+	q.entries += len(h.Entries)
+	if n.hintLog != nil {
+		if err := n.hintLog.Append(h); err != nil {
+			n.stats.hintLogErrs++
+		}
+	}
+	return true
+}
+
+// replayHints drains peer's hint queue in order, stopping at the first send
+// failure (the peer may have gone down again; the remainder waits for its
+// next sign of life). After a replay that delivered anything, the durable
+// log is compacted so delivered batches are not replayed across a restart.
+func (n *Node) replayHints(peer string) {
+	n.mu.Lock()
+	q := n.hintQ[peer]
+	if q == nil || len(q.hints) == 0 || q.replaying {
+		n.mu.Unlock()
+		return
+	}
+	q.replaying = true
+	n.mu.Unlock()
+
+	delivered := 0
+	for {
+		n.mu.Lock()
+		if len(q.hints) == 0 {
+			break
+		}
+		h := q.hints[0]
+		n.mu.Unlock()
+		err := n.tr.Send(peer, batchFromHint(h))
+		n.mu.Lock()
+		n.stats.batchesSent++
+		if err != nil {
+			if ph := n.peerH[peer]; ph != nil {
+				ph.lastSendErr = err.Error()
+			}
+			break
+		}
+		q.hints = q.hints[1:]
+		q.entries -= len(h.Entries)
+		n.stats.hintsReplayed += uint64(len(h.Entries))
+		delivered++
+		n.mu.Unlock()
+	}
+	// Still holding n.mu from the loop's exit path.
+	q.replaying = false
+	if delivered > 0 && n.hintLog != nil {
+		if err := n.hintLog.Rewrite(n.allHintsLocked()); err != nil {
+			n.stats.hintLogErrs++
+		}
+	}
+	n.mu.Unlock()
+}
+
+// allHintsLocked flattens every queue for a durable-log rewrite: peers in
+// sorted order, each queue in its replay order. Caller holds n.mu.
+func (n *Node) allHintsLocked() []store.Hint {
+	peers := make([]string, 0, len(n.hintQ))
+	for p := range n.hintQ {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	var out []store.Hint
+	for _, p := range peers {
+		out = append(out, n.hintQ[p].hints...)
+	}
+	return out
+}
+
+// hintedEntriesLocked sums the entries currently buffered across all peers.
+// Caller holds n.mu.
+func (n *Node) hintedEntriesLocked() int {
+	total := 0
+	for _, q := range n.hintQ {
+		total += q.entries
+	}
+	return total
+}

@@ -18,18 +18,26 @@ import (
 // (timeline nodes 0..R-1), each a full reputation service with its own
 // ledger and epoch pipeline, replicate by anti-entropy over the in-memory
 // hub; the remaining timeline nodes are clients that submit feedback through
-// their home replica (id mod R). Crashing a replica closes its hub endpoint
-// — peers see send failures, its ledger survives (the in-memory stand-in for
-// a WAL-backed restart) — and rejoining re-registers the endpoint and a
-// fresh replication agent, which pulls everything it missed. Clients of a
-// crashed replica ride out the outage: each rater's stream enters the
-// cluster through exactly one origin, the condition under which replicas
-// converge to identical trust state (see internal/cluster).
+// whichever replica a round-robin cursor lands on next — any client may hit
+// any replica, and per-cell last-writer-wins tags (see internal/cluster)
+// keep the replicas convergent anyway. Each replica's endpoint is wrapped in
+// a seeded transport.Fault, so the timeline's loss and partition events
+// apply to the replication path.
 //
-// All replicas share the overlay, the base seed and FixedEpochSeed, so once
-// their watermarks agree and each has folded, reputations must match across
-// replicas bit for bit — that exact equality, not an envelope, is the final
-// convergence check. The whole run is single-threaded (manual
+// Membership is the real thing, not a static list: replica 0 bootstraps with
+// no seeds and every other replica seeds on replica 0 alone; gossiped views
+// discover the rest. The failure detector runs on the target's logical clock
+// (one tick per round; suspect after 3 idle ticks, dead after 6), so a
+// replica crashed for a multi-round window goes dead on its peers, entries
+// owed to it buffer as hints, and its rejoin — a fresh agent with a bumped
+// incarnation over the surviving ledger — triggers hint replay the moment it
+// digests anyone.
+//
+// All replicas share the overlay, the base seed and FixedEpochSeed, and
+// feedback is stamped from a deterministic submission counter, so once
+// watermarks agree and each replica has folded, reputations must match
+// across replicas bit for bit — that exact equality, not an envelope, is the
+// final convergence check. The whole run is single-threaded (manual
 // Exchange/Drain driving), so it replays bit-identically from its seed.
 type clusterTarget struct {
 	g      *graph.Graph
@@ -37,10 +45,20 @@ type clusterTarget struct {
 	svcs   []*service.Service
 	nodes  []*cluster.Node // nil while the replica is crashed
 	eps    []*transport.ChannelTransport
+	faults []*transport.Fault // per-replica send-side fault injector
 	names  []string
 	upRep  []bool
 	alive  []bool // identity liveness, replicas and clients alike
 	values *rng.Source
+
+	faultSeed uint64   // base seed for the per-replica fault injectors
+	incs      []uint64 // per-replica incarnation, bumped on every attach
+	clock     int64    // logical membership clock, one tick per round
+	lossP     float64  // current replication-path loss probability
+	linkDown  func(from, to int) bool
+
+	rr     int   // round-robin client-routing cursor over replicas
+	subSeq int64 // deterministic LWW timestamp source
 
 	epochEvery int
 	round      int
@@ -54,6 +72,12 @@ type clusterTarget struct {
 	finalViols []string
 }
 
+// membership thresholds in logical-clock ticks (rounds).
+const (
+	clusterSuspectTicks = 3
+	clusterDeadTicks    = 6
+)
+
 func newClusterTarget(cfg Config, g *graph.Graph, seed uint64, values *rng.Source) (*clusterTarget, error) {
 	r := cfg.Replicas
 	shards := 4
@@ -66,10 +90,14 @@ func newClusterTarget(cfg Config, g *graph.Graph, seed uint64, values *rng.Sourc
 		svcs:        make([]*service.Service, r),
 		nodes:       make([]*cluster.Node, r),
 		eps:         make([]*transport.ChannelTransport, r),
+		faults:      make([]*transport.Fault, r),
 		names:       make([]string, r),
 		upRep:       make([]bool, r),
 		alive:       make([]bool, g.N()),
 		values:      values,
+		faultSeed:   seed ^ 0xc1f5_7e11, // decorrelated from the epoch seed
+		incs:        make([]uint64, r),
+		lossP:       cfg.LossProb,
 		epochEvery:  cfg.EpochEvery,
 		bound:       50 * cfg.Epsilon, // same envelope as the service target
 		lastSeq:     make([]uint64, r),
@@ -93,6 +121,7 @@ func newClusterTarget(cfg Config, g *graph.Graph, seed uint64, values *rng.Sourc
 			Shards:         shards,
 			Replicate:      true,
 			FixedEpochSeed: true,
+			Origin:         t.names[i],
 		})
 		if err != nil {
 			return nil, err
@@ -106,30 +135,99 @@ func newClusterTarget(cfg Config, g *graph.Graph, seed uint64, values *rng.Sourc
 	return t, nil
 }
 
-// attach registers replica i's hub endpoint and replication agent.
+// attach registers replica i's hub endpoint, fault injector and replication
+// agent. Seeding is single-point: replica 0 starts with no peers at all and
+// everyone else knows only replica 0 — the rest of the membership arrives by
+// gossip. Every attach bumps the replica's incarnation, so a rejoin is
+// distinguishable from the stalled pre-crash generation.
 func (t *clusterTarget) attach(i int) error {
 	ep, err := t.hub.Endpoint(t.names[i])
 	if err != nil {
 		return err
 	}
-	var peers []string
-	for j, nm := range t.names {
-		if j != i {
-			peers = append(peers, nm)
-		}
+	t.incs[i]++
+	ft := transport.NewFault(ep, t.faultSeed+uint64(i)<<32+t.incs[i])
+	ft.SetDropProb(t.lossP)
+	if t.linkDown != nil {
+		ft.SetLinkFault(t.linkPredicate())
 	}
-	node, err := cluster.New(cluster.Config{Service: t.svcs[i], Transport: ep, Peers: peers})
+	var seeds []string
+	if i != 0 {
+		seeds = []string{t.names[0]}
+	}
+	node, err := cluster.New(cluster.Config{
+		Service:      t.svcs[i],
+		Transport:    ft,
+		Peers:        seeds,
+		Now:          func() int64 { return t.clock },
+		Incarnation:  t.incs[i],
+		SuspectAfter: clusterSuspectTicks,
+		DeadAfter:    clusterDeadTicks,
+	})
 	if err != nil {
 		ep.Close()
 		return err
 	}
-	t.eps[i], t.nodes[i] = ep, node
+	t.eps[i], t.faults[i], t.nodes[i] = ep, ft, node
 	return nil
 }
 
-// Step runs one round: client submissions through home replicas, one
-// synchronous anti-entropy exchange, and epochs on the configured cadence.
+// replicaIndex maps a replication address ("replica-%d") back to its
+// timeline node index, or -1.
+func (t *clusterTarget) replicaIndex(addr string) int {
+	for i, nm := range t.names {
+		if nm == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// linkPredicate adapts the runner's index-based link fault to the transport
+// layer's address-based one.
+func (t *clusterTarget) linkPredicate() func(from, to string) bool {
+	return func(from, to string) bool {
+		down := t.linkDown
+		if down == nil {
+			return false
+		}
+		fi, ti := t.replicaIndex(from), t.replicaIndex(to)
+		if fi < 0 || ti < 0 {
+			return false
+		}
+		return down(fi, ti)
+	}
+}
+
+// nextUpReplica advances the round-robin routing cursor by one and returns
+// the first up replica at or after it, or -1 when the whole cluster is down.
+// The cursor advances whether or not the submission goes through, so routing
+// is a pure function of the timeline.
+func (t *clusterTarget) nextUpReplica() int {
+	r := len(t.svcs)
+	start := t.rr
+	t.rr = (t.rr + 1) % r
+	for k := 0; k < r; k++ {
+		if cand := (start + k) % r; t.upRep[cand] {
+			return cand
+		}
+	}
+	return -1
+}
+
+// nextStamp returns the next deterministic LWW timestamp: a global
+// submission counter, which totally orders same-cell conflicts identically
+// on every run.
+func (t *clusterTarget) nextStamp() int64 {
+	t.subSeq++
+	return t.subSeq
+}
+
+// Step runs one round: a logical-clock tick, client submissions routed
+// round-robin across the up replicas, one synchronous anti-entropy exchange,
+// and epochs on the configured cadence.
 func (t *clusterTarget) Step() bool {
+	t.clock++
 	var subjects []int
 	for j, a := range t.alive {
 		if a {
@@ -140,17 +238,18 @@ func (t *clusterTarget) Step() bool {
 		for i, a := range t.alive {
 			// Draws happen for every identity regardless of outcome so the
 			// random stream — and with it the whole run — stays aligned
-			// whatever the membership does.
+			// whatever the membership does. The routing cursor likewise
+			// advances on every attempt.
 			if !t.values.Bool(0.3) {
 				continue
 			}
 			j := subjects[t.values.Intn(len(subjects))]
 			v := t.values.Float64()
-			home := i % len(t.svcs)
-			if !a || j == i || !t.upRep[home] {
-				continue // dead client, self-rating, or home replica down
+			home := t.nextUpReplica()
+			if !a || j == i || home < 0 {
+				continue // dead client, self-rating, or whole cluster down
 			}
-			if _, err := t.svcs[home].Submit(i, j, v); err != nil {
+			if _, err := t.svcs[home].SubmitAt(i, j, v, t.nextStamp()); err != nil {
 				t.epochErr = err
 				break
 			}
@@ -211,7 +310,8 @@ func (t *clusterTarget) Crash(i int) error {
 	t.alive[i] = false
 	if i < len(t.upRep) && t.upRep[i] {
 		t.upRep[i] = false
-		t.eps[i].Close()
+		t.faults[i].Close() // closes the hub endpoint underneath
+		t.nodes[i].Close()
 		t.nodes[i] = nil
 	}
 	return nil
@@ -237,30 +337,59 @@ func (t *clusterTarget) Rejoin(i int) error {
 	return nil
 }
 
-func (t *clusterTarget) SetLoss(float64) error {
-	return fmt.Errorf("scenario: the cluster target fixes epoch loss at construction")
+// SetLoss changes the replication-path drop probability on every replica's
+// fault injector (epoch-internal gossip loss stays fixed at construction).
+// Dropped batches are recovered by the watermark pull, dropped digests by
+// the next round's exchange, so loss slows convergence without breaking it.
+func (t *clusterTarget) SetLoss(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("scenario: replication loss %v out of [0,1)", p)
+	}
+	t.lossP = p
+	for i, up := range t.upRep {
+		if up {
+			t.faults[i].SetDropProb(p)
+		}
+	}
+	return nil
 }
 
-func (t *clusterTarget) SetLinkFault(func(from, to int) bool) error {
-	return fmt.Errorf("scenario: the cluster target does not model link faults (crash a replica instead)")
+// SetLinkFault installs (or, with nil, heals) a pairwise partition on the
+// replication path. The runner's predicate speaks timeline node indices;
+// replicas translate their peer addresses back through replicaIndex, and
+// sends touching a client index (never a replication address) pass through.
+func (t *clusterTarget) SetLinkFault(down func(from, to int) bool) error {
+	t.linkDown = down
+	for i, up := range t.upRep {
+		if !up {
+			continue
+		}
+		if down == nil {
+			t.faults[i].SetLinkFault(nil)
+		} else {
+			t.faults[i].SetLinkFault(t.linkPredicate())
+		}
+	}
+	return nil
 }
 
-// Collude floods each member's lie ratings through its own home replica —
-// the federated shape of the paper's group-inflation attack.
+// Collude floods each member's lie ratings through the round-robin cursor —
+// the federated shape of the paper's group-inflation attack, with the lies
+// entering the cluster wherever the routing happens to land.
 func (t *clusterTarget) Collude(group []int, lie float64) error {
 	if lie < 0 || lie > 1 {
 		return fmt.Errorf("scenario: collusion lie %v out of [0,1]", lie)
 	}
 	for _, i := range group {
-		home := i % len(t.svcs)
-		if !t.upRep[home] {
-			continue
-		}
 		for _, j := range group {
 			if i == j {
 				continue
 			}
-			if _, err := t.svcs[home].Submit(i, j, lie); err != nil {
+			home := t.nextUpReplica()
+			if home < 0 {
+				continue
+			}
+			if _, err := t.svcs[home].SubmitAt(i, j, lie, t.nextStamp()); err != nil {
 				return err
 			}
 		}
@@ -412,12 +541,14 @@ func (t *clusterTarget) ReferenceErr([]bool) float64 {
 
 func (t *clusterTarget) Messages() gossip.Messages { return gossip.Messages{} }
 
-// Close tears the hub endpoints and services down.
+// Close tears the fault wrappers (and the hub endpoints underneath), agents
+// and services down.
 func (t *clusterTarget) Close() error {
 	var first error
 	for r, up := range t.upRep {
 		if up {
-			t.eps[r].Close()
+			t.faults[r].Close()
+			t.nodes[r].Close()
 		}
 	}
 	for _, svc := range t.svcs {

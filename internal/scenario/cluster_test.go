@@ -4,6 +4,9 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
 )
 
 // TestClusterCrashRejoinConverges is the federation acceptance scenario: a
@@ -84,12 +87,12 @@ func TestClusterScenarioReplays(t *testing.T) {
 }
 
 // TestClusterRejectsUnsupportedEvents: the cluster target must refuse the
-// events it cannot model rather than silently ignoring them.
+// events it cannot model rather than silently ignoring them. (Loss and
+// partition used to be in this list; they now apply to the replication path
+// — see TestClusterMembershipThrash.)
 func TestClusterRejectsUnsupportedEvents(t *testing.T) {
 	for _, ev := range []Event{
 		{Round: 1, Kind: KindJoin},
-		{Round: 1, Kind: KindLoss, Value: 0.2},
-		{Round: 1, Kind: KindPartition, Span: 2},
 	} {
 		_, err := Run(Config{
 			Target: TargetCluster, N: 12, Rounds: 5, Seed: 1,
@@ -98,5 +101,142 @@ func TestClusterRejectsUnsupportedEvents(t *testing.T) {
 		if err == nil {
 			t.Fatalf("event %v silently accepted", ev.Kind)
 		}
+	}
+}
+
+// thrashConfig is the membership-thrash acceptance scenario: a 5-replica
+// cluster bootstrapped from a single seed rides out continuous kill/respawn
+// churn, a multi-round dead-replica window long past the dead threshold
+// (so peers buffer hints and replay them on the rejoin), replication-path
+// packet loss, and a partition — while clients keep submitting round-robin
+// across whatever replicas are up.
+var thrashConfig = Config{
+	Target:     TargetCluster,
+	N:          40,
+	Rounds:     70,
+	Epsilon:    1e-6,
+	Seed:       99,
+	EpochEvery: 7,
+	Replicas:   5,
+	Script: []Event{
+		{Round: 5, Kind: KindLoss, Value: 0.15},
+		{Round: 8, Kind: KindCrash, Node: 1}, // quick bounce
+		{Round: 10, Kind: KindRejoin, Node: 1},
+		{Round: 12, Kind: KindCrash, Node: 2}, // overlapping bounce
+		{Round: 15, Kind: KindRejoin, Node: 2},
+		{Round: 16, Kind: KindCrash, Node: 3},  // the long dead window:
+		{Round: 30, Kind: KindRejoin, Node: 3}, // 14 rounds ≫ dead threshold
+		{Round: 34, Kind: KindPartition, Span: 6, Frac: 0.4},
+		{Round: 44, Kind: KindLoss, Value: 0},
+		{Round: 46, Kind: KindCrash, Node: 4}, // churn after the heal too
+		{Round: 52, Kind: KindRejoin, Node: 4},
+		{Round: 55, Kind: KindCollude, Frac: 0.2, Value: 0.95},
+	},
+}
+
+// TestClusterMembershipThrash runs the thrash timeline and requires exact
+// convergence: every live replica serves bit-identical reputations
+// (FinalErr exactly 0) with no invariant violations, despite round-robin
+// client routing — the LWW total order, not any routing discipline, is what
+// makes the replicas agree.
+func TestClusterMembershipThrash(t *testing.T) {
+	res, err := Run(thrashConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Crashes != 4 || res.Rejoins != 4 {
+		t.Fatalf("executed %d crashes / %d rejoins, want 4 / 4\nlog:\n%v", res.Crashes, res.Rejoins, res.Log)
+	}
+	if res.FinalErr != 0 {
+		t.Fatalf("replicas diverged under thrash: FinalErr = %v (must be bit-identical)", res.FinalErr)
+	}
+	rated := 0
+	for _, v := range res.Reputations {
+		if v > 0 {
+			rated++
+		}
+	}
+	if rated == 0 {
+		t.Fatal("no reputation ever formed under thrash")
+	}
+}
+
+// TestClusterMembershipThrashReplays: the thrash timeline — faults, hints,
+// LWW conflicts and all — is a pure function of its seed.
+func TestClusterMembershipThrashReplays(t *testing.T) {
+	a, err := Run(thrashConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(thrashConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Log, b.Log) {
+		t.Fatalf("event logs differ:\n%v\n%v", a.Log, b.Log)
+	}
+	if !reflect.DeepEqual(a.Reputations, b.Reputations) {
+		t.Fatal("final reputations differ between identical thrash runs")
+	}
+	if a.FinalErr != b.FinalErr {
+		t.Fatalf("FinalErr %v vs %v", a.FinalErr, b.FinalErr)
+	}
+}
+
+// TestClusterDeadWindowExercisesHints drives the target directly to pin that
+// a multi-round dead window actually flows through hinted handoff: while
+// replica 1 is dead its peers buffer hints, and its rejoin replays them.
+func TestClusterDeadWindowExercisesHints(t *testing.T) {
+	cfg := (&Config{
+		Target: TargetCluster, N: 20, Epsilon: 1e-6,
+		EpochEvery: 5, Replicas: 3,
+	}).withDefaults()
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: cfg.N, M: cfg.M, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := newClusterTarget(cfg, g, 17, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	for r := 0; r < 8; r++ { // membership warms up, feedback flows
+		tgt.Step()
+	}
+	if err := tgt.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < clusterDeadTicks+4; r++ { // well past the dead threshold
+		tgt.Step()
+	}
+	hinted := uint64(0)
+	for i, up := range tgt.upRep {
+		if up {
+			hinted += uint64(tgt.nodes[i].Stats().HintedEntries)
+		}
+	}
+	if hinted == 0 {
+		t.Fatalf("no hints buffered during the dead window; stats: %+v", tgt.nodes[0].Stats())
+	}
+	if err := tgt.Rejoin(1); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		tgt.Step()
+	}
+	replayed := uint64(0)
+	for i, up := range tgt.upRep {
+		if up && i != 1 {
+			replayed += tgt.nodes[i].Stats().HintsReplayed
+		}
+	}
+	if replayed == 0 {
+		t.Fatalf("hints never replayed after the rejoin; stats: %+v", tgt.nodes[0].Stats())
+	}
+	if got := tgt.ReferenceErr(nil); got != 0 {
+		t.Fatalf("replicas diverged after handoff: ReferenceErr = %v", got)
 	}
 }

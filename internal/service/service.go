@@ -96,6 +96,34 @@ type Config struct {
 	// many epochs it took to get there. Cluster deployments set it; the
 	// standalone default (off) draws an independent stream per epoch.
 	FixedEpochSeed bool
+	// Origin is this node's cluster identity, used as the tie-break in the
+	// last-writer-wins order for locally accepted entries (replicated
+	// entries carry their own origin). It must equal the cluster transport
+	// address, so the tag a peer computes for a replicated copy matches the
+	// tag this node computes for the original — internal/cluster.New
+	// enforces the match. Standalone services leave it empty.
+	Origin string
+}
+
+// cellTag is the last-writer-wins coordinate of one (rater, subject) cell
+// write: entries to the same cell are ordered lexicographically by
+// (UnixNano, origin, origin seq) — a total order every replica computes
+// identically, so folds converge regardless of arrival order.
+type cellTag struct {
+	ts     int64
+	origin string
+	seq    uint64
+}
+
+// before reports whether t is strictly older than o in the LWW total order.
+func (t cellTag) before(o cellTag) bool {
+	if t.ts != o.ts {
+		return t.ts < o.ts
+	}
+	if t.origin != o.origin {
+		return t.origin < o.origin
+	}
+	return t.seq < o.seq
 }
 
 // Replicator is the cluster-side hook the epoch scheduler drives: one
@@ -120,12 +148,21 @@ type Service struct {
 	shards int
 	ledger *store.Ledger
 
-	// epochMu serialises epoch compute and guards master, the only mutable
-	// trust state. Readers never take it; neither does the persistence
-	// phase.
+	// epochMu serialises epoch compute and guards master and lww, the only
+	// mutable trust state. Readers never take it; neither does the
+	// persistence phase.
 	epochMu sync.Mutex
 	master  *trust.Matrix
-	epochs  atomic.Uint64 // fold rounds completed (== newest published shard epoch)
+	// lww maps cell id (rater*n + subject) to the winning write's tag; the
+	// fold skips any entry older than its cell's winner, making the folded
+	// state independent of arrival order. Rebuilt from the WAL on boot.
+	lww    map[uint64]cellTag
+	epochs atomic.Uint64 // fold rounds completed (== newest published shard epoch)
+
+	// lastEpoch is the wall-clock nanosecond of the last completed RunEpoch
+	// (including no-op epochs with nothing pending) — the readiness probe's
+	// scheduler-stall signal.
+	lastEpoch atomic.Int64
 
 	// states[s] is shard s's current publication; worker goroutines store
 	// into their own shard's pointer as each fold completes.
@@ -194,6 +231,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:            cfg,
 		n:              n,
 		shards:         shards,
+		lww:            make(map[uint64]cellTag),
 		states:         make([]atomic.Pointer[store.ShardSnapshot], shards),
 		persistedEpoch: make([]uint64, shards),
 		stop:           make(chan struct{}),
@@ -398,9 +436,12 @@ func (s *Service) loadDir() ([]*store.ShardSnapshot, error) {
 		return nil, err
 	}
 	// Entries already folded into their subject's shard are dropped; the
-	// per-shard tails past each segment's Seq wait for the next epoch.
+	// per-shard tails past each segment's Seq wait for the next epoch. The
+	// LWW tags rebuild from the FULL replay — folded entries' winners must
+	// be on record before any late replicated entry tries to beat them.
 	var tail []store.Feedback
 	for _, fb := range replayed {
+		s.recordTag(fb)
 		var folded uint64
 		if segs != nil {
 			folded = segs[store.ShardOf(fb.Subject, s.shards)].Seq
@@ -413,6 +454,30 @@ func (s *Service) loadDir() ([]*store.ShardSnapshot, error) {
 	return segs, nil
 }
 
+// tagOf computes an entry's LWW tag. Locally accepted entries (empty Origin
+// in the ledger) are stamped with this node's identity and their local
+// sequence number — exactly the (origin, seq) pair they replicate under, so
+// every replica orders the write identically.
+func (s *Service) tagOf(fb store.Feedback) cellTag {
+	if fb.Origin == "" {
+		return cellTag{ts: fb.UnixNano, origin: s.cfg.Origin, seq: fb.Seq}
+	}
+	return cellTag{ts: fb.UnixNano, origin: fb.Origin, seq: fb.OriginSeq}
+}
+
+// recordTag advances fb's cell to fb's tag if it is not older than the
+// current winner, reporting whether fb won (and should be folded). Caller
+// holds epochMu (or is single-threaded boot).
+func (s *Service) recordTag(fb store.Feedback) bool {
+	cell := uint64(fb.Rater)*uint64(s.n) + uint64(fb.Subject)
+	tag := s.tagOf(fb)
+	if cur, ok := s.lww[cell]; ok && tag.before(cur) {
+		return false
+	}
+	s.lww[cell] = tag
+	return true
+}
+
 // Submit records one feedback entry ("rater now places trust value in
 // subject") and returns its ledger sequence number. The entry takes effect
 // when its subject's shard next folds; until then reads serve the current
@@ -420,6 +485,23 @@ func (s *Service) loadDir() ([]*store.ShardSnapshot, error) {
 func (s *Service) Submit(rater, subject int, value float64) (uint64, error) {
 	return s.ledger.Append(rater, subject, value, time.Now().UnixNano())
 }
+
+// SubmitAt is Submit with a caller-supplied timestamp — the LWW coordinate
+// of the write. Deterministic drivers (scenario tests, replayed workloads)
+// use it to pin conflict resolution; live traffic uses Submit.
+func (s *Service) SubmitAt(rater, subject int, value float64, unixNano int64) (uint64, error) {
+	return s.ledger.Append(rater, subject, value, unixNano)
+}
+
+// Origin returns this node's cluster identity (Config.Origin; empty for
+// standalone services).
+func (s *Service) Origin() string { return s.cfg.Origin }
+
+// LastEpochUnixNano returns the wall-clock nanosecond at which the last
+// RunEpoch completed (0 if none has yet) — no-op epochs count, so a healthy
+// idle scheduler keeps advancing it. Readiness probes compare it against the
+// epoch interval to detect a stalled scheduler.
+func (s *Service) LastEpochUnixNano() int64 { return s.lastEpoch.Load() }
 
 // View captures the current composite read state: S atomic pointer loads,
 // no locks, immutable afterwards. See View's consistency notes.
@@ -560,6 +642,7 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 	batch := s.ledger.TakePending()
 	if len(batch) == 0 {
 		s.epochMu.Unlock()
+		s.lastEpoch.Store(time.Now().UnixNano())
 		return s.View(), false, nil
 	}
 	// On any compute failure the batch goes back to the front of the
@@ -577,10 +660,17 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 	dirty := make(map[int]bool)
 	seq := uint64(0)
 	for _, fb := range batch {
-		// Ledger entries were validated at append time; Set only fails on
-		// values outside [0,1], which therefore cannot happen here.
-		if err := s.master.Set(fb.Rater, fb.Subject, fb.Value); err != nil {
-			return restore(fmt.Errorf("service: fold seq %d: %w", fb.Seq, err))
+		// Last-writer-wins: an entry older than its cell's recorded winner
+		// is skipped, so the folded state depends only on the set of entries
+		// seen, never on their arrival order. (Its shard still counts as
+		// dirty — the cheap refold keeps the skip logic out of the dirtiness
+		// accounting.)
+		if s.recordTag(fb) {
+			// Ledger entries were validated at append time; Set only fails
+			// on values outside [0,1], which therefore cannot happen here.
+			if err := s.master.Set(fb.Rater, fb.Subject, fb.Value); err != nil {
+				return restore(fmt.Errorf("service: fold seq %d: %w", fb.Seq, err))
+			}
 		}
 		dirty[fb.Shard] = true
 		seq = fb.Seq
@@ -645,6 +735,7 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 	}
 	s.epochs.Store(epoch)
 	s.epochMu.Unlock()
+	s.lastEpoch.Store(time.Now().UnixNano())
 
 	// Persistence phase: after the critical section, so a slow disk delays
 	// durability, never ingest or the next epoch's compute. A persist error
@@ -752,14 +843,20 @@ func (s *Service) loop() {
 	}
 }
 
-// Close stops the scheduler and closes the ledger. It does not run a final
-// epoch; pending feedback stays in the write-ahead log (when persistence is
-// on) and is replayed on the next start.
+// Close stops the scheduler, fsyncs and closes the ledger. It does not run
+// a final epoch; pending feedback is durable in the write-ahead log (when
+// persistence is on) and is replayed on the next start.
 func (s *Service) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 	// Serialise with any in-flight persistence before closing the WAL.
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
+	// Make the tail durable: Close flushes, but only Sync fsyncs — without
+	// it a clean SIGTERM could still lose the last writes to a power cut.
+	if err := s.ledger.Sync(); err != nil {
+		s.ledger.Close()
+		return err
+	}
 	return s.ledger.Close()
 }

@@ -8,12 +8,15 @@ import (
 	"sync"
 	"time"
 
+	"diffgossip/internal/cluster"
 	"diffgossip/internal/core"
 	"diffgossip/internal/gossip"
+	"diffgossip/internal/graph"
 	"diffgossip/internal/rng"
 	"diffgossip/internal/scenario"
 	"diffgossip/internal/service"
 	"diffgossip/internal/store"
+	"diffgossip/internal/transport"
 )
 
 // BenchConfig parameterises the perf-trajectory benchmark that cmd/dgsim's
@@ -75,6 +78,12 @@ type BenchResult struct {
 	Shards         int    `json:"shards,omitempty"`
 	DirtyShards    int    `json:"dirty_shards,omitempty"`
 	FoldedSubjects uint64 `json:"folded_subjects,omitempty"`
+	// HintedEntries and ConvergeNs describe the cluster anti-entropy rows
+	// (schema v5): the hinted-handoff backlog buffered while a replica was
+	// dead, and the wall-clock time from its return to watermark agreement
+	// (Steps is the synchronous exchange rounds that took).
+	HintedEntries int     `json:"hinted_entries,omitempty"`
+	ConvergeNs    float64 `json:"converge_ns,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
@@ -88,7 +97,12 @@ type BenchResult struct {
 // folded_subjects recording how much of the subject space each epoch
 // actually recomputed. Earlier rows are unchanged in shape; note the v4
 // service epochs run the per-subject campaign pipeline, so service-row
-// numbers are not directly comparable to v2/v3 runs.
+// numbers are not directly comparable to v2/v3 runs. v5 adds the cluster
+// anti-entropy rows — hinted-handoff catch-up time against the buffered
+// backlog size, with hinted_entries/converge_ns recording each measurement;
+// note the v5 WAL format carries LWW tags (unix_nano/origin/origin_seq,
+// omitted when empty) on replicated entries, so ledgers and ingest numbers
+// are not byte-comparable to v4 runs.
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go"`
@@ -159,7 +173,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v4",
+		Schema:     "diffgossip-bench/v5",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
@@ -236,7 +250,160 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		}
 		report.Benchmarks = append(report.Benchmarks, rows...)
 	}
+
+	// Cluster anti-entropy (schema v5): hinted-handoff catch-up time vs the
+	// backlog buffered while a replica was dead.
+	{
+		rows, err := benchAntiEntropy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
 	return report, nil
+}
+
+// benchAntiEntropy measures the recovery path the membership layer adds: a
+// two-node cluster, one node dead (on a logical clock, so no real waiting)
+// while the other ingests a backlog that buffers as hints, then the dead
+// node returns and the row times the catch-up — hint replay plus watermark
+// agreement — against the backlog size. The curve should be near-linear in
+// the backlog: replay is a straight queue drain, and the pull only patches
+// what replay already delivered.
+func benchAntiEntropy(cfg BenchConfig) ([]BenchResult, error) {
+	const n = 128
+	g, err := buildPA(n, cfg.Seed+50)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchResult
+	for _, backlog := range []int{512, 2048, 8192} {
+		row, err := benchHandoffRow(cfg, g, n, backlog)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// benchHandoffRow runs one dead-window/catch-up measurement at a fixed
+// backlog. Membership runs on a locally advanced logical clock, so the
+// suspect → dead transitions are instantaneous rather than timer-driven.
+func benchHandoffRow(cfg BenchConfig, g *graph.Graph, n, backlog int) (BenchResult, error) {
+	hub := transport.NewHub()
+	var clock int64
+	newSvc := func(origin string) (*service.Service, error) {
+		return service.New(service.Config{
+			Graph:          g,
+			Params:         core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 51, Workers: 1},
+			Replicate:      true,
+			FixedEpochSeed: true,
+			Origin:         origin,
+		})
+	}
+	attach := func(svc *service.Service, name string, inc uint64, seeds []string) (*cluster.Node, *transport.ChannelTransport, error) {
+		ep, err := hub.Endpoint(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		node, err := cluster.New(cluster.Config{
+			Service: svc, Transport: ep, Peers: seeds,
+			Now: func() int64 { return clock }, Incarnation: inc,
+			SuspectAfter: 3, DeadAfter: 6, MaxHintEntries: backlog,
+		})
+		if err != nil {
+			ep.Close()
+			return nil, nil, err
+		}
+		return node, ep, nil
+	}
+	svcA, err := newSvc("bench-a")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svcA.Close()
+	svcB, err := newSvc("bench-b")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svcB.Close()
+	nodeA, epA, err := attach(svcA, "bench-a", 1, []string{"bench-b"})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer epA.Close()
+	defer nodeA.Close()
+	nodeB, epB, err := attach(svcB, "bench-b", 1, []string{"bench-a"})
+	if err != nil {
+		return BenchResult{}, err
+	}
+
+	// One full exchange so each side caches the other's watermarks — the
+	// push (and hint) framing baseline.
+	clock++
+	nodeA.Exchange()
+	nodeB.Exchange()
+	nodeA.Drain()
+	nodeB.Drain()
+
+	// B dies; A ingests the backlog and, once B crosses the dead threshold,
+	// buffers it as hints batch by batch.
+	epB.Close()
+	nodeB.Close()
+	src := rng.New(cfg.Seed + 52)
+	for k := 0; k < backlog; k++ {
+		if _, err := svcA.SubmitAt(src.Intn(n), src.Intn(n), src.Float64(), int64(k+1)); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	clock += 10
+	for hinted := 0; hinted < backlog; {
+		nodeA.Exchange()
+		st := nodeA.Stats()
+		if st.HintsDropped > 0 {
+			return BenchResult{}, fmt.Errorf("bench: hint queue overflowed at backlog %d", backlog)
+		}
+		if st.HintedEntries <= hinted {
+			return BenchResult{}, fmt.Errorf("bench: hint buffering stalled at %d/%d", hinted, backlog)
+		}
+		hinted = st.HintedEntries
+	}
+
+	// B returns; the timed window covers its first digest through watermark
+	// agreement.
+	nodeB2, epB2, err := attach(svcB, "bench-b", 2, []string{"bench-a"})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer epB2.Close()
+	defer nodeB2.Close()
+	rounds := 0
+	start := time.Now()
+	for svcB.ReplicationMark("bench-a") < uint64(backlog) {
+		clock++
+		nodeB2.Exchange()
+		nodeA.Exchange()
+		for pass := 0; pass < 2; pass++ {
+			nodeA.Drain()
+			nodeB2.Drain()
+		}
+		rounds++
+		if rounds > backlog {
+			return BenchResult{}, fmt.Errorf("bench: handoff catch-up never converged at backlog %d", backlog)
+		}
+	}
+	elapsed := time.Since(start)
+	row := BenchResult{
+		Name:          fmt.Sprintf("cluster-antientropy/backlog=%d", backlog),
+		N:             n,
+		Steps:         rounds,
+		Converged:     true,
+		HintedEntries: backlog,
+		ConvergeNs:    float64(elapsed.Nanoseconds()),
+	}
+	row.NsPerStep = row.ConvergeNs / float64(rounds)
+	return row, nil
 }
 
 // benchSharded measures the sharded epoch pipeline: one full-dirty epoch,

@@ -34,6 +34,7 @@ type Fault struct {
 	report  bool               // drops return ErrDropped instead of nil
 	faulty  func(Message) bool // nil = every message is subject to faults
 	cells   map[string]int     // partition cell per address; missing = cell 0
+	link    func(from, to string) bool
 	delayed []heldSend
 
 	dropped     int
@@ -99,6 +100,17 @@ func (f *Fault) SetPartition(cells map[string]int) {
 	f.cells = cells
 }
 
+// SetLinkFault installs an arbitrary pairwise fault: sends from this
+// endpoint to addr are dropped while down(self, addr) returns true. It
+// composes with SetPartition (either dropping suffices) and generalises it —
+// asymmetric faults (A reaches B but not vice versa) need a Fault wrapper on
+// each side with its own predicate. Passing nil heals the fault.
+func (f *Fault) SetLinkFault(down func(from, to string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.link = down
+}
+
 // Tick releases every held (delayed) message to the inner transport in the
 // order it was sent, returning the first delivery error. Call it at round
 // boundaries.
@@ -156,7 +168,11 @@ func (f *Fault) Send(addr string, msg Message) error {
 		}
 		return nil
 	}
-	if f.cells != nil && f.cells[f.inner.Addr()] != f.cells[addr] {
+	cut := f.cells != nil && f.cells[f.inner.Addr()] != f.cells[addr]
+	if !cut && f.link != nil && f.link(f.inner.Addr(), addr) {
+		cut = true
+	}
+	if cut {
 		f.partitioned++
 		report := f.report
 		f.mu.Unlock()

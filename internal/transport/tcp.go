@@ -2,7 +2,9 @@ package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -12,6 +14,20 @@ import (
 // (SYN dropped, no RST) fails the Send instead of wedging the sender — and,
 // through it, everything serialised behind that peer's outConn mutex.
 const dialTimeout = 5 * time.Second
+
+// Reconnect dials back off exponentially from dialBackoffBase to
+// dialBackoffCap with multiplicative jitter, so a dead peer is not re-dialled
+// at full rate by every exchange tick and restarted clusters do not dial in
+// lockstep.
+const (
+	dialBackoffBase = 250 * time.Millisecond
+	dialBackoffCap  = 30 * time.Second
+)
+
+// ErrBackoff is returned by Send while a peer is inside its reconnect
+// backoff window: the send fails fast without burning a dial on a peer that
+// just refused one. Callers treat it like any other send failure.
+var ErrBackoff = errors.New("transport: peer in dial backoff")
 
 // TCPTransport implements Transport over TCP with gob framing. Each outbound
 // peer gets one persistent connection, dialled lazily and redialled once on
@@ -29,9 +45,11 @@ type TCPTransport struct {
 }
 
 type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	failures int       // consecutive dial failures since the last success
+	retryAt  time.Time // no dial before this instant (zero = dial freely)
 }
 
 // ListenTCP starts a transport bound to addr ("127.0.0.1:0" picks a free
@@ -141,15 +159,51 @@ func (t *TCPTransport) Send(addr string, msg Message) error {
 	return nil
 }
 
+// ConsecutiveFailures reports, per peer address, how many dial attempts have
+// failed in a row since the last successful connection. Healthy or untried
+// peers are omitted.
+func (t *TCPTransport) ConsecutiveFailures() map[string]int {
+	t.mu.Lock()
+	conns := make(map[string]*outConn, len(t.conns))
+	for addr, oc := range t.conns {
+		conns[addr] = oc
+	}
+	t.mu.Unlock()
+	out := make(map[string]int)
+	for addr, oc := range conns {
+		oc.mu.Lock()
+		if oc.failures > 0 {
+			out[addr] = oc.failures
+		}
+		oc.mu.Unlock()
+	}
+	return out
+}
+
+// dial (re)connects to addr under the backoff schedule: inside the window it
+// fails fast with ErrBackoff; a failed attempt doubles the window (with
+// jitter, capped); a success resets it.
 func (oc *outConn) dial(addr string) error {
 	if oc.conn != nil {
 		oc.conn.Close()
+		oc.conn, oc.enc = nil, nil
+	}
+	if !oc.retryAt.IsZero() && time.Now().Before(oc.retryAt) {
+		return fmt.Errorf("transport: dial %s: %w", addr, ErrBackoff)
 	}
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		oc.conn, oc.enc = nil, nil
+		oc.failures++
+		backoff := dialBackoffBase << min(oc.failures-1, 62)
+		if backoff <= 0 || backoff > dialBackoffCap {
+			backoff = dialBackoffCap
+		}
+		// Jitter into [backoff/2, backoff) so peers don't redial in step.
+		backoff = backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		oc.retryAt = time.Now().Add(backoff)
 		return fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	oc.failures, oc.retryAt = 0, time.Time{}
 	oc.conn = conn
 	oc.enc = gob.NewEncoder(conn)
 	return nil

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTCPDialBackoff pins the reconnect-backoff contract: a failed dial opens
+// a backoff window during which further sends fail fast with ErrBackoff
+// (no second dial), the failure count is visible through
+// ConsecutiveFailures, and a successful dial after the window resets both.
+func TestTCPDialBackoff(t *testing.T) {
+	sender, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	// Reserve an address and close it so nothing listens there.
+	ghost, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ghost.Addr()
+	ghost.Close()
+
+	if err := sender.Send(addr, Message{Kind: KindDigest}); err == nil {
+		t.Fatal("send to dead address succeeded")
+	} else if errors.Is(err, ErrBackoff) {
+		t.Fatalf("first failure already in backoff: %v", err)
+	}
+	if got := sender.ConsecutiveFailures()[addr]; got != 1 {
+		t.Fatalf("failures after first dial = %d, want 1", got)
+	}
+
+	// Inside the window (at least dialBackoffBase/2) the send must fail fast
+	// without dialling.
+	if err := sender.Send(addr, Message{Kind: KindDigest}); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("send inside backoff window: %v, want ErrBackoff", err)
+	}
+	if got := sender.ConsecutiveFailures()[addr]; got != 1 {
+		t.Fatalf("fast-fail counted as a dial attempt: failures = %d", got)
+	}
+
+	// Revive the peer and wait out the first window (full base, jitter keeps
+	// it below that); the next send dials, succeeds and resets the counters.
+	reborn, err := ListenTCP(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer reborn.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := sender.Send(addr, Message{Kind: KindDigest, Subject: 7}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send never succeeded after peer revival")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if got := sender.ConsecutiveFailures()[addr]; got != 0 {
+		t.Fatalf("failures not reset after successful dial: %d", got)
+	}
+	select {
+	case msg := <-reborn.Inbox():
+		if msg.Subject != 7 {
+			t.Fatalf("got %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("revived peer received nothing")
+	}
+}

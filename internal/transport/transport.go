@@ -47,6 +47,28 @@ type Message struct {
 	// Entries is the replicated feedback batch (KindEntries), in strictly
 	// ascending OriginSeq order.
 	Entries []FeedbackEntry
+	// View, on a KindDigest message, piggybacks the sender's membership
+	// view: every peer it knows of, with the freshest (incarnation,
+	// heartbeat) pair it has observed. Receivers merge the view to discover
+	// peers transitively from a single seed.
+	View []PeerView
+}
+
+// PeerView is one row of a gossiped membership view. Liveness is ordered by
+// (Incarnation, Heartbeat): a peer's own heartbeat increases while it runs,
+// and its incarnation increases across restarts, so the pair advances
+// monotonically for a live peer and stalls forever for a dead one.
+type PeerView struct {
+	// ID is the peer's cluster identity (its transport address).
+	ID string
+	// Addr is where the peer can be reached; today always equal to ID, kept
+	// separate so identity can outlive an address change.
+	Addr string
+	// Incarnation counts the peer's process restarts.
+	Incarnation uint64
+	// Heartbeat counts the peer's anti-entropy exchanges within one
+	// incarnation.
+	Heartbeat uint64
 }
 
 // FeedbackEntry is the wire form of one replicated feedback ledger entry: the
@@ -120,6 +142,15 @@ type Transport interface {
 	Inbox() <-chan Message
 	// Close releases resources and closes the inbox.
 	Close() error
+}
+
+// FailureReporter is implemented by transports that track consecutive send
+// failures per peer (today the TCP transport's dial-backoff counters).
+// Consumers type-assert on it to surface link health in their stats.
+type FailureReporter interface {
+	// ConsecutiveFailures maps peer address to the number of consecutive
+	// failed connection attempts; healthy peers are omitted.
+	ConsecutiveFailures() map[string]int
 }
 
 // Hub is an in-memory switchboard connecting ChannelTransport endpoints by
