@@ -286,7 +286,9 @@ func BenchmarkWhitewash(b *testing.B) {
 	b.ReportMetric(adv, "whitewash-advantage")
 }
 
-// BenchmarkEngineStep isolates the per-step cost of the scalar engine.
+// BenchmarkEngineStep isolates the per-step cost of the scalar engine. The
+// reported allocs/op must stay at 0 — Step is the hot path the atomic-only
+// instrumentation discipline protects.
 func BenchmarkEngineStep(b *testing.B) {
 	for _, n := range []int{1000, 10000, 50000} {
 		b.Run(byN(n), func(b *testing.B) {
@@ -300,6 +302,41 @@ func BenchmarkEngineStep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			e.Step() // warm the scratch buffers outside the measured window
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkVectorEngineStep isolates the per-step cost of the vector engine
+// (dense ratings). Like the scalar engine, steady-state steps must report 0
+// allocs/op.
+func BenchmarkVectorEngineStep(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		b.Run(byN(n), func(b *testing.B) {
+			g := graph.MustPA(n, 2, 63)
+			src := rng.New(64)
+			y0 := make([][]float64, n)
+			g0 := make([][]float64, n)
+			buf := make([]float64, 2*n*n)
+			for i := 0; i < n; i++ {
+				y0[i] = buf[2*i*n : (2*i+1)*n]
+				g0[i] = buf[(2*i+1)*n : (2*i+2)*n]
+				for j := 0; j < n; j++ {
+					y0[i][j] = src.Float64()
+					g0[i][j] = 1
+				}
+			}
+			e, err := gossip.NewVectorEngine(gossip.Config{Graph: g, Epsilon: 1e-12, Seed: 65}, y0, g0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Step() // warm the scratch buffers outside the measured window
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.Step()

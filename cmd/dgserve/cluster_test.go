@@ -44,7 +44,7 @@ func newClusterMember(t *testing.T, g *graph.Graph, peers []string) (*httptest.S
 	}
 	node.Start()
 	svc.SetReplicator(node)
-	ts := httptest.NewServer(newClusterServer(svc, node, 0))
+	ts := httptest.NewServer(newClusterServer(svc, node, 0, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		node.Close()

@@ -71,7 +71,7 @@ func TestReadyzDegradedMembership(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer node.Close()
-	ts := httptest.NewServer(newClusterServer(svc, node, 0))
+	ts := httptest.NewServer(newClusterServer(svc, node, 0, nil))
 	defer ts.Close()
 	time.Sleep(5 * time.Millisecond) // let the thresholds pass
 
@@ -103,7 +103,7 @@ func TestReadyzStalledScheduler(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	srv := newClusterServer(svc, nil, time.Millisecond)
+	srv := newClusterServer(svc, nil, time.Millisecond, nil)
 	srv.started = time.Now().Add(-time.Second) // the grace has long passed
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

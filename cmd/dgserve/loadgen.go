@@ -11,13 +11,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"diffgossip/internal/obs"
 	"diffgossip/internal/rng"
 )
 
 // loadgenReport is the JSON document -loadgen prints: HTTP-level ingest and
-// query throughput against a live dgserve, plus the final epoch's metadata.
-// (The engine-level and service-level numbers live in the dgsim -bench-json
-// report; this measures the full HTTP stack.)
+// query throughput against a live dgserve, per-request latency percentiles,
+// plus the final epoch's metadata. (The engine-level and service-level
+// numbers live in the dgsim -bench-json report; this measures the full HTTP
+// stack.) Latencies are client-side — request start to body drained — and
+// the percentiles are interpolated from fixed-bucket histograms, so they are
+// estimates with bucket-resolution error, not exact order statistics.
 type loadgenReport struct {
 	N            int           `json:"n"`
 	Writers      int           `json:"writers"`
@@ -25,11 +29,24 @@ type loadgenReport struct {
 	Duration     time.Duration `json:"duration_ns"`
 	IngestOps    int64         `json:"ingest_ops"`
 	IngestPerSec float64       `json:"ingest_per_sec"`
+	IngestP50Ns  int64         `json:"ingest_p50_ns"`
+	IngestP95Ns  int64         `json:"ingest_p95_ns"`
+	IngestP99Ns  int64         `json:"ingest_p99_ns"`
 	QueryOps     int64         `json:"query_ops"`
 	QueryPerSec  float64       `json:"query_per_sec"`
+	QueryP50Ns   int64         `json:"query_p50_ns"`
+	QueryP95Ns   int64         `json:"query_p95_ns"`
+	QueryP99Ns   int64         `json:"query_p99_ns"`
 	Errors       int64         `json:"errors"`
 	FinalEpoch   epochResponse `json:"final_epoch"`
 }
+
+// latencyBuckets spans 50µs to ~3.3s in 1.5× steps — finer than DefBuckets
+// at the sub-millisecond end, where loopback HTTP requests actually land.
+func latencyBuckets() []float64 { return obs.ExponentialBuckets(50e-6, 1.5, 28) }
+
+// quantileNs reads a latency quantile from a histogram in nanoseconds.
+func quantileNs(h *obs.Histogram, q float64) int64 { return int64(h.Quantile(q) * 1e9) }
 
 // runLoadgen drives concurrent feedback writers and reputation readers
 // against a dgserve instance for the configured duration, then forces a
@@ -58,6 +75,8 @@ func runLoadgen(c runConfig, out io.Writer) error {
 	}}
 
 	var ingest, query, errs atomic.Int64
+	ingestHist := obs.NewHistogram(latencyBuckets()...)
+	queryHist := obs.NewHistogram(latencyBuckets()...)
 	start := time.Now()
 	deadline := start.Add(c.duration)
 	var wg sync.WaitGroup
@@ -72,6 +91,7 @@ func runLoadgen(c runConfig, out io.Writer) error {
 				body.Reset()
 				fmt.Fprintf(&body, `{"rater":%d,"subject":%d,"value":%.6f}`,
 					src.Intn(c.n), src.Intn(c.n), src.Float64())
+				reqStart := time.Now()
 				resp, err := client.Post(base+"/v1/feedback", "application/json", &body)
 				if err != nil {
 					errs.Add(1)
@@ -83,6 +103,7 @@ func runLoadgen(c runConfig, out io.Writer) error {
 					errs.Add(1)
 					continue
 				}
+				ingestHist.Observe(time.Since(reqStart).Seconds())
 				ingest.Add(1)
 			}
 		}(w)
@@ -97,6 +118,7 @@ func runLoadgen(c runConfig, out io.Writer) error {
 				if src.Bool(0.25) { // every fourth read asks for the GCLR view
 					url = fmt.Sprintf("%s?as=%d", url, src.Intn(c.n))
 				}
+				reqStart := time.Now()
 				resp, err := client.Get(url)
 				if err != nil {
 					errs.Add(1)
@@ -108,6 +130,7 @@ func runLoadgen(c runConfig, out io.Writer) error {
 					errs.Add(1)
 					continue
 				}
+				queryHist.Observe(time.Since(reqStart).Seconds())
 				query.Add(1)
 			}
 		}(r)
@@ -142,8 +165,14 @@ func runLoadgen(c runConfig, out io.Writer) error {
 		Duration:     elapsed,
 		IngestOps:    ingest.Load(),
 		IngestPerSec: float64(ingest.Load()) / secs,
+		IngestP50Ns:  quantileNs(ingestHist, 0.50),
+		IngestP95Ns:  quantileNs(ingestHist, 0.95),
+		IngestP99Ns:  quantileNs(ingestHist, 0.99),
 		QueryOps:     query.Load(),
 		QueryPerSec:  float64(query.Load()) / secs,
+		QueryP50Ns:   quantileNs(queryHist, 0.50),
+		QueryP95Ns:   quantileNs(queryHist, 0.95),
+		QueryP99Ns:   quantileNs(queryHist, 0.99),
 		Errors:       errs.Load(),
 		FinalEpoch:   final,
 	}

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,6 +63,7 @@ import (
 	"diffgossip/internal/cluster"
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/obs"
 	"diffgossip/internal/service"
 	"diffgossip/internal/transport"
 )
@@ -84,6 +86,11 @@ func main() {
 		join          = flag.String("join", "", "comma-separated seed cluster addresses; the rest of the cluster is discovered via gossiped membership")
 		antiEntropy   = flag.Duration("anti-entropy", time.Second, "cluster digest exchange interval (also runs before each scheduled epoch)")
 
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr  = flag.String("pprof-addr", "", "address for net/http/pprof profiling endpoints (empty = disabled)")
+		traceDepth = flag.Int("trace-depth", service.DefaultTraceDepth, "epochs kept in the GET /v1/trace ring (negative = disabled)")
+
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		duration = flag.Duration("duration", 5*time.Second, "loadgen: how long to generate load")
 		writers  = flag.Int("writers", 8, "loadgen: concurrent feedback writers")
@@ -105,6 +112,8 @@ func main() {
 		epsilon: *epsilon, epoch: *epoch, workers: *workers, shards: *shards,
 		foldWorkers: *foldWkrs, dataDir: *dataDir,
 		clusterListen: *clusterListen, peers: peers, antiEntropy: *antiEntropy,
+		logLevel: *logLevel, logFormat: *logFormat,
+		pprofAddr: *pprofAddr, traceDepth: *traceDepth, reg: obs.Default,
 		loadgen: *loadgen, duration: *duration, writers: *writers,
 		readers: *readers, target: *target,
 	}); err != nil {
@@ -131,6 +140,19 @@ type runConfig struct {
 	writers, readers int
 	target           string
 
+	// logLevel/logFormat configure the process-wide slog default;
+	// empty values skip setup (tests keep their quiet default logger).
+	logLevel, logFormat string
+	// pprofAddr, when set, serves net/http/pprof on its own listener —
+	// profiling stays off the public API surface.
+	pprofAddr string
+	// traceDepth sizes the epoch trace ring behind GET /v1/trace.
+	traceDepth int
+	// reg, when set, receives every layer's metrics and is served on
+	// GET /metrics. main passes obs.Default; tests pass a fresh registry
+	// (or nil for none) since metric names register once per registry.
+	reg *obs.Registry
+
 	// ready, when set, is called with the bound HTTP address once the
 	// server is accepting connections (tests use it to reach a :0 listener).
 	ready func(addr string)
@@ -156,6 +178,7 @@ func (c runConfig) newService(origin string) (*service.Service, error) {
 		Replicate:      clustered,
 		FixedEpochSeed: clustered,
 		Origin:         origin,
+		TraceDepth:     c.traceDepth,
 	})
 }
 
@@ -180,6 +203,7 @@ func (c runConfig) newCluster(svc *service.Service, tr *transport.TCPTransport) 
 		Interval:    c.antiEntropy,
 		Incarnation: uint64(time.Now().UnixNano()),
 		HintPath:    hintPath,
+		Logger:      obs.Logger("cluster"),
 	})
 	if err != nil {
 		tr.Close()
@@ -195,9 +219,15 @@ func (c runConfig) newCluster(svc *service.Service, tr *transport.TCPTransport) 
 }
 
 func run(c runConfig) error {
+	if c.logLevel != "" || c.logFormat != "" {
+		if err := obs.SetupLogging(c.logLevel, c.logFormat); err != nil {
+			return err
+		}
+	}
 	if c.loadgen {
 		return runLoadgen(c, os.Stdout)
 	}
+	logger := obs.Logger("dgserve")
 	if c.clusterListen != "" && c.dataDir == "" {
 		// A replica's origin sequence numbers live in its ledger; an
 		// in-memory ledger restarts from seq 1, and peers — whose watermarks
@@ -229,6 +259,18 @@ func run(c runConfig) error {
 		svc.Close()
 		return err
 	}
+	// Instrument every layer into the registry before serving: service (which
+	// also registers its ledger's store metrics), transport and cluster.
+	// Registration is once-per-registry, matching this process's one run().
+	if c.reg != nil {
+		svc.Instrument(c.reg)
+		if tr != nil {
+			tr.Instrument(c.reg)
+		}
+		if node != nil {
+			node.Instrument(c.reg)
+		}
+	}
 	// Shutdown order is the durability order: drain HTTP first (no new
 	// writes), then the cluster node (flushes and fsyncs the hint log), then
 	// the service (fsyncs the WAL).
@@ -243,14 +285,26 @@ func run(c runConfig) error {
 		shutdown()
 		return err
 	}
-	fmt.Printf("dgserve: N=%d overlay (m=%d, graph-seed=%d), %d subject shard(s), epoch interval %v, data %q\n",
-		c.n, c.m, c.graphSeed, svc.Shards(), c.epoch, c.dataDir)
+	logger.Info("starting",
+		"n", c.n, "m", c.m, "graph_seed", c.graphSeed, "shards", svc.Shards(),
+		"epoch_interval", c.epoch.String(), "data", c.dataDir)
 	if node != nil {
-		fmt.Printf("dgserve: cluster node %s seeded with %d peer(s), anti-entropy every %v\n",
-			node.Self(), len(c.peers), c.antiEntropy)
+		logger.Info("cluster enabled",
+			"self", node.Self(), "seeds", len(c.peers), "anti_entropy", c.antiEntropy.String())
 	}
-	fmt.Printf("dgserve: listening on %s\n", ln.Addr())
-	srv := &http.Server{Handler: newClusterServer(svc, node, c.epoch)}
+	if c.pprofAddr != "" {
+		pln, err := net.Listen("tcp", c.pprofAddr)
+		if err != nil {
+			ln.Close()
+			shutdown()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		logger.Info("pprof enabled", "addr", pln.Addr().String())
+		go http.Serve(pln, pprofMux())
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+	srv := &http.Server{Handler: newClusterServer(svc, node, c.epoch, c.reg)}
 	if c.ready != nil {
 		c.ready(ln.Addr().String())
 	}
@@ -262,7 +316,7 @@ func run(c runConfig) error {
 		return err
 	case <-ctx.Done():
 		stopSignals() // a second signal kills immediately
-		fmt.Println("dgserve: signal received; draining HTTP, flushing hints, syncing WAL")
+		logger.Info("signal received; draining HTTP, flushing hints, syncing WAL")
 		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(drainCtx); err != nil {
@@ -272,7 +326,20 @@ func run(c runConfig) error {
 		if err := shutdown(); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
-		fmt.Println("dgserve: clean shutdown")
+		logger.Info("clean shutdown")
 		return nil
 	}
+}
+
+// pprofMux serves the net/http/pprof endpoints on a dedicated mux, so
+// enabling profiling (-pprof-addr) never exposes it on the public API
+// listener and the package's DefaultServeMux registration stays unused.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

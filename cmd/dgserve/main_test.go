@@ -15,6 +15,7 @@ import (
 
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/obs"
 	"diffgossip/internal/rng"
 	"diffgossip/internal/service"
 )
@@ -35,7 +36,12 @@ func newTestServer(t *testing.T, n int, interval time.Duration) (*httptest.Serve
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc))
+	// Every test server is instrumented into its own registry (names
+	// register once per registry), so /metrics is live under every test —
+	// including the -race hammer.
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
+	ts := httptest.NewServer(newClusterServer(svc, nil, interval, reg))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -194,6 +200,44 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 	ts, svc := newTestServer(t, n, 2*time.Millisecond)
 	client := ts.Client()
 
+	// A metrics poller scrapes /metrics at ~1 kHz for the whole hammer; every
+	// scrape must parse — well-formed exposition, monotone histogram buckets
+	// — proving instrumentation never tears under concurrent load.
+	pollerDone := make(chan struct{})
+	stopPoller := make(chan struct{})
+	go func() {
+		defer close(pollerDone)
+		scrapes := 0
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopPoller:
+				if scrapes == 0 {
+					t.Error("metrics poller never scraped")
+				}
+				return
+			case <-tick.C:
+				resp, err := client.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := obs.ParseExposition(body); err != nil {
+					t.Errorf("scrape %d does not parse: %v", scrapes, err)
+					return
+				}
+				scrapes++
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -247,6 +291,8 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
+	close(stopPoller)
+	<-pollerDone
 
 	// Everything folds; the final state matches the exact reference.
 	if _, _, err := svc.RunEpoch(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"diffgossip/internal/cluster"
+	"diffgossip/internal/obs"
 	"diffgossip/internal/service"
 	"diffgossip/internal/store"
 )
@@ -21,8 +22,10 @@ import (
 //	GET  /v1/epoch                       composite view metadata
 //	POST /v1/epoch                       force an epoch now
 //	GET  /v1/stats                       shard pipeline statistics
+//	GET  /v1/trace                       recent per-epoch fold traces
 //	GET  /healthz                        liveness: 200 while the process serves
 //	GET  /readyz                         readiness: 503 when degraded (see below)
+//	GET  /metrics                        Prometheus text exposition (when instrumented)
 //
 // Reads are served lock-free from the published per-shard snapshots;
 // feedback becomes visible when its subject's shard next folds (see the
@@ -44,7 +47,7 @@ type server struct {
 	mux        *http.ServeMux
 }
 
-func newServer(svc *service.Service) *server { return newClusterServer(svc, nil, 0) }
+func newServer(svc *service.Service) *server { return newClusterServer(svc, nil, 0, nil) }
 
 // newClusterServer builds the HTTP surface over a service and, in cluster
 // mode, its replication node — /v1/stats then carries the peer health and
@@ -52,15 +55,47 @@ func newServer(svc *service.Service) *server { return newClusterServer(svc, nil,
 // watches cluster membership. epochEvery is the epoch scheduler interval
 // (0 = manual epochs), which bounds how long pending feedback may sit
 // unfolded before /readyz calls the scheduler stalled.
-func newClusterServer(svc *service.Service, node *cluster.Node, epochEvery time.Duration) *server {
+//
+// A non-nil reg turns instrumentation on: every route is wrapped in the
+// request-count/latency/in-flight middleware, GET /metrics serves reg's
+// exposition, and the readiness verdict is mirrored as the dgserve_ready and
+// per-reason dgserve_unready_reason gauges so dashboards and load balancers
+// read from the same readyReasons source.
+func newClusterServer(svc *service.Service, node *cluster.Node, epochEvery time.Duration, reg *obs.Registry) *server {
 	s := &server{svc: svc, node: node, epochEvery: epochEvery, started: time.Now(), mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
-	s.mux.HandleFunc("GET /v1/reputation/{subject}", s.handleReputation)
-	s.mux.HandleFunc("GET /v1/epoch", s.handleEpochGet)
-	s.mux.HandleFunc("POST /v1/epoch", s.handleEpochPost)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	wrap := func(route string, h http.HandlerFunc) http.HandlerFunc { return h }
+	if reg != nil {
+		wrap = obs.NewHTTPMetrics(reg, "dgserve_http").Wrap
+	}
+	s.mux.HandleFunc("POST /v1/feedback", wrap("/v1/feedback", s.handleFeedback))
+	s.mux.HandleFunc("GET /v1/reputation/{subject}", wrap("/v1/reputation", s.handleReputation))
+	s.mux.HandleFunc("GET /v1/epoch", wrap("/v1/epoch", s.handleEpochGet))
+	s.mux.HandleFunc("POST /v1/epoch", wrap("/v1/epoch", s.handleEpochPost))
+	s.mux.HandleFunc("GET /v1/stats", wrap("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/trace", wrap("/v1/trace", s.handleTrace))
+	s.mux.HandleFunc("GET /healthz", wrap("/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", wrap("/readyz", s.handleReady))
+	if reg != nil {
+		s.mux.Handle("GET /metrics", reg.Handler())
+		reg.GaugeFunc("dgserve_ready", "",
+			"Readiness verdict mirrored from GET /readyz: 1 ready, 0 degraded.", func() float64 {
+				if len(s.readyReasons()) == 0 {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeMapFunc("dgserve_unready_reason", "reason",
+			"Active readiness-failure causes (1 = failing): epoch_pipeline_failed, membership_degraded, scheduler_stalled.",
+			func() map[string]float64 {
+				out := map[string]float64{
+					reasonEpochFailed: 0, reasonMembership: 0, reasonStalled: 0,
+				}
+				for _, r := range s.readyReasons() {
+					out[r.key] = 1
+				}
+				return out
+			})
+	}
 	return s
 }
 
@@ -271,18 +306,30 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // absorbs one slow fold without flapping.
 const stallGrace = 3
 
-// handleReady is the readiness probe: 200 while this node should receive
-// traffic, 503 with the reasons otherwise. A degraded node keeps serving —
-// clients that reach it directly still get answers — the probe only steers
-// load balancers away.
-func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
-	var reasons []string
+// The stable reason keys readiness failures are exported under — both as the
+// dgserve_unready_reason gauge's label values and for tests matching probe
+// output to metrics.
+const (
+	reasonEpochFailed = "epoch_pipeline_failed"
+	reasonMembership  = "membership_degraded"
+	reasonStalled     = "scheduler_stalled"
+)
+
+// readyReason is one cause of readiness failure: a stable key for metrics
+// and a human explanation for the probe body.
+type readyReason struct{ key, msg string }
+
+// readyReasons computes the readiness verdict — the single source both
+// GET /readyz and the dgserve_ready/dgserve_unready_reason gauges report
+// from. Empty means ready.
+func (s *server) readyReasons() []readyReason {
+	var reasons []readyReason
 	if err := s.svc.Err(); err != nil {
-		reasons = append(reasons, fmt.Sprintf("epoch pipeline failed: %v", err))
+		reasons = append(reasons, readyReason{reasonEpochFailed, fmt.Sprintf("epoch pipeline failed: %v", err)})
 	}
 	if s.node != nil {
 		if degraded, why := s.node.Degraded(); degraded {
-			reasons = append(reasons, "cluster membership degraded: "+why)
+			reasons = append(reasons, readyReason{reasonMembership, "cluster membership degraded: " + why})
 		}
 	}
 	if s.epochEvery > 0 && s.svc.Pending() > 0 {
@@ -294,13 +341,40 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 			ref = last
 		}
 		if wait := time.Since(time.Unix(0, ref)); wait > stallGrace*s.epochEvery {
-			reasons = append(reasons, fmt.Sprintf("epoch scheduler stalled: %d entries pending for %v (interval %v)",
-				s.svc.Pending(), wait.Round(time.Millisecond), s.epochEvery))
+			reasons = append(reasons, readyReason{reasonStalled,
+				fmt.Sprintf("epoch scheduler stalled: %d entries pending for %v (interval %v)",
+					s.svc.Pending(), wait.Round(time.Millisecond), s.epochEvery)})
 		}
 	}
-	if len(reasons) > 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+	return reasons
+}
+
+// handleReady is the readiness probe: 200 while this node should receive
+// traffic, 503 with the reasons otherwise. A degraded node keeps serving —
+// clients that reach it directly still get answers — the probe only steers
+// load balancers away.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if rs := s.readyReasons(); len(rs) > 0 {
+		msgs := make([]string, len(rs))
+		for i, rr := range rs {
+			msgs[i] = rr.msg
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": msgs})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// traceResponse is the GET /v1/trace body: the scheduler's ring of recent
+// non-empty epochs, oldest first, plus the ring's capacity.
+type traceResponse struct {
+	Depth  int                  `json:"depth"`
+	Epochs []service.EpochTrace `json:"epochs"`
+}
+
+// handleTrace serves the epoch trace ring — the postmortem view of the last
+// TraceDepth folds: which shards recomputed, when each fold started and how
+// long its campaigns ran, and whether anti-entropy preceded the epoch.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, traceResponse{Depth: s.svc.TraceDepth(), Epochs: s.svc.Trace()})
 }

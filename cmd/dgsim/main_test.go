@@ -75,13 +75,13 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v5" {
+	if report.Schema != "diffgossip-bench/v6" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 11 {
-		t.Fatalf("benchmarks = %d, want 11 (scalar, vector, vector-sparse, service, churn, 3×sharded, 3×anti-entropy)", len(report.Benchmarks))
+	if len(report.Benchmarks) != 12 {
+		t.Fatalf("benchmarks = %d, want 12 (scalar, vector, vector-sparse, service, churn, 3×sharded, 3×anti-entropy, http-latency)", len(report.Benchmarks))
 	}
-	var serviceRows, churnRows, shardedRows, handoffRows int
+	var serviceRows, churnRows, shardedRows, handoffRows, latencyRows int
 	for _, b := range report.Benchmarks {
 		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
 			t.Fatalf("malformed row %+v", b)
@@ -138,12 +138,24 @@ func TestBenchJSONWellFormed(t *testing.T) {
 			}
 			continue // the service row reports throughput, not messages
 		}
+		if strings.HasPrefix(b.Name, "http-latency/") {
+			// The schema-v6 row: per-request latency percentiles of the HTTP
+			// surface, monotone by construction.
+			latencyRows++
+			if b.Requests <= 0 {
+				t.Fatalf("latency row measured no requests: %+v", b)
+			}
+			if b.P50Ns <= 0 || b.P50Ns > b.P95Ns || b.P95Ns > b.P99Ns {
+				t.Fatalf("latency row percentiles not monotone: %+v", b)
+			}
+			continue // the latency row reports percentiles, not messages
+		}
 		if b.MsgsPerNodePerStep <= 0 {
 			t.Fatalf("row %q has no message metric", b.Name)
 		}
 	}
-	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 || handoffRows != 3 {
-		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, handoff rows = %d, want 1/1/3/3",
-			serviceRows, churnRows, shardedRows, handoffRows)
+	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 || handoffRows != 3 || latencyRows != 1 {
+		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, handoff rows = %d, latency rows = %d, want 1/1/3/3/1",
+			serviceRows, churnRows, shardedRows, handoffRows, latencyRows)
 	}
 }

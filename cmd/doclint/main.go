@@ -5,11 +5,18 @@
 //     comment (these are the packages whose contracts — consistency,
 //     durability, replication — live in their comments);
 //   - every relative markdown link in README.md, PAPER.md, CHANGES.md,
-//     ROADMAP.md and docs/*.md points at a file that exists.
+//     ROADMAP.md and docs/*.md points at a file that exists;
+//   - every metric registered with a literal name carries non-empty help
+//     text, obeys the dgserve_/diffgossip_ naming contract and is registered
+//     exactly once (the metrics lint).
 //
 // Run from the repository root (or pass -root); exits non-zero listing every
-// violation. The cmd/doclint tests run the same checks under plain `go
-// test`, so drift fails tier-1 locally before CI sees it.
+// violation. With -scrape FILE the source checks are skipped and FILE — a
+// saved GET /metrics body — is linted instead: it must parse as Prometheus
+// text exposition and every family must obey the same naming and help
+// contract, covering metrics whose names are computed at runtime. The
+// cmd/doclint tests run the same checks under plain `go test`, so drift
+// fails tier-1 locally before CI sees it.
 package main
 
 import (
@@ -27,7 +34,7 @@ import (
 
 // lintPackages are the directories (relative to the repo root) whose
 // exported symbols must all be documented.
-var lintPackages = []string{".", "internal/service", "internal/store", "internal/cluster"}
+var lintPackages = []string{".", "internal/service", "internal/store", "internal/cluster", "internal/obs"}
 
 // lintMarkdown are the markdown files (and globs) whose relative links must
 // resolve.
@@ -35,8 +42,15 @@ var lintMarkdown = []string{"README.md", "PAPER.md", "CHANGES.md", "ROADMAP.md",
 
 func main() {
 	root := flag.String("root", ".", "repository root to lint")
+	scrape := flag.String("scrape", "", "lint a saved GET /metrics body instead of the source tree")
 	flag.Parse()
-	problems, err := Lint(*root)
+	var problems []string
+	var err error
+	if *scrape != "" {
+		problems, err = LintScrape(*scrape)
+	} else {
+		problems, err = Lint(*root)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 		os.Exit(2)
@@ -62,6 +76,11 @@ func Lint(root string) ([]string, error) {
 		problems = append(problems, ps...)
 	}
 	ps, err := lintMarkdownLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, ps...)
+	ps, err = lintMetricRegistrations(root)
 	if err != nil {
 		return nil, err
 	}

@@ -85,6 +85,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -150,6 +151,11 @@ type Config struct {
 	// entries owed to a dead peer survive a restart of this node. Empty
 	// keeps hints in memory only.
 	HintPath string
+	// Logger receives the node's structured log records: peer state
+	// transitions and hint replays at Info, send failures at Debug. Nil
+	// discards everything — the default for library use, so tests and the
+	// scenario engine stay quiet (cmd/dgserve passes obs.Logger("cluster")).
+	Logger *slog.Logger
 }
 
 // Node is one cluster member: the replication agent gluing a reputation
@@ -167,6 +173,7 @@ type Node struct {
 	suspectAfter   int64 // nanos of the local clock
 	deadAfter      int64
 	maxHintEntries int
+	log            *slog.Logger
 
 	mu    sync.Mutex
 	peerH map[string]*peerHealth
@@ -238,7 +245,11 @@ func New(cfg Config) (*Node, error) {
 		members:        make(map[string]*member),
 		ackMark:        make(map[string]map[string]uint64),
 		hintQ:          make(map[string]*hintQueue),
+		log:            cfg.Logger,
 		stop:           make(chan struct{}),
+	}
+	if n.log == nil {
+		n.log = slog.New(slog.DiscardHandler)
 	}
 	if n.maxBatch <= 0 {
 		n.maxBatch = 256
@@ -422,6 +433,7 @@ func (n *Node) recordSendLocked(p string, err error) {
 	}
 	if err != nil {
 		h.lastSendErr = err.Error()
+		n.log.Debug("send failed", "peer", p, "err", err)
 	} else {
 		h.lastSendErr = ""
 	}

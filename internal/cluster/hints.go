@@ -81,7 +81,7 @@ func (n *Node) replayHints(peer string) {
 	q.replaying = true
 	n.mu.Unlock()
 
-	delivered := 0
+	delivered, entries := 0, 0
 	for {
 		n.mu.Lock()
 		if len(q.hints) == 0 {
@@ -102,6 +102,7 @@ func (n *Node) replayHints(peer string) {
 		q.entries -= len(h.Entries)
 		n.stats.hintsReplayed += uint64(len(h.Entries))
 		delivered++
+		entries += len(h.Entries)
 		n.mu.Unlock()
 	}
 	// Still holding n.mu from the loop's exit path.
@@ -112,6 +113,9 @@ func (n *Node) replayHints(peer string) {
 		}
 	}
 	n.mu.Unlock()
+	if delivered > 0 {
+		n.log.Info("replayed hints", "peer", peer, "batches", delivered, "entries", entries)
+	}
 }
 
 // allHintsLocked flattens every queue for a durable-log rewrite: peers in

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"diffgossip/internal/transport"
 )
@@ -114,6 +115,7 @@ func (n *Node) mergeViewLocked(view []transport.PeerView, now int64) []string {
 			m.lastAdvance = now
 			if m.state == MemberDead {
 				revived = append(revived, m.id)
+				n.log.Info("peer revived", "peer", m.id, "via", "gossiped view")
 			}
 			m.state = MemberAlive
 		}
@@ -137,6 +139,9 @@ func (n *Node) observeDirectLocked(id string, now int64) bool {
 	}
 	m.lastAdvance = now
 	wasDead := m.state == MemberDead
+	if wasDead {
+		n.log.Info("peer revived", "peer", id, "via", "direct message")
+	}
 	m.state = MemberAlive
 	return wasDead
 }
@@ -146,13 +151,18 @@ func (n *Node) observeDirectLocked(id string, now int64) bool {
 func (n *Node) updateStatesLocked(now int64) {
 	for _, m := range n.members {
 		idle := now - m.lastAdvance
+		next := MemberAlive
 		switch {
 		case idle >= n.deadAfter:
-			m.state = MemberDead
+			next = MemberDead
 		case idle >= n.suspectAfter:
-			m.state = MemberSuspect
-		default:
-			m.state = MemberAlive
+			next = MemberSuspect
+		}
+		if next != m.state {
+			n.log.Info("peer state changed",
+				"peer", m.id, "from", m.state.String(), "to", next.String(),
+				"idle", time.Duration(idle).String())
+			m.state = next
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics instruments an HTTP surface: per-route request counters by
+// status class, a per-route latency histogram, and a shared in-flight gauge.
+// Build one per server with NewHTTPMetrics and wrap each route handler with
+// Wrap. The per-request cost is two gauge ops, one histogram observation and
+// one counter increment — all atomic, no allocations beyond the one wrapper
+// struct per request.
+type HTTPMetrics struct {
+	reg      *Registry
+	prefix   string
+	inFlight Gauge
+	routes   map[string]*routeMetrics
+}
+
+// routeMetrics are one route's instruments, shared by every handler wrapped
+// under the same route label (GET and POST on one path, say).
+type routeMetrics struct {
+	hist    *Histogram
+	classes [5]Counter
+}
+
+// NewHTTPMetrics registers the in-flight gauge under prefix (for example
+// "dgserve_http") and returns the middleware factory. reg may be nil, in
+// which case the metrics are maintained but exposed nowhere.
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	m := &HTTPMetrics{reg: reg, prefix: prefix, routes: make(map[string]*routeMetrics)}
+	reg.Gauge(prefix+"_in_flight_requests", "",
+		"HTTP requests currently being served.", &m.inFlight)
+	return m
+}
+
+// statusClasses are the per-route counter children, indexed by status/100-1.
+// Registering all five up front keeps the scrape's sample set stable from
+// the first request.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Wrap instruments one route. The route string becomes the route label on
+// the request counter and latency histogram, so pass the registered pattern
+// ("GET /v1/reputation/{subject}"), never the raw request path — label
+// cardinality must stay bounded. Wrapping several handlers under one route
+// label (GET and POST on the same path) shares that route's instruments.
+// Wrap is for server setup; it is not safe for concurrent use.
+func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &routeMetrics{hist: NewHistogram(DefBuckets()...)}
+		m.reg.Histogram(m.prefix+"_request_duration_seconds", fmt.Sprintf("route=%q", route),
+			"HTTP request latency by route, in seconds.", rm.hist)
+		for i, class := range statusClasses {
+			m.reg.Counter(m.prefix+"_requests_total",
+				fmt.Sprintf("code=%q,route=%q", class, route),
+				"HTTP requests served, by route and status class.", &rm.classes[i])
+		}
+		m.routes[route] = rm
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		rm.hist.Observe(time.Since(start).Seconds())
+		class := sw.code/100 - 1
+		if class < 0 || class >= len(rm.classes) {
+			class = len(rm.classes) - 1
+		}
+		rm.classes[class].Inc()
+		m.inFlight.Dec()
+	}
+}
+
+// statusWriter captures the response status code for the class counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family from a text exposition.
+type Family struct {
+	// Name, Help and Type come from the # HELP / # TYPE comment pair.
+	Name, Help, Type string
+	// Samples are the family's sample lines in input order.
+	Samples []Sample
+}
+
+// Sample is one exposition sample line.
+type Sample struct {
+	// Name is the full sample name (for histograms this includes the
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels is the raw label string without braces, empty when unlabelled.
+	Labels string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s Sample) Label(key string) string {
+	for _, p := range splitLabels(s.Labels) {
+		if k, v, ok := strings.Cut(p, "="); ok && k == key {
+			return unquoteLabel(v)
+		}
+	}
+	return ""
+}
+
+// ParseExposition parses and validates a Prometheus text-format exposition:
+// every sample must belong to a family announced by a preceding # HELP and
+// # TYPE pair, metric names must match [a-z_:][a-z0-9_:]*, values must parse
+// as floats, and histogram bucket series must be cumulative-monotone with a
+// +Inf bucket equal to their _count. It is deliberately minimal — the
+// validator behind the repo's exposition tests and the CI /metrics smoke,
+// not a Prometheus client.
+func ParseExposition(data []byte) ([]Family, error) {
+	var (
+		fams []Family
+		cur  *Family
+		seen = make(map[string]bool)
+	)
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !nameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			seen[name] = true
+			fams = append(fams, Family{Name: name, Help: help})
+			cur = &fams[len(fams)-1]
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || cur == nil || cur.Name != name || cur.Type != "" {
+				return nil, fmt.Errorf("line %d: TYPE line %q does not follow its HELP line", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				cur.Type = typ
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil || cur.Type == "" || !sampleBelongs(cur, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %s outside its HELP/TYPE-announced family", lineNo, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	for i := range fams {
+		f := &fams[i]
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name is valid inside family f.
+func sampleBelongs(f *Family, name string) bool {
+	if name == f.Name {
+		return f.Type != "histogram" && f.Type != "summary"
+	}
+	switch f.Type {
+	case "histogram":
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	case "summary":
+		return name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return false
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	name := line
+	labels := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return Sample{}, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels = line[:i], line[i+1:j]
+		line = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		name, line, ok = strings.Cut(line, " ")
+		if !ok {
+			return Sample{}, fmt.Errorf("sample line %q has no value", name)
+		}
+	}
+	if !nameRe.MatchString(name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", name)
+	}
+	val := strings.TrimSpace(line)
+	if i := strings.IndexByte(val, ' '); i >= 0 {
+		val = val[:i] // optional trailing timestamp
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %s: bad value %q", name, val)
+	}
+	return Sample{Name: name, Labels: labels, Value: v}, nil
+}
+
+// splitLabels splits a raw label string on commas outside quoted values.
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var (
+		parts   []string
+		start   int
+		inQuote bool
+	)
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, labels[start:])
+}
+
+func unquoteLabel(v string) string {
+	v = strings.TrimPrefix(strings.TrimSuffix(v, `"`), `"`)
+	v = strings.ReplaceAll(v, `\"`, `"`)
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	return strings.ReplaceAll(v, `\\`, `\`)
+}
+
+// stripLabel removes one label pair from a raw label string, preserving the
+// order of the rest — the series key for grouping histogram buckets.
+func stripLabel(labels, key string) string {
+	var rest []string
+	for _, p := range splitLabels(labels) {
+		if k, _, ok := strings.Cut(p, "="); !ok || k != key {
+			rest = append(rest, p)
+		}
+	}
+	return strings.Join(rest, ",")
+}
+
+// checkHistogram validates every bucket series in a histogram family:
+// le values parse, cumulative counts are monotone in le order, a +Inf
+// bucket exists, and it equals the series' _count sample when present.
+func checkHistogram(f *Family) error {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	series := make(map[string][]bucket)
+	counts := make(map[string]float64)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr := s.Label("le")
+			le, err := parseLe(leStr)
+			if err != nil {
+				return fmt.Errorf("family %s: bad le=%q", f.Name, leStr)
+			}
+			key := stripLabel(s.Labels, "le")
+			series[key] = append(series[key], bucket{le: le, count: s.Value})
+		case f.Name + "_count":
+			counts[s.Labels] = s.Value
+		}
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("family %s: histogram with no buckets", f.Name)
+	}
+	for key, bs := range series {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("family %s{%s}: no +Inf bucket", f.Name, key)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].count < bs[i-1].count {
+				return fmt.Errorf("family %s{%s}: bucket counts not monotone at le=%g (%g < %g)",
+					f.Name, key, bs[i].le, bs[i].count, bs[i-1].count)
+			}
+		}
+		if c, ok := counts[key]; ok && c != last.count {
+			return fmt.Errorf("family %s{%s}: _count %g != +Inf bucket %g", f.Name, key, c, last.count)
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

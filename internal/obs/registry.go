@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates exposition TYPE lines.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// collector is one registered child: it writes its sample line(s) given the
+// family name and its own label string.
+type collector interface {
+	write(w io.Writer, name, labels string)
+}
+
+type family struct {
+	name, help string
+	kind       metricKind
+	children   map[string]collector // keyed by label string ("" = unlabelled)
+	order      []string             // label strings in sorted order
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration happens at component startup (it takes a
+// lock and may panic on programmer error); scrapes take the same lock but
+// only read atomics, so they never block instrument mutations. A nil
+// *Registry ignores registrations and exposes nothing, so components can be
+// instrumented unconditionally and wired to a registry only when one exists.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// Default is the process-global registry; package-level Handler exposes it.
+// Long-lived processes (dgserve) register here via their Instrument hooks;
+// tests build private registries so parallel servers never collide.
+var Default = NewRegistry()
+
+// Handler serves the Default registry in Prometheus text format.
+func Handler() http.Handler { return Default.Handler() }
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-z_:][a-z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*$`)
+)
+
+// register adds one child collector, creating its family on first use. It
+// panics on invalid names or labels, empty help, kind/help mismatches with an
+// existing family, and duplicate (name, labels) pairs — all programmer
+// errors that must surface at startup, not scrape time.
+func (r *Registry) register(name, labels, help string, kind metricKind, c collector) {
+	if r == nil {
+		return
+	}
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if labels != "" && !labelRe.MatchString(labels) {
+		panic(fmt.Sprintf("obs: invalid label string %q for %s", labels, name))
+	}
+	if help == "" {
+		panic(fmt.Sprintf("obs: metric %s registered without help text", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, children: make(map[string]collector)}
+		r.fams[name] = f
+	} else if f.kind != kind || f.help != help {
+		panic(fmt.Sprintf("obs: metric %s re-registered with a different type or help", name))
+	}
+	if _, dup := f.children[labels]; dup {
+		panic(fmt.Sprintf("obs: duplicate registration of %s{%s}", name, labels))
+	}
+	f.children[labels] = c
+	f.order = append(f.order, labels)
+	sort.Strings(f.order)
+}
+
+// Counter registers a counter child under name with the given label string
+// (e.g. `route="/v1/feedback"`, empty for none) and help text.
+func (r *Registry) Counter(name, labels, help string, c *Counter) {
+	r.register(name, labels, help, kindCounter, funcCollector(func() float64 { return float64(c.Value()) }))
+}
+
+// CounterFunc registers a counter whose value is read by f at scrape time —
+// the bridge for components that already maintain their own counters (for
+// example under a mutex). f must be safe to call concurrently.
+func (r *Registry) CounterFunc(name, labels, help string, f func() uint64) {
+	r.register(name, labels, help, kindCounter, funcCollector(func() float64 { return float64(f()) }))
+}
+
+// Gauge registers a gauge child.
+func (r *Registry) Gauge(name, labels, help string, g *Gauge) {
+	r.register(name, labels, help, kindGauge, funcCollector(func() float64 { return float64(g.Value()) }))
+}
+
+// GaugeFunc registers a gauge whose value is read by f at scrape time. f
+// must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, labels, help string, f func() float64) {
+	r.register(name, labels, help, kindGauge, funcCollector(f))
+}
+
+// GaugeMapFunc registers a gauge family whose children are produced at
+// scrape time: f returns labelValue -> gauge value, and each entry is
+// exposed as name{labelKey="labelValue"}. This is the shape for
+// dynamic-cardinality gauges — per-peer state, per-reason readiness — where
+// the label set is not known at registration.
+func (r *Registry) GaugeMapFunc(name, labelKey, help string, f func() map[string]float64) {
+	if r != nil && !labelRe.MatchString(labelKey+`="x"`) {
+		panic(fmt.Sprintf("obs: invalid label key %q for %s", labelKey, name))
+	}
+	r.register(name, "", help, kindGauge, mapCollector{key: labelKey, f: f})
+}
+
+// Histogram registers a histogram child.
+func (r *Registry) Histogram(name, labels, help string, h *Histogram) {
+	r.register(name, labels, help, kindHistogram, h)
+}
+
+// funcCollector writes one sample line from a float source.
+type funcCollector func() float64
+
+func (fc funcCollector) write(w io.Writer, name, labels string) {
+	writeSample(w, name, labels, fc())
+}
+
+// mapCollector expands a labelValue->value map into one sample per entry.
+type mapCollector struct {
+	key string
+	f   func() map[string]float64
+}
+
+func (mc mapCollector) write(w io.Writer, name, _ string) {
+	m := mc.f()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeSample(w, name, mc.key+`="`+escapeLabelValue(k)+`"`, m[k])
+	}
+}
+
+// write renders the histogram's bucket/sum/count triplet. All bucket counts
+// come from one pass of atomic loads, and both the cumulative buckets and
+// _count are derived from that same pass, so the series is monotone and
+// internally consistent even while observations race the scrape.
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		writeSample(w, name+"_bucket", mergeLabels(labels, `le="`+formatFloat(bound)+`"`), float64(cum))
+	}
+	writeSample(w, name+"_bucket", mergeLabels(labels, `le="+Inf"`), float64(total))
+	writeSample(w, name+"_sum", labels, h.Sum())
+	writeSample(w, name+"_count", labels, float64(total))
+}
+
+func mergeLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+// WriteText renders every family — sorted by name, children sorted by label
+// string — in the Prometheus text exposition format. A nil registry writes
+// nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.fams[n]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, labels := range f.order {
+			f.children[labels].write(bw, f.name, labels)
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+// Handler serves the registry in Prometheus text format. A nil registry
+// serves an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -50,6 +50,7 @@ import (
 
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/obs"
 	"diffgossip/internal/store"
 	"diffgossip/internal/trust"
 )
@@ -96,6 +97,10 @@ type Config struct {
 	// many epochs it took to get there. Cluster deployments set it; the
 	// standalone default (off) draws an independent stream per epoch.
 	FixedEpochSeed bool
+	// TraceDepth sizes the epoch trace ring (how many recent non-empty
+	// epochs Trace returns). 0 defaults to DefaultTraceDepth; negative
+	// disables tracing.
+	TraceDepth int
 	// Origin is this node's cluster identity, used as the tie-break in the
 	// last-writer-wins order for locally accepted entries (replicated
 	// entries carry their own origin). It must equal the cluster transport
@@ -177,6 +182,21 @@ type Service struct {
 
 	lastErr atomic.Pointer[epochError]
 
+	// Observability. The counters are plain atomics RunEpoch maintains
+	// unconditionally; the histograms exist only after Instrument and hide
+	// behind nil-safe atomic pointers, so an uninstrumented service records
+	// nothing extra. preExchange is set by the scheduler when it poked the
+	// replicator right before an epoch, and consumed into that epoch's
+	// trace row. trace is the bounded per-epoch trace ring behind
+	// GET /v1/trace.
+	campaignSteps   atomic.Uint64
+	convergedEpochs atomic.Uint64
+	epochErrs       atomic.Uint64
+	epochHist       atomic.Pointer[obs.Histogram]
+	foldHist        atomic.Pointer[obs.Histogram]
+	preExchange     atomic.Bool
+	trace           traceRing
+
 	// replicator, when set, is poked for an anti-entropy exchange before
 	// each scheduled epoch (never by manual RunEpoch calls).
 	replicator atomic.Pointer[Replicator]
@@ -235,6 +255,12 @@ func New(cfg Config) (*Service, error) {
 		states:         make([]atomic.Pointer[store.ShardSnapshot], shards),
 		persistedEpoch: make([]uint64, shards),
 		stop:           make(chan struct{}),
+	}
+	switch {
+	case cfg.TraceDepth > 0:
+		s.trace.depth = cfg.TraceDepth
+	case cfg.TraceDepth == 0:
+		s.trace.depth = DefaultTraceDepth
 	}
 
 	var segs []*store.ShardSnapshot
@@ -638,6 +664,11 @@ func (s *Service) Err() error {
 // An epoch with k of S shards dirty does only those k shards' work.
 func (s *Service) RunEpoch() (*View, bool, error) {
 	s.epochMu.Lock()
+	epochStart := time.Now()
+	// Consume the scheduler's exchange marker even on a no-op epoch, so a
+	// later non-empty epoch can't claim an exchange that preceded an empty
+	// one.
+	exchanged := s.preExchange.Swap(false)
 
 	batch := s.ledger.TakePending()
 	if len(batch) == 0 {
@@ -652,6 +683,7 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 	// any shards already republished stay correct: they reflect the folded
 	// values.)
 	restore := func(err error) (*View, bool, error) {
+		s.epochErrs.Add(1)
 		s.ledger.Restore(batch)
 		s.epochMu.Unlock()
 		return s.View(), false, err
@@ -694,6 +726,7 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 	// for any FoldWorkers and Params.Workers.
 	results := make([]*store.ShardSnapshot, len(dirtyList))
 	errs := make([]error, len(dirtyList))
+	starts := make([]int64, len(dirtyList)) // fold start offsets, for the trace row
 	foldWorkers := s.cfg.FoldWorkers
 	if foldWorkers < 0 {
 		foldWorkers = runtime.GOMAXPROCS(0)
@@ -715,6 +748,7 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 				if idx >= len(dirtyList) {
 					return
 				}
+				starts[idx] = time.Since(epochStart).Nanoseconds()
 				seg, err := s.foldShard(dirtyList[idx], epoch, seq, p)
 				if err != nil {
 					errs[idx] = err
@@ -724,6 +758,8 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 				s.states[seg.Shard].Store(seg)
 				s.foldedShards.Add(1)
 				s.foldedSubjects.Add(uint64(seg.Computed))
+				s.campaignSteps.Add(uint64(seg.Steps))
+				s.foldHist.Load().Observe(float64(seg.ElapsedNs) / 1e9)
 			}
 		}()
 	}
@@ -733,9 +769,31 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 			return restore(err)
 		}
 	}
+	computeNs := time.Since(epochStart).Nanoseconds()
 	s.epochs.Store(epoch)
 	s.epochMu.Unlock()
 	s.lastEpoch.Store(time.Now().UnixNano())
+
+	s.epochHist.Load().Observe(float64(computeNs) / 1e9)
+	shardTraces := make([]ShardTrace, len(results))
+	allConverged := true
+	for i, seg := range results {
+		shardTraces[i] = ShardTrace{
+			Shard: seg.Shard, StartOffsetNs: starts[i], DurationNs: seg.ElapsedNs,
+			Steps: seg.Steps, Converged: seg.Converged, Computed: seg.Computed,
+		}
+		if !seg.Converged {
+			allConverged = false
+		}
+	}
+	if allConverged {
+		s.convergedEpochs.Add(1)
+	}
+	s.trace.record(EpochTrace{
+		Epoch: epoch, StartUnixNano: epochStart.UnixNano(), DurationNs: computeNs,
+		Entries: len(batch), Seq: seq, DirtyShards: len(dirtyList),
+		ExchangeBefore: exchanged, Shards: shardTraces,
+	})
 
 	// Persistence phase: after the critical section, so a slow disk delays
 	// durability, never ingest or the next epoch's compute. A persist error
@@ -833,6 +891,7 @@ func (s *Service) loop() {
 		case <-t.C:
 			if r := s.replicator.Load(); r != nil {
 				(*r).Exchange()
+				s.preExchange.Store(true)
 			}
 			if _, _, err := s.RunEpoch(); err != nil {
 				s.lastErr.Store(&epochError{err})

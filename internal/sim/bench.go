@@ -84,6 +84,14 @@ type BenchResult struct {
 	// (Steps is the synchronous exchange rounds that took).
 	HintedEntries int     `json:"hinted_entries,omitempty"`
 	ConvergeNs    float64 `json:"converge_ns,omitempty"`
+	// Requests and the latency percentiles describe the http-latency row
+	// (schema v6): successful HTTP requests measured, and client-side
+	// per-request latency quantiles interpolated from a fixed-bucket
+	// histogram.
+	Requests int64 `json:"requests,omitempty"`
+	P50Ns    int64 `json:"p50_ns,omitempty"`
+	P95Ns    int64 `json:"p95_ns,omitempty"`
+	P99Ns    int64 `json:"p99_ns,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
@@ -102,7 +110,10 @@ type BenchResult struct {
 // backlog size, with hinted_entries/converge_ns recording each measurement;
 // note the v5 WAL format carries LWW tags (unix_nano/origin/origin_seq,
 // omitted when empty) on replicated entries, so ledgers and ingest numbers
-// are not byte-comparable to v4 runs.
+// are not byte-comparable to v4 runs. v6 adds the http-latency row —
+// per-request latency percentiles (requests/p50_ns/p95_ns/p99_ns) of the
+// HTTP surface over a loopback socket, bridging the library-level service
+// row and cmd/dgserve's -loadgen report.
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go"`
@@ -173,7 +184,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v5",
+		Schema:     "diffgossip-bench/v6",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
@@ -259,6 +270,16 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 			return nil, err
 		}
 		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
+
+	// HTTP latency (schema v6): per-request latency percentiles of the HTTP
+	// surface over a real loopback socket.
+	{
+		res, err := benchHTTPLatency(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
 	}
 	return report, nil
 }

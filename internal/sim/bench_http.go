@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/obs"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/service"
+)
+
+// benchHTTPLatency is the schema-v6 row: per-request latency of the HTTP
+// surface over a real TCP loopback socket. It serves the service through a
+// minimal mux with the same route shapes as cmd/dgserve (feedback POST,
+// reputation GET), hammers it with GOMAXPROCS concurrent clients — an ingest
+// phase, one epoch fold, then a query phase — and reports p50/p95/p99 over
+// every successful request, interpolated from a fixed-bucket histogram (the
+// same estimator the /metrics histograms use). Where service/N measures the
+// library, this row adds JSON codec, router and kernel socket cost.
+func benchHTTPLatency(cfg BenchConfig) (BenchResult, error) {
+	n := cfg.VectorN
+	g, err := buildPA(n, cfg.Seed+60)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	svc, err := service.New(service.Config{
+		Graph:  g,
+		Params: core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 61, Workers: -1},
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svc.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/feedback", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Rater   int     `json:"rater"`
+			Subject int     `json:"subject"`
+			Value   float64 `json:"value"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		seq, err := svc.Submit(req.Rater, req.Subject, req.Value)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"seq":%d}`, seq)
+	})
+	mux.HandleFunc("GET /v1/reputation/{subject}", func(w http.ResponseWriter, r *http.Request) {
+		subject, err := strconv.Atoi(r.PathValue("subject"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		seg, err := svc.SubjectRead(subject)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		rep, err := seg.Reputation(subject)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"subject":%d,"reputation":%g,"epoch":%d}`, subject, rep, seg.Epoch)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	workers := runtime.GOMAXPROCS(0)
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers,
+		MaxIdleConnsPerHost: workers,
+	}}
+	hist := obs.NewHistogram(obs.ExponentialBuckets(50e-6, 1.5, 28)...)
+	perWorker := 10 * n / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+
+	run := func(op func(src *rng.Source) error) error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				src := rng.New(cfg.Seed + 70 + uint64(w))
+				for i := 0; i < perWorker; i++ {
+					start := time.Now()
+					if err := op(src); err != nil {
+						errCh <- err
+						return
+					}
+					hist.Observe(time.Since(start).Seconds())
+				}
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+	drain := func(resp *http.Response, wantStatus int) error {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			return fmt.Errorf("bench: http status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		return nil
+	}
+
+	if err := run(func(src *rng.Source) error {
+		body := fmt.Sprintf(`{"rater":%d,"subject":%d,"value":%.6f}`,
+			src.Intn(n), src.Intn(n), src.Float64())
+		resp, err := client.Post(base+"/v1/feedback", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		return drain(resp, http.StatusAccepted)
+	}); err != nil {
+		return BenchResult{}, err
+	}
+	view, ran, err := svc.RunEpoch()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	if !ran {
+		return BenchResult{}, fmt.Errorf("bench: http-latency epoch had nothing to fold")
+	}
+	if err := run(func(src *rng.Source) error {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/reputation/%d", base, src.Intn(n)))
+		if err != nil {
+			return err
+		}
+		return drain(resp, http.StatusOK)
+	}); err != nil {
+		return BenchResult{}, err
+	}
+
+	res := BenchResult{
+		Name:      fmt.Sprintf("http-latency/N=%d", n),
+		N:         n,
+		Steps:     view.Steps(),
+		Converged: view.Converged(),
+		EpochNs:   float64(view.ElapsedNs()),
+		Requests:  int64(hist.Count()),
+		P50Ns:     int64(hist.Quantile(0.50) * 1e9),
+		P95Ns:     int64(hist.Quantile(0.95) * 1e9),
+		P99Ns:     int64(hist.Quantile(0.99) * 1e9),
+	}
+	if view.Steps() > 0 {
+		res.NsPerStep = float64(view.ElapsedNs()) / float64(view.Steps())
+	}
+	return res, nil
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"diffgossip/internal/obs"
 )
 
 // HintEntry is one feedback rating inside a hinted-handoff batch: the wire
@@ -46,6 +48,17 @@ type HintLog struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+
+	// mAppends and mRewrites count durable hint-log writes; the owning
+	// cluster node's Instrument hook exposes them.
+	mAppends  obs.Counter
+	mRewrites obs.Counter
+}
+
+// InstrumentMetrics returns the hint log's append and rewrite counters for
+// registration by the owning component (internal/cluster).
+func (hl *HintLog) InstrumentMetrics() (appends, rewrites *obs.Counter) {
+	return &hl.mAppends, &hl.mRewrites
 }
 
 // OpenHintLog opens (creating if absent) the hint log at path and replays
@@ -110,6 +123,7 @@ func (hl *HintLog) Append(h Hint) error {
 	if err := hl.w.Flush(); err != nil {
 		return fmt.Errorf("store: flush hint: %w", err)
 	}
+	hl.mAppends.Inc()
 	return nil
 }
 
@@ -161,6 +175,7 @@ func (hl *HintLog) Rewrite(hints []Hint) error {
 	}
 	hl.f = nf
 	hl.w = bufio.NewWriter(nf)
+	hl.mRewrites.Inc()
 	return nil
 }
 

@@ -23,6 +23,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"diffgossip/internal/obs"
 )
 
 // ErrInvalidFeedback marks feedback rejected by validation (out-of-range ids
@@ -128,6 +131,15 @@ type Ledger struct {
 	// memory instead of re-reading the WAL. Both guarded by mu.
 	marks map[string]uint64
 	hist  map[string][]Feedback
+
+	// Observability instruments (see Instrument). The counters are plain
+	// atomics maintained on every append/sync regardless of registration;
+	// the fsync histogram is created only when Instrument runs, behind an
+	// atomic pointer so Sync can read it without a lock.
+	mEntries    obs.Counter
+	mWALAppends obs.Counter
+	mFsyncs     obs.Counter
+	mFsyncHist  atomic.Pointer[obs.Histogram]
 }
 
 // NewLedger returns a memory-only ledger over n nodes with a single shard.
@@ -309,7 +321,9 @@ func (l *Ledger) appendLocked(fb *Feedback) error {
 		if err := l.w.Flush(); err != nil {
 			return fmt.Errorf("store: flush ledger: %w", err)
 		}
+		l.mWALAppends.Inc()
 	}
+	l.mEntries.Inc()
 	l.seq = fb.Seq
 	fb.Shard = ShardOf(fb.Subject, l.shards)
 	l.pending = append(l.pending, *fb)
@@ -532,9 +546,12 @@ func (l *Ledger) Sync() error {
 		}
 	}
 	l.mu.Unlock()
+	start := time.Now()
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("store: sync ledger: %w", err)
 	}
+	l.mFsyncs.Inc()
+	l.mFsyncHist.Load().Observe(time.Since(start).Seconds())
 	return nil
 }
 

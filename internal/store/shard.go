@@ -193,7 +193,11 @@ func LoadShardSnapshot(r io.Reader) (*ShardSnapshot, error) {
 // SaveFile writes the segment to path atomically and durably (fsync, rename,
 // directory fsync), like the legacy Snapshot.SaveFile.
 func (s *ShardSnapshot) SaveFile(path string) error {
-	return writeFileAtomic(path, ".shard-*.tmp", s.Save)
+	err := writeFileAtomic(path, ".shard-*.tmp", s.Save)
+	if err == nil {
+		snapshotWrites.Inc()
+	}
+	return err
 }
 
 // LoadShardFile reads a segment written by SaveFile; (nil, nil) when the

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"diffgossip/internal/obs"
 )
 
 // dialTimeout bounds every outbound connection attempt so a blackholed peer
@@ -41,7 +43,19 @@ type TCPTransport struct {
 	inbound map[net.Conn]struct{}
 	closed  bool
 
+	m tcpMetrics
+
 	wg sync.WaitGroup
+}
+
+// tcpMetrics are the transport's observability counters — maintained
+// unconditionally (atomic increments), exposed by Instrument.
+type tcpMetrics struct {
+	sends        obs.Counter // Send calls
+	sendFailures obs.Counter // Send calls that returned an error
+	dials        obs.Counter // dial attempts actually issued
+	dialFailures obs.Counter // dial attempts that failed
+	backoffRejds obs.Counter // sends rejected inside a backoff window
 }
 
 type outConn struct {
@@ -50,6 +64,25 @@ type outConn struct {
 	enc      *gob.Encoder
 	failures int       // consecutive dial failures since the last success
 	retryAt  time.Time // no dial before this instant (zero = dial freely)
+	m        *tcpMetrics
+}
+
+// Instrument registers the transport's send/dial/backoff counters with reg.
+// Call once per registry, before serving.
+func (t *TCPTransport) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("diffgossip_transport_sends_total", "",
+		"Messages handed to the TCP transport for delivery.", &t.m.sends)
+	reg.Counter("diffgossip_transport_send_failures_total", "",
+		"Sends that failed (dial errors, broken connections, backoff rejections).", &t.m.sendFailures)
+	reg.Counter("diffgossip_transport_dials_total", "",
+		"Outbound TCP dial attempts issued.", &t.m.dials)
+	reg.Counter("diffgossip_transport_dial_failures_total", "",
+		"Outbound TCP dial attempts that failed.", &t.m.dialFailures)
+	reg.Counter("diffgossip_transport_backoff_rejections_total", "",
+		"Sends rejected fast because the peer was inside its dial-backoff window.", &t.m.backoffRejds)
 }
 
 // ListenTCP starts a transport bound to addr ("127.0.0.1:0" picks a free
@@ -129,6 +162,15 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 
 // Send gobs msg to the peer at addr, dialling (or redialling once) as needed.
 func (t *TCPTransport) Send(addr string, msg Message) error {
+	t.m.sends.Inc()
+	err := t.send(addr, msg)
+	if err != nil {
+		t.m.sendFailures.Inc()
+	}
+	return err
+}
+
+func (t *TCPTransport) send(addr string, msg Message) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -136,7 +178,7 @@ func (t *TCPTransport) Send(addr string, msg Message) error {
 	}
 	oc, ok := t.conns[addr]
 	if !ok {
-		oc = &outConn{}
+		oc = &outConn{m: &t.m}
 		t.conns[addr] = oc
 	}
 	t.mu.Unlock()
@@ -189,10 +231,13 @@ func (oc *outConn) dial(addr string) error {
 		oc.conn, oc.enc = nil, nil
 	}
 	if !oc.retryAt.IsZero() && time.Now().Before(oc.retryAt) {
+		oc.m.backoffRejds.Inc()
 		return fmt.Errorf("transport: dial %s: %w", addr, ErrBackoff)
 	}
+	oc.m.dials.Inc()
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
+		oc.m.dialFailures.Inc()
 		oc.failures++
 		backoff := dialBackoffBase << min(oc.failures-1, 62)
 		if backoff <= 0 || backoff > dialBackoffCap {
