@@ -70,21 +70,24 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:8080", "address to serve HTTP on")
-		n         = flag.Int("n", 1000, "network size (node ids are 0..n-1)")
-		m         = flag.Int("m", 2, "preferential-attachment edges per node for the overlay")
-		graphSeed = flag.Uint64("graph-seed", 42, "seed for the overlay topology")
-		seed      = flag.Uint64("seed", 1, "base seed for epoch gossip randomness")
-		epsilon   = flag.Float64("epsilon", 1e-6, "gossip convergence tolerance ξ")
-		epoch     = flag.Duration("epoch", 2*time.Second, "epoch scheduler interval (0 = manual epochs via POST /v1/epoch)")
-		workers   = flag.Int("workers", -1, "per-shard gossip workers (-1 = GOMAXPROCS, 1 = sequential)")
-		shards    = flag.Int("shards", 1, "subject shards S (subject j belongs to shard j mod S); epochs recompute only dirty shards")
-		foldWkrs  = flag.Int("fold-workers", 1, "dirty shards folding concurrently per epoch (-1 = GOMAXPROCS)")
-		dataDir   = flag.String("data", "", "persistence directory (empty = in-memory)")
+		listen       = flag.String("listen", "127.0.0.1:8080", "address to serve HTTP on")
+		n            = flag.Int("n", 1000, "network size (node ids are 0..n-1)")
+		m            = flag.Int("m", 2, "preferential-attachment edges per node for the overlay")
+		graphSeed    = flag.Uint64("graph-seed", 42, "seed for the overlay topology")
+		seed         = flag.Uint64("seed", 1, "base seed for epoch gossip randomness")
+		epsilon      = flag.Float64("epsilon", 1e-6, "gossip convergence tolerance ξ")
+		epoch        = flag.Duration("epoch", 2*time.Second, "epoch scheduler interval (0 = manual epochs via POST /v1/epoch)")
+		workers      = flag.Int("workers", -1, "per-shard gossip workers (-1 = GOMAXPROCS, 1 = sequential)")
+		shards       = flag.Int("shards", 1, "subject shards S (subject j belongs to shard j mod S); epochs recompute only dirty shards")
+		foldWkrs     = flag.Int("fold-workers", 1, "dirty shards folding concurrently per epoch (-1 = GOMAXPROCS)")
+		dataDir      = flag.String("data", "", "persistence directory (empty = in-memory)")
+		compactEvery = flag.Int("compact-every", 256, "rewrite the WAL keeping only live entries every N persisted epochs (0 = never; needs -data)")
 
 		clusterListen = flag.String("cluster-listen", "", "TCP address for ledger replication; enables cluster mode (use a stable address — it is this node's origin id)")
 		join          = flag.String("join", "", "comma-separated seed cluster addresses; the rest of the cluster is discovered via gossiped membership")
 		antiEntropy   = flag.Duration("anti-entropy", time.Second, "cluster digest exchange interval (also runs before each scheduled epoch)")
+		histTrimEvery = flag.Int("hist-trim-every", 16, "trim fully-acknowledged replication history every N exchanges (0 = never)")
+		bootstrapLag  = flag.Uint64("bootstrap-lag", 8192, "request a snapshot-shipped bootstrap when trailing the cluster by more than this many entries (fresh nodes always request; 0 = never request)")
 
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
@@ -110,8 +113,9 @@ func main() {
 	if err := run(runConfig{
 		listen: *listen, n: *n, m: *m, graphSeed: *graphSeed, seed: *seed,
 		epsilon: *epsilon, epoch: *epoch, workers: *workers, shards: *shards,
-		foldWorkers: *foldWkrs, dataDir: *dataDir,
+		foldWorkers: *foldWkrs, dataDir: *dataDir, compactEvery: *compactEvery,
 		clusterListen: *clusterListen, peers: peers, antiEntropy: *antiEntropy,
+		histTrimEvery: *histTrimEvery, bootstrapLag: *bootstrapLag,
 		logLevel: *logLevel, logFormat: *logFormat,
 		pprofAddr: *pprofAddr, traceDepth: *traceDepth, reg: obs.Default,
 		loadgen: *loadgen, duration: *duration, writers: *writers,
@@ -132,9 +136,12 @@ type runConfig struct {
 	shards           int
 	foldWorkers      int
 	dataDir          string
+	compactEvery     int
 	clusterListen    string
 	peers            []string
 	antiEntropy      time.Duration
+	histTrimEvery    int
+	bootstrapLag     uint64
 	loadgen          bool
 	duration         time.Duration
 	writers, readers int
@@ -179,6 +186,7 @@ func (c runConfig) newService(origin string) (*service.Service, error) {
 		FixedEpochSeed: clustered,
 		Origin:         origin,
 		TraceDepth:     c.traceDepth,
+		CompactEvery:   c.compactEvery,
 	})
 }
 
@@ -197,13 +205,15 @@ func (c runConfig) newCluster(svc *service.Service, tr *transport.TCPTransport) 
 		hintPath = filepath.Join(c.dataDir, "hints.jsonl")
 	}
 	node, err := cluster.New(cluster.Config{
-		Service:     svc,
-		Transport:   tr,
-		Peers:       c.peers,
-		Interval:    c.antiEntropy,
-		Incarnation: uint64(time.Now().UnixNano()),
-		HintPath:    hintPath,
-		Logger:      obs.Logger("cluster"),
+		Service:      svc,
+		Transport:    tr,
+		Peers:        c.peers,
+		Interval:     c.antiEntropy,
+		Incarnation:  uint64(time.Now().UnixNano()),
+		HintPath:     hintPath,
+		TrimEvery:    c.histTrimEvery,
+		BootstrapLag: c.bootstrapLag,
+		Logger:       obs.Logger("cluster"),
 	})
 	if err != nil {
 		tr.Close()

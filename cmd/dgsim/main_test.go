@@ -75,14 +75,26 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v6" {
+	if report.Schema != "diffgossip-bench/v7" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 12 {
-		t.Fatalf("benchmarks = %d, want 12 (scalar, vector, vector-sparse, service, churn, 3×sharded, 3×anti-entropy, http-latency)", len(report.Benchmarks))
+	if len(report.Benchmarks) != 16 {
+		t.Fatalf("benchmarks = %d, want 16 (scalar, vector, vector-sparse, service, churn, 3×sharded, 3×anti-entropy, http-latency, 2×bootstrap, 2×wal-compaction)", len(report.Benchmarks))
 	}
-	var serviceRows, churnRows, shardedRows, handoffRows, latencyRows int
+	var serviceRows, churnRows, shardedRows, handoffRows, latencyRows, bootstrapRows, walRows int
 	for _, b := range report.Benchmarks {
+		if strings.HasPrefix(b.Name, "wal-compaction/") {
+			// The schema-v7 size rows measure bytes, not steps: the ledger
+			// file around one compaction of a fixed live cell set.
+			walRows++
+			if b.N <= 0 || b.History <= 0 || b.Cells <= 0 {
+				t.Fatalf("wal row has no workload accounting: %+v", b)
+			}
+			if b.WalBytesBefore <= 0 || b.WalBytesAfter <= 0 || b.WalBytesAfter >= b.WalBytesBefore {
+				t.Fatalf("wal row did not shrink the ledger: %+v", b)
+			}
+			continue
+		}
 		if b.Name == "" || b.N <= 0 || b.Steps <= 0 {
 			t.Fatalf("malformed row %+v", b)
 		}
@@ -103,6 +115,18 @@ func TestBenchJSONWellFormed(t *testing.T) {
 		}
 		if b.NsPerStep <= 0 {
 			t.Fatalf("row %q has no timing", b.Name)
+		}
+		if strings.HasPrefix(b.Name, "cluster-bootstrap/") {
+			// The schema-v7 join rows: snapshot-shipped bootstrap time for a
+			// fresh replica against the sender's lifetime history length.
+			bootstrapRows++
+			if b.History <= 0 || b.Cells <= 0 || b.ConvergeNs <= 0 {
+				t.Fatalf("bootstrap row has no transfer accounting: %+v", b)
+			}
+			if !b.Converged {
+				t.Fatalf("bootstrap row did not converge: %+v", b)
+			}
+			continue
 		}
 		if strings.HasPrefix(b.Name, "cluster-antientropy/") {
 			// The schema-v5 rows: hinted-handoff catch-up time against the
@@ -154,8 +178,8 @@ func TestBenchJSONWellFormed(t *testing.T) {
 			t.Fatalf("row %q has no message metric", b.Name)
 		}
 	}
-	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 || handoffRows != 3 || latencyRows != 1 {
-		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, handoff rows = %d, latency rows = %d, want 1/1/3/3/1",
-			serviceRows, churnRows, shardedRows, handoffRows, latencyRows)
+	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 || handoffRows != 3 || latencyRows != 1 || bootstrapRows != 2 || walRows != 2 {
+		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, handoff rows = %d, latency rows = %d, bootstrap rows = %d, wal rows = %d, want 1/1/3/3/1/2/2",
+			serviceRows, churnRows, shardedRows, handoffRows, latencyRows, bootstrapRows, walRows)
 	}
 }

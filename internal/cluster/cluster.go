@@ -151,6 +151,21 @@ type Config struct {
 	// entries owed to a dead peer survive a restart of this node. Empty
 	// keeps hints in memory only.
 	HintPath string
+	// TrimEvery, when > 0, trims the in-memory replication history every
+	// TrimEvery-th exchange: superseded entries that every known member's
+	// watermark has passed are dropped (cell winners and per-stream heads
+	// are always retained), bounding cluster-mode memory by live state plus
+	// peer lag instead of lifetime traffic. Trimming waits until a digest
+	// has been seen from every member — a long-dead member stalls trimming
+	// rather than risking entries it may still need. 0 disables trimming.
+	TrimEvery int
+	// BootstrapLag, when > 0, enables requesting snapshot-shipped bootstrap:
+	// on receiving a digest, a node that is fresh (empty ledger) or trails
+	// the cluster by more than BootstrapLag entries in total asks the sender
+	// for a full state transfer (shard segments plus the retained ledger
+	// suffix) instead of pulling origin streams entry by entry. 0 disables
+	// requesting; every node always serves state requests it receives.
+	BootstrapLag uint64
 	// Logger receives the node's structured log records: peer state
 	// transitions and hint replays at Info, send failures at Debug. Nil
 	// discards everything — the default for library use, so tests and the
@@ -173,6 +188,8 @@ type Node struct {
 	suspectAfter   int64 // nanos of the local clock
 	deadAfter      int64
 	maxHintEntries int
+	trimEvery      int
+	bootstrapLag   uint64
 	log            *slog.Logger
 
 	mu    sync.Mutex
@@ -193,6 +210,10 @@ type Node struct {
 	// durable.
 	hintQ   map[string]*hintQueue
 	hintLog *store.HintLog
+	// bootstrapReqAt is n.exchanges+1 at the moment an outstanding state
+	// request went out (0 = none); it rate-limits re-requests and gates
+	// KindState handling to solicited transfers.
+	bootstrapReqAt uint64
 
 	stats struct {
 		digestsSent, digestsRecv   uint64
@@ -201,6 +222,12 @@ type Node struct {
 		hintsDropped               uint64
 		hintsReplayed              uint64
 		hintLogErrs                uint64
+		histTrims                  uint64
+		histTrimmed                uint64
+		stateReqsSent              uint64
+		stateReqsServed            uint64
+		statesInstalled            uint64
+		bootstrapErrs              uint64
 	}
 
 	stop     chan struct{}
@@ -240,6 +267,8 @@ func New(cfg Config) (*Node, error) {
 		interval:       cfg.Interval,
 		now:            cfg.Now,
 		maxHintEntries: cfg.MaxHintEntries,
+		trimEvery:      cfg.TrimEvery,
+		bootstrapLag:   cfg.BootstrapLag,
 		selfInc:        cfg.Incarnation,
 		peerH:          make(map[string]*peerHealth),
 		members:        make(map[string]*member),
@@ -344,7 +373,8 @@ func (n *Node) Exchange() {
 	now := n.now()
 	n.updateStatesLocked(now)
 	n.exchanges++
-	probe := n.exchanges%deadProbeEvery == 0
+	tick := n.exchanges
+	probe := tick%deadProbeEvery == 0
 	view := n.viewLocked()
 	ids := n.memberIDsLocked()
 	states := make(map[string]MemberState, len(ids))
@@ -364,6 +394,9 @@ func (n *Node) Exchange() {
 		n.mu.Unlock()
 	}
 	n.pushEntries(digest, ids, states)
+	if n.trimEvery > 0 && tick%uint64(n.trimEvery) == 0 {
+		n.trimRetainedHistory()
+	}
 }
 
 // pushEntries is the eager half of push-pull anti-entropy: for every member
@@ -538,9 +571,17 @@ func (n *Node) handle(msg transport.Message) {
 
 	switch msg.Kind {
 	case transport.KindDigest:
+		// Bootstrap decision first: with a state request outstanding,
+		// handleDigest suppresses the reciprocal digest, so the sender does
+		// not push entry batches the transfer is about to make redundant.
+		n.maybeRequestBootstrap(msg)
 		n.handleDigest(msg)
 	case transport.KindEntries:
 		n.handleEntries(msg)
+	case transport.KindStateRequest:
+		n.handleStateRequest(msg)
+	case transport.KindState:
+		n.handleState(msg)
 	default:
 		// Not a cluster message; the replication transport is dedicated, so
 		// anything else is a peer bug — ignore rather than crash.
@@ -575,6 +616,7 @@ func (n *Node) handleDigest(msg transport.Message) {
 		acks[o] = s
 	}
 	n.ackMark[msg.From] = acks
+	awaitingState := n.bootstrapReqAt != 0
 	view := n.viewLocked()
 	n.mu.Unlock()
 
@@ -586,7 +628,10 @@ func (n *Node) handleDigest(msg transport.Message) {
 			break
 		}
 	}
-	if behind {
+	// While a state request is outstanding the reciprocal digest is
+	// suppressed: advertising stale marks would invite entry pushes the
+	// incoming transfer covers wholesale.
+	if behind && !awaitingState {
 		err := n.tr.Send(msg.From, transport.Message{Kind: transport.KindDigest, Watermarks: mine, View: view})
 		n.mu.Lock()
 		n.stats.digestsSent++
@@ -763,6 +808,18 @@ type Stats struct {
 	HintsReplayed uint64 `json:"hints_replayed,omitempty"`
 	HintsDropped  uint64 `json:"hints_dropped,omitempty"`
 	HintLogErrors uint64 `json:"hint_log_errors,omitempty"`
+	// HistTrims counts history-trim passes that dropped anything, and
+	// HistTrimmedEntries the lifetime total of superseded entries dropped
+	// from the in-memory replication history.
+	HistTrims          uint64 `json:"hist_trims,omitempty"`
+	HistTrimmedEntries uint64 `json:"hist_trimmed_entries,omitempty"`
+	// BootstrapRequestsSent/Served count snapshot-shipped bootstrap
+	// requests from each side; BootstrapsInstalled counts transfers this
+	// node applied, and BootstrapErrors failed serves or installs.
+	BootstrapRequestsSent   uint64 `json:"bootstrap_requests_sent,omitempty"`
+	BootstrapRequestsServed uint64 `json:"bootstrap_requests_served,omitempty"`
+	BootstrapsInstalled     uint64 `json:"bootstraps_installed,omitempty"`
+	BootstrapErrors         uint64 `json:"bootstrap_errors,omitempty"`
 	// DialFailures maps peer address to consecutive failed connection
 	// attempts, when the transport tracks them (TCP dial backoff).
 	DialFailures map[string]int `json:"dial_failures,omitempty"`
@@ -792,6 +849,12 @@ func (n *Node) Stats() Stats {
 	st.HintsReplayed = n.stats.hintsReplayed
 	st.HintsDropped = n.stats.hintsDropped
 	st.HintLogErrors = n.stats.hintLogErrs
+	st.HistTrims = n.stats.histTrims
+	st.HistTrimmedEntries = n.stats.histTrimmed
+	st.BootstrapRequestsSent = n.stats.stateReqsSent
+	st.BootstrapRequestsServed = n.stats.stateReqsServed
+	st.BootstrapsInstalled = n.stats.statesInstalled
+	st.BootstrapErrors = n.stats.bootstrapErrs
 	for _, id := range n.memberIDsLocked() {
 		m := n.members[id]
 		st.Members = append(st.Members, MemberStat{

@@ -43,6 +43,18 @@ func (n *Node) Instrument(reg *obs.Registry) {
 		"Hinted entries dropped because a peer's hint queue was full.", stat(func() uint64 { return n.stats.hintsDropped }))
 	reg.CounterFunc("diffgossip_cluster_hint_log_errors_total", "",
 		"Durable hint-log I/O failures (hints then survive in memory only).", stat(func() uint64 { return n.stats.hintLogErrs }))
+	reg.CounterFunc("diffgossip_cluster_hist_trims_total", "",
+		"History-trim passes that dropped superseded replication entries.", stat(func() uint64 { return n.stats.histTrims }))
+	reg.CounterFunc("diffgossip_cluster_hist_trimmed_entries_total", "",
+		"Superseded entries dropped from the in-memory replication history.", stat(func() uint64 { return n.stats.histTrimmed }))
+	reg.CounterFunc("diffgossip_cluster_bootstrap_requests_sent_total", "",
+		"Snapshot-shipped bootstrap state requests sent.", stat(func() uint64 { return n.stats.stateReqsSent }))
+	reg.CounterFunc("diffgossip_cluster_bootstrap_requests_served_total", "",
+		"Snapshot-shipped bootstrap state requests answered with a transfer.", stat(func() uint64 { return n.stats.stateReqsServed }))
+	reg.CounterFunc("diffgossip_cluster_bootstraps_installed_total", "",
+		"Bootstrap state transfers installed into the local service.", stat(func() uint64 { return n.stats.statesInstalled }))
+	reg.CounterFunc("diffgossip_cluster_bootstrap_errors_total", "",
+		"Bootstrap serves or installs that failed.", stat(func() uint64 { return n.stats.bootstrapErrs }))
 	reg.GaugeFunc("diffgossip_store_hint_log_depth", "",
 		"Entries currently buffered in the hinted-handoff queues.", func() float64 {
 			n.mu.Lock()

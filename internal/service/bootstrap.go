@@ -1,0 +1,226 @@
+package service
+
+import (
+	"fmt"
+
+	"diffgossip/internal/store"
+)
+
+// Snapshot-shipped bootstrap: a fresh (or deeply lagging) replica fetches a
+// peer's folded shard segments plus the compacted ledger suffix instead of
+// replaying whole origin streams entry by entry. The transfer is O(current
+// state + unfolded tail), not O(lifetime traffic) — the property that makes
+// replica placement free once WAL compaction and history trimming bound the
+// sender's retained suffix. The cluster layer frames a StateTransfer on the
+// wire (transport.KindStateRequest / KindState); this file is the
+// service-side assembly and installation.
+
+// StateTransfer is the materialised payload of a snapshot-shipped bootstrap.
+type StateTransfer struct {
+	// Segments are the sender's published shard snapshots, captured before
+	// the entry lists so every shipped entry is classifiable against their
+	// fold points.
+	Segments []*store.ShardSnapshot
+	// Folded are retained ledger entries whose folds Segments already
+	// reflect: the receiver records them — WAL, watermarks, history, LWW
+	// tags — without re-queueing them for a fold. Every entry carries its
+	// origin id (the sender stamps its own id on locally accepted ones).
+	Folded []store.Feedback
+	// Tail are retained entries past the segments' fold points, which the
+	// receiver enqueues for its next epoch like any replicated entry.
+	Tail []store.Feedback
+	// Marks are the sender's per-origin watermarks, captured before the
+	// entry lists were read so the lists always cover them. Keyed by origin
+	// id — the sender's own stream appears under its id, never "".
+	Marks map[string]uint64
+}
+
+// BootstrapState assembles a state transfer for a peer whose per-origin
+// watermarks are reqMarks (keyed by origin id; nil or empty for a fresh
+// replica). Entries a requester already holds — at or below its own marks —
+// are not shipped. Requires Config.Replicate and a configured Origin.
+//
+// Capture order is load-bearing: segments first, then watermarks, then the
+// entry lists. Entries accepted between captures classify against the
+// captured fold points (landing in Tail at worst, a harmless refold), and
+// marks captured before the lists can never claim coverage of an entry that
+// was not shipped.
+func (s *Service) BootstrapState(reqMarks map[string]uint64) (*StateTransfer, error) {
+	if !s.cfg.Replicate || s.cfg.Origin == "" {
+		return nil, fmt.Errorf("service: bootstrap requires replication mode with an origin id")
+	}
+	view := s.View()
+	marks := s.ledger.OriginMarks()
+	out := &StateTransfer{
+		Segments: view.segs,
+		Marks:    make(map[string]uint64, len(marks)+1),
+	}
+	if m := s.LocalStreamMark(); m > 0 {
+		out.Marks[s.cfg.Origin] = m
+	}
+	streams := []string{""}
+	for o, m := range marks {
+		out.Marks[o] = m
+		streams = append(streams, o)
+	}
+	for _, stream := range streams {
+		wireOrigin := stream
+		if stream == "" {
+			wireOrigin = s.cfg.Origin
+		}
+		for _, fb := range s.ledger.EntriesSince(stream, reqMarks[wireOrigin], 0) {
+			if fb.Origin == "" {
+				fb.Origin, fb.OriginSeq = s.cfg.Origin, fb.Seq
+			}
+			if fb.Seq <= view.segs[store.ShardOf(fb.Subject, s.shards)].Seq {
+				out.Folded = append(out.Folded, fb)
+			} else {
+				out.Tail = append(out.Tail, fb)
+			}
+		}
+	}
+	return out, nil
+}
+
+// InstallBootstrap applies a peer's state transfer: folded entries are
+// recorded (WAL, watermarks, history, LWW tags) without re-queueing them,
+// the shipped segments are rebased into the local sequence space and
+// published, tail entries are enqueued like ordinary replicated entries, and
+// any locally retained entries the sender's transfer did not cover are
+// re-queued so their folds are not lost. With persistence on, the ledger is
+// fsynced before the installed segments are saved — the same
+// WAL-covers-segments invariant the boot guard checks.
+//
+// A transfer containing entries of this node's own origin is refused:
+// re-ingesting our own stream would re-number it and change its LWW tags.
+// (That only arises when a node loses its data directory but keeps its
+// identity; such a node must rejoin under a fresh identity.)
+func (s *Service) InstallBootstrap(st *StateTransfer) error {
+	if !s.cfg.Replicate || s.cfg.Origin == "" {
+		return fmt.Errorf("service: bootstrap requires replication mode with an origin id")
+	}
+	if st == nil || len(st.Segments) == 0 {
+		return fmt.Errorf("service: bootstrap transfer has no segments")
+	}
+	for i, seg := range st.Segments {
+		if seg == nil {
+			return fmt.Errorf("service: bootstrap transfer segment %d missing", i)
+		}
+		if seg.N != s.n {
+			return fmt.Errorf("service: bootstrap transfer is for N=%d, this service has N=%d", seg.N, s.n)
+		}
+	}
+	for _, fb := range st.Folded {
+		if fb.Origin == "" || fb.Origin == s.cfg.Origin {
+			return fmt.Errorf("service: bootstrap transfer contains this node's own stream (origin %q) — rejoin with a fresh identity", fb.Origin)
+		}
+	}
+	for _, fb := range st.Tail {
+		if fb.Origin == "" || fb.Origin == s.cfg.Origin {
+			return fmt.Errorf("service: bootstrap transfer contains this node's own stream (origin %q) — rejoin with a fresh identity", fb.Origin)
+		}
+	}
+	segs := st.Segments
+	if len(segs) != s.shards {
+		// The sender runs a different shard layout; restitch along ours.
+		full, err := store.StitchSnapshot(segs)
+		if err != nil {
+			return fmt.Errorf("service: bootstrap: %w", err)
+		}
+		if segs, err = store.SplitSnapshot(full, s.shards); err != nil {
+			return fmt.Errorf("service: bootstrap: %w", err)
+		}
+	}
+
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+
+	// 1. Record the folded entries. Their folds arrive with the segments, so
+	// they bypass the pending window entirely — the step that makes
+	// bootstrap O(state) instead of O(replay).
+	for _, fb := range st.Folded {
+		_, applied, err := s.ledger.AppendReplicatedStored(fb)
+		if err != nil {
+			return fmt.Errorf("service: bootstrap: %w", err)
+		}
+		if applied {
+			s.recordTag(fb)
+		}
+	}
+	// rebased is the local fold point the installed segments may claim:
+	// every local ledger entry at or below it is either recorded above or
+	// handled by the re-pend list computed next.
+	rebased := s.ledger.Seq()
+
+	// 2. Anything we retain past the sender's shipped coverage — entries the
+	// sender had never seen when it captured its marks — must refold, or
+	// replacing the master state below would silently drop their writes.
+	var repend []store.Feedback
+	rependStreams := []string{""}
+	for o := range s.ledger.OriginMarks() {
+		rependStreams = append(rependStreams, o)
+	}
+	for _, stream := range rependStreams {
+		wireOrigin := stream
+		if stream == "" {
+			wireOrigin = s.cfg.Origin
+		}
+		repend = append(repend, s.ledger.EntriesSince(stream, st.Marks[wireOrigin], 0)...)
+	}
+
+	// 3. Rebase and publish the segments. A shard's claimed fold point backs
+	// off below its oldest re-pended entry, so a crash before the refold
+	// persists still re-pends that entry at next boot.
+	segSeq := make([]uint64, s.shards)
+	for sh := range segSeq {
+		segSeq[sh] = rebased
+	}
+	for _, fb := range repend {
+		sh := store.ShardOf(fb.Subject, s.shards)
+		if fb.Seq > 0 && fb.Seq-1 < segSeq[sh] {
+			segSeq[sh] = fb.Seq - 1
+		}
+	}
+	epoch := s.epochs.Load() + 1
+	for sh, seg := range segs {
+		seg.Epoch = epoch
+		seg.Seq = segSeq[sh]
+	}
+	full, err := store.StitchSnapshot(segs)
+	if err != nil {
+		return fmt.Errorf("service: bootstrap: %w", err)
+	}
+	s.master = full.Trust
+	for sh, seg := range segs {
+		s.states[sh].Store(seg)
+	}
+	s.epochs.Store(epoch)
+
+	// 4. Tail entries fold at the next epoch, like any replicated entry.
+	for _, fb := range st.Tail {
+		if _, _, err := s.ledger.AppendReplicated(fb); err != nil {
+			return fmt.Errorf("service: bootstrap: %w", err)
+		}
+	}
+	// 5. Re-pend ahead of the tail (Restore prepends): these entries are
+	// older, and LWW folding makes any interleaving converge identically.
+	s.ledger.Restore(repend)
+
+	// 6. Durability, same invariant as the epoch persistence phase: ledger
+	// first, then segments.
+	if s.cfg.Dir != "" {
+		s.persistMu.Lock()
+		defer s.persistMu.Unlock()
+		if err := s.ledger.Sync(); err != nil {
+			return err
+		}
+		for sh, seg := range segs {
+			if err := seg.SaveFile(shardPath(s.cfg.Dir, sh)); err != nil {
+				return err
+			}
+			s.persistedEpoch[sh] = seg.Epoch
+			s.persistedSeq[sh] = seg.Seq
+		}
+	}
+	return nil
+}

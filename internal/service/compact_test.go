@@ -1,0 +1,206 @@
+package service
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/store"
+)
+
+// submitChurn drives heavy supersession traffic: each rater re-rates the same
+// small subject set many times, so almost every WAL line is dead weight once
+// folded.
+func submitChurn(t *testing.T, s *Service, rounds int) {
+	t.Helper()
+	src := rng.New(5)
+	for k := 0; k < rounds; k++ {
+		rater, subject := k%8, (k+1)%8
+		if _, err := s.Submit(rater, subject, src.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServiceCompactWALRoundTrip is the compaction round-trip the CI race job
+// also drives: churn, fold, compact, keep serving, restart — the rewritten
+// WAL must boot cleanly and the restarted service must serve exactly the
+// pre-restart reputations.
+func TestServiceCompactWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 30, 7)
+	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir, Shards: 3}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitChurn(t, s1, 300)
+	if _, ran, err := s1.RunEpoch(); err != nil || !ran {
+		t.Fatalf("epoch: ran=%v err=%v", ran, err)
+	}
+	s1.Submit(9, 10, 0.5) // unfolded tail rides through the compaction
+	st, err := s1.CompactWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesBefore != 301 {
+		t.Fatalf("compact saw %d entries, want 301", st.EntriesBefore)
+	}
+	// 8 distinct cells survive the fold, plus the one unfolded tail entry.
+	if st.EntriesAfter != 9 {
+		t.Fatalf("compact kept %d entries, want 9", st.EntriesAfter)
+	}
+	// The service keeps working on the rewritten file.
+	if _, err := s1.Submit(11, 12, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	v1, _, err := s1.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, _ := v1.Reputation(1)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("boot from compacted WAL: %v", err)
+	}
+	defer s2.Close()
+	v2 := s2.View()
+	if v2.Epoch() != v1.Epoch() || v2.Seq() != v1.Seq() {
+		t.Fatalf("restart published epoch %d/seq %d, want %d/%d", v2.Epoch(), v2.Seq(), v1.Epoch(), v1.Seq())
+	}
+	if rep2, _ := v2.Reputation(1); math.Abs(rep2-rep1) > 1e-12 {
+		t.Fatalf("restart from compacted WAL changed reputation: %v vs %v", rep2, rep1)
+	}
+	// Sequence numbers keep increasing past the compacted suffix.
+	if seq, err := s2.Submit(5, 6, 0.2); err != nil || seq != v1.Seq()+1 {
+		t.Fatalf("post-restart Submit = (%d, %v), want (%d, nil)", seq, err, v1.Seq()+1)
+	}
+}
+
+// TestServiceCompactEverySchedules pins the RunEpoch wiring: with
+// CompactEvery set, the WAL is rewritten on every N-th persisted epoch
+// without any explicit CompactWAL call.
+func TestServiceCompactEverySchedules(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 30, 7)
+	cfg := Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir, CompactEvery: 2}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	wal := filepath.Join(dir, "ledger.jsonl")
+	submitChurn(t, s, 200)
+	if _, _, err := s.RunEpoch(); err != nil { // epoch 1: no compaction
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := fi.Size()
+	submitChurn(t, s, 1)
+	if _, _, err := s.RunEpoch(); err != nil { // epoch 2: compaction fires
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= grown {
+		t.Fatalf("scheduled compaction did not shrink the WAL: %d -> %d bytes", grown, fi.Size())
+	}
+}
+
+// TestServiceBootstrapInstall ships a snapshot bootstrap between two
+// replicated services directly (the cluster layer adds only wire framing):
+// the receiver must serve bit-identical reputations without folding the
+// sender's history, and refuse transfers containing its own stream.
+func TestServiceBootstrapInstall(t *testing.T) {
+	g := testGraph(t, 30, 7)
+	mk := func(origin string) *Service {
+		s, err := New(Config{
+			Graph:          g,
+			Params:         core.Params{Epsilon: 1e-6, Seed: 11},
+			Shards:         3,
+			Replicate:      true,
+			FixedEpochSeed: true,
+			Origin:         origin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	a := mk("node-a")
+	submitChurn(t, a, 200)
+	va, _, err := a.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Submit(9, 10, 0.5) // tail entry, not yet folded on A
+
+	st, err := a.BootstrapState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tail) != 1 || len(st.Folded) == 0 {
+		t.Fatalf("transfer shape: %d folded, %d tail", len(st.Folded), len(st.Tail))
+	}
+
+	b := mk("node-b")
+	if err := b.InstallBootstrap(st); err != nil {
+		t.Fatal(err)
+	}
+	// Folded entries arrive pre-folded: no pending recompute for them, only
+	// the tail awaits the next epoch.
+	if got := b.Pending(); got != 1 {
+		t.Fatalf("install left %d entries pending, want only the tail", got)
+	}
+	vb := b.View()
+	for j := 0; j < 30; j++ {
+		want, _ := va.Reputation(j)
+		got, _ := vb.Reputation(j)
+		if got != want {
+			t.Fatalf("subject %d: bootstrap view %v, sender %v", j, got, want)
+		}
+	}
+	// B's marks agree with the transfer, so anti-entropy has nothing to pull.
+	if got := b.ReplicationMarks()["node-a"]; got != st.Marks["node-a"] {
+		t.Fatalf("installed node-a mark %d, want %d", got, st.Marks["node-a"])
+	}
+	// After folding the tail, B matches a fresh epoch on A.
+	if _, ran, err := b.RunEpoch(); err != nil || !ran {
+		t.Fatalf("tail epoch: ran=%v err=%v", ran, err)
+	}
+	va2, _, err := a.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb2 := b.View()
+	for j := 0; j < 30; j++ {
+		want, _ := va2.Reputation(j)
+		got, _ := vb2.Reputation(j)
+		if got != want {
+			t.Fatalf("subject %d after tail fold: %v vs %v", j, got, want)
+		}
+	}
+
+	// A transfer carrying the receiver's own stream is refused outright.
+	bad := &StateTransfer{
+		Segments: st.Segments,
+		Folded:   []store.Feedback{{Seq: 1, Rater: 1, Subject: 2, Value: 0.5, Origin: "node-b", OriginSeq: 1}},
+		Marks:    st.Marks,
+	}
+	if err := b.InstallBootstrap(bad); err == nil {
+		t.Fatal("transfer containing the receiver's own stream was accepted")
+	}
+}

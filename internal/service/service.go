@@ -84,6 +84,13 @@ type Config struct {
 	// across its subjects via Params.Workers); negative selects GOMAXPROCS.
 	// Results are bit-identical for any value.
 	FoldWorkers int
+	// CompactEvery, when > 0 and persistence is on, rewrites the write-ahead
+	// log every CompactEvery-th epoch, keeping only the latest entry per
+	// (rater, subject) cell among durably folded entries plus the unfolded
+	// tail — bounding WAL size by live state instead of lifetime traffic.
+	// 0 disables scheduled compaction (CompactWAL can still be called
+	// directly).
+	CompactEvery int
 	// Replicate switches the ledger into cluster mode: accepted entries are
 	// retained per origin and replicated entries apply idempotently, so an
 	// internal/cluster node can run anti-entropy over this service. The
@@ -203,10 +210,13 @@ type Service struct {
 
 	// persistMu serialises the off-critical-section persistence phase;
 	// persistedEpoch[s] (guarded by it) keeps late writers from clobbering
-	// a newer segment. persistHook, when set by tests, runs inside the
-	// phase to stand in for a slow disk.
+	// a newer segment, and persistedSeq[s] is the highest ledger seq whose
+	// fold into shard s is durable on disk — the bound below which WAL
+	// compaction may drop superseded entries. persistHook, when set by
+	// tests, runs inside the phase to stand in for a slow disk.
 	persistMu      sync.Mutex
 	persistedEpoch []uint64
+	persistedSeq   []uint64
 	persistHook    func()
 
 	stop     chan struct{}
@@ -254,6 +264,7 @@ func New(cfg Config) (*Service, error) {
 		lww:            make(map[uint64]cellTag),
 		states:         make([]atomic.Pointer[store.ShardSnapshot], shards),
 		persistedEpoch: make([]uint64, shards),
+		persistedSeq:   make([]uint64, shards),
 		stop:           make(chan struct{}),
 	}
 	switch {
@@ -293,6 +304,12 @@ func New(cfg Config) (*Service, error) {
 	for sh, seg := range segs {
 		s.states[sh].Store(seg)
 		s.persistedEpoch[sh] = seg.Epoch
+		if cfg.Dir != "" {
+			// Loaded segments are durable by definition; boot segments for a
+			// fresh dir carry Seq 0, so nothing is compactable until a real
+			// fold persists.
+			s.persistedSeq[sh] = seg.Seq
+		}
 		if seg.Epoch > maxEpoch {
 			maxEpoch = seg.Epoch
 		}
@@ -804,6 +821,15 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 		if err := s.persist(results); err != nil {
 			return s.View(), true, err
 		}
+		// Scheduled WAL compaction rides the persistence phase: the segments
+		// this epoch folded are durable now, so everything they supersede is
+		// droppable. An error is I/O-side only, like a persist error — the
+		// old WAL keeps working.
+		if ce := s.cfg.CompactEvery; ce > 0 && epoch%uint64(ce) == 0 {
+			if _, err := s.CompactWAL(); err != nil {
+				return s.View(), true, err
+			}
+		}
 	}
 	return s.View(), true, nil
 }
@@ -866,8 +892,52 @@ func (s *Service) persist(segs []*store.ShardSnapshot) error {
 			return err
 		}
 		s.persistedEpoch[seg.Shard] = seg.Epoch
+		s.persistedSeq[seg.Shard] = seg.Seq
 	}
 	return nil
+}
+
+// CompactWAL rewrites the write-ahead log keeping only the latest entry per
+// (rater, subject) cell among durably folded entries — plus, per origin
+// stream, its highest folded entry (so replication watermarks replay
+// unchanged) and the whole unfolded tail. Sequence numbers are preserved, so
+// a compacted file replays with gaps and a min seq > 1, which boot accepts.
+// The scheduler calls it every Config.CompactEvery epochs; operators and
+// tests may call it directly. Requires persistence (Config.Dir).
+func (s *Service) CompactWAL() (store.CompactStats, error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	seqs := make([]uint64, len(s.persistedSeq))
+	copy(seqs, s.persistedSeq)
+	return s.ledger.Compact(store.CompactConfig{
+		Origin: s.cfg.Origin,
+		FoldedSeq: func(subject int) uint64 {
+			return seqs[store.ShardOf(subject, s.shards)]
+		},
+	})
+}
+
+// TrimReplicationHistory drops superseded entries from the in-memory
+// per-origin replication history, given per-stream floors: for each origin
+// id (this node's own stream under its Config.Origin id), the highest origin
+// sequence number every known peer's watermark has passed. The cluster layer
+// computes the floors from its acknowledgement table and calls this
+// periodically; entries above a stream's floor — or in streams with no floor
+// — are never dropped, so any peer can still pull everything it might be
+// missing. Returns the number of entries dropped.
+func (s *Service) TrimReplicationHistory(floors map[string]uint64) int {
+	if len(floors) == 0 {
+		return 0
+	}
+	// The ledger keys the local stream as ""; the cluster speaks origin ids.
+	translated := make(map[string]uint64, len(floors))
+	for o, f := range floors {
+		if o == s.cfg.Origin {
+			o = ""
+		}
+		translated[o] = f
+	}
+	return s.ledger.TrimHistory(store.CompactConfig{Origin: s.cfg.Origin}, translated)
 }
 
 // epochSeed mixes the base seed with the epoch number (SplitMix64-style

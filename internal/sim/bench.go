@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -92,6 +93,18 @@ type BenchResult struct {
 	P50Ns    int64 `json:"p50_ns,omitempty"`
 	P95Ns    int64 `json:"p95_ns,omitempty"`
 	P99Ns    int64 `json:"p99_ns,omitempty"`
+	// History and Cells describe the bounded-storage rows (schema v7): the
+	// lifetime append count a row's workload wrote and the distinct (rater,
+	// subject) cells it touched. For bootstrap-time rows ConvergeNs is the
+	// wall-clock from a fresh replica's first digest to watermark agreement —
+	// flat across History is the O(state) claim. For wal-size rows
+	// WalBytesBefore/WalBytesAfter are the ledger file sizes around one
+	// compaction — WalBytesAfter tracking Cells, not History, is the bounded
+	// WAL claim.
+	History        int64 `json:"history,omitempty"`
+	Cells          int   `json:"cells,omitempty"`
+	WalBytesBefore int64 `json:"wal_bytes_before,omitempty"`
+	WalBytesAfter  int64 `json:"wal_bytes_after,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
@@ -113,7 +126,12 @@ type BenchResult struct {
 // are not byte-comparable to v4 runs. v6 adds the http-latency row —
 // per-request latency percentiles (requests/p50_ns/p95_ns/p99_ns) of the
 // HTTP surface over a loopback socket, bridging the library-level service
-// row and cmd/dgserve's -loadgen report.
+// row and cmd/dgserve's -loadgen report. v7 adds the bounded-storage rows:
+// cluster-bootstrap rows timing a fresh replica's snapshot-shipped join
+// against a 10× spread of lifetime history (history/cells/converge_ns —
+// flat in history), and wal-compaction rows recording the ledger file size
+// around one compaction against the same spread (wal_bytes_before/
+// wal_bytes_after — the after size tracks live cells, not appends).
 type BenchReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go"`
@@ -184,7 +202,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v6",
+		Schema:     "diffgossip-bench/v7",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       cfg.Seed,
@@ -281,7 +299,212 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
+
+	// Bounded storage (schema v7): fresh-replica bootstrap time vs lifetime
+	// history length, and WAL size around one compaction vs the same spread.
+	{
+		rows, err := benchBootstrap(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+		if rows, err = benchWalCompaction(cfg); err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
 	return report, nil
+}
+
+// benchBootstrap measures the O(state) join claim: an established node folds
+// and trims a workload whose live state (cell count) is fixed while its
+// lifetime history spans 10×, then a fresh replica joins through the
+// snapshot-shipped bootstrap and the row times first digest → watermark
+// agreement. If bootstrap really ships state rather than history, the two
+// rows' converge_ns are flat (within noise) across the spread.
+func benchBootstrap(cfg BenchConfig) ([]BenchResult, error) {
+	const n = 96
+	const cells = 512
+	g, err := buildPA(n, cfg.Seed+70)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchResult
+	for _, history := range []int{1500, 15000} {
+		row, err := benchBootstrapRow(cfg, g, n, cells, history)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func benchBootstrapRow(cfg BenchConfig, g *graph.Graph, n, cells, history int) (BenchResult, error) {
+	newSvc := func(origin string) (*service.Service, error) {
+		return service.New(service.Config{
+			Graph:          g,
+			Params:         core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 71, Workers: 1},
+			Shards:         4,
+			Replicate:      true,
+			FixedEpochSeed: true,
+			Origin:         origin,
+		})
+	}
+	svcA, err := newSvc("bench-a")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svcA.Close()
+	// Fixed live state, variable history: k-th append rewrites cell k mod
+	// cells, so every row folds the same cell set regardless of history.
+	src := rng.New(cfg.Seed + 72)
+	for k := 0; k < history; k++ {
+		c := k % cells
+		rater, subject := c%(n/2), n/2+c/(n/2)%(n/2)
+		if _, err := svcA.SubmitAt(rater, subject, src.Float64(), int64(k+1)); err != nil {
+			return BenchResult{}, err
+		}
+		if (k+1)%(history/4) == 0 {
+			if _, _, err := svcA.RunEpoch(); err != nil {
+				return BenchResult{}, err
+			}
+		}
+	}
+	if _, _, err := svcA.RunEpoch(); err != nil {
+		return BenchResult{}, err
+	}
+	// A lone node's trim floors are its own marks; after the trim the
+	// retained suffix — and therefore the transfer — is O(cells).
+	svcA.TrimReplicationHistory(map[string]uint64{"bench-a": svcA.LocalStreamMark()})
+
+	// Timed: a fresh replica's join, first digest through watermark
+	// agreement. Best of three keeps scheduler noise out of the flatness
+	// comparison CI makes across rows.
+	var best time.Duration
+	rounds := 0
+	for rep := 0; rep < 3; rep++ {
+		hub := transport.NewHub()
+		epA, err := hub.Endpoint("bench-a")
+		if err != nil {
+			return BenchResult{}, err
+		}
+		nodeA, err := cluster.New(cluster.Config{Service: svcA, Transport: epA, Peers: []string{"bench-b"}})
+		if err != nil {
+			return BenchResult{}, err
+		}
+		svcB, err := newSvc("bench-b")
+		if err != nil {
+			return BenchResult{}, err
+		}
+		epB, err := hub.Endpoint("bench-b")
+		if err != nil {
+			return BenchResult{}, err
+		}
+		nodeB, err := cluster.New(cluster.Config{Service: svcB, Transport: epB, Peers: []string{"bench-a"}, BootstrapLag: 1})
+		if err != nil {
+			return BenchResult{}, err
+		}
+		rounds = 0
+		start := time.Now()
+		for nodeB.Stats().Marks["bench-a"] < svcA.LocalStreamMark() {
+			nodeA.Exchange()
+			for pass := 0; pass < 2; pass++ {
+				nodeB.Drain()
+				nodeA.Drain()
+			}
+			rounds++
+			if rounds > 64 {
+				return BenchResult{}, fmt.Errorf("bench: bootstrap never converged at history %d", history)
+			}
+		}
+		elapsed := time.Since(start)
+		if st := nodeB.Stats(); st.BootstrapsInstalled != 1 || st.BootstrapErrors != 0 {
+			return BenchResult{}, fmt.Errorf("bench: bootstrap at history %d went through entry replay: %+v", history, st)
+		}
+		nodeA.Close()
+		nodeB.Close()
+		epA.Close()
+		epB.Close()
+		svcB.Close()
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	row := BenchResult{
+		Name:       fmt.Sprintf("cluster-bootstrap/history=%d", history),
+		N:          n,
+		Steps:      rounds,
+		Converged:  true,
+		History:    int64(history),
+		Cells:      cells,
+		ConvergeNs: float64(best.Nanoseconds()),
+	}
+	row.NsPerStep = row.ConvergeNs / float64(rounds)
+	return row, nil
+}
+
+// benchWalCompaction records the ledger file size around one compaction for a
+// fixed live cell set under a 10× history spread: the before size grows with
+// appends, the after size tracks the cell count plus the unfolded tail.
+func benchWalCompaction(cfg BenchConfig) ([]BenchResult, error) {
+	const n = 32
+	const cells = 256
+	g, err := buildPA(n, cfg.Seed+75)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchResult
+	for _, history := range []int{2000, 20000} {
+		dir, err := os.MkdirTemp("", "dgbench-wal-*")
+		if err != nil {
+			return nil, err
+		}
+		row, err := benchWalRow(cfg, g, dir, n, cells, history)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func benchWalRow(cfg BenchConfig, g *graph.Graph, dir string, n, cells, history int) (BenchResult, error) {
+	svc, err := service.New(service.Config{
+		Graph:  g,
+		Params: core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 76, Workers: 1},
+		Dir:    dir,
+		Shards: 4,
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer svc.Close()
+	src := rng.New(cfg.Seed + 77)
+	for k := 0; k < history; k++ {
+		c := k % cells
+		rater, subject := c%(n/2), n/2+c/(n/2)%(n/2)
+		if _, err := svc.SubmitAt(rater, subject, src.Float64(), int64(k+1)); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	if _, _, err := svc.RunEpoch(); err != nil {
+		return BenchResult{}, err
+	}
+	st, err := svc.CompactWAL()
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:           fmt.Sprintf("wal-compaction/history=%d", history),
+		N:              n,
+		Converged:      true,
+		History:        int64(history),
+		Cells:          cells,
+		WalBytesBefore: st.BytesBefore,
+		WalBytesAfter:  st.BytesAfter,
+	}, nil
 }
 
 // benchAntiEntropy measures the recovery path the membership layer adds: a

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file bounds the ledger's durable and in-memory footprint at unbounded
+// traffic. The paper's model needs only the latest rating per (rater,
+// subject) cell at fold time, so once an epoch has durably folded past an
+// entry, every superseded rating in that cell is dead weight. Compact
+// rewrites the WAL keeping just the live subset; TrimHistory applies the
+// same rule to the in-memory per-origin replication history once every known
+// peer's watermark has passed an entry.
+
+// CompactConfig parameterises Compact and TrimHistory.
+type CompactConfig struct {
+	// Origin is the owning node's cluster identity — the id stamped into the
+	// LWW tag of locally accepted entries (empty when standalone). It must
+	// match the service's replication origin, or compaction could keep a
+	// different cell winner than the epoch fold does.
+	Origin string
+	// FoldedSeq returns the highest ledger sequence number whose fold into
+	// subject's shard segment has been durably persisted. Entries at or below
+	// it are compaction candidates; everything newer is unfolded tail and is
+	// always kept. Nil means nothing is folded (Compact becomes a no-op
+	// rewrite).
+	FoldedSeq func(subject int) uint64
+}
+
+// CompactStats reports one WAL compaction: line counts and byte sizes before
+// and after the rewrite.
+type CompactStats struct {
+	EntriesBefore int
+	EntriesAfter  int
+	BytesBefore   int64
+	BytesAfter    int64
+}
+
+// compactCrash is a test seam simulating a crash inside Compact. When
+// non-nil it runs at each named stage ("tmp-written" — temp file durable,
+// not yet renamed; "renamed" — new file published, in-memory handles not yet
+// swapped); a non-nil return aborts Compact there. Aborting at "renamed"
+// leaves the Ledger's open handle on the unlinked old inode, exactly like a
+// process kill at that instant — the test must discard the Ledger and reopen
+// from disk, as a restart would.
+var compactCrash func(stage string) error
+
+// lwwTag is the last-writer-wins tag of one ledger entry, mirroring the
+// epoch fold's conflict ordering (internal/service): ingest wall-clock
+// first, then origin id, then origin sequence number. Compaction must rank
+// cell rivals exactly as the fold does, or the kept entry could differ from
+// the fold's winner and a post-compaction replay would diverge.
+type lwwTag struct {
+	ts     int64
+	origin string
+	seq    uint64
+}
+
+// entryTag derives an entry's LWW tag; localOrigin stands in for the empty
+// origin of locally accepted entries.
+func entryTag(fb Feedback, localOrigin string) lwwTag {
+	if fb.Origin == "" {
+		return lwwTag{ts: fb.UnixNano, origin: localOrigin, seq: fb.Seq}
+	}
+	return lwwTag{ts: fb.UnixNano, origin: fb.Origin, seq: fb.OriginSeq}
+}
+
+func (a lwwTag) before(b lwwTag) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.seq < b.seq
+}
+
+// compactionKeep marks which entries survive compaction. entries must be in
+// ledger (apply) order. Three groups are kept:
+//
+//   - every unfolded entry (still pending work);
+//   - the LWW-winning entry of each (rater, subject) cell among folded
+//     entries — ties break to the later entry, matching fold apply order;
+//   - the highest-keyed folded entry of each origin stream, even when
+//     another entry won its cell, so per-origin replication watermarks
+//     replay to exactly their pre-compaction values.
+//
+// Dropping a superseded entry is safe cluster-wide: the winner carries its
+// own tag, replicated application tolerates origin-sequence gaps (entries at
+// or below the watermark are skipped, entries above are applied), and a peer
+// that never sees a loser converges to the same cells as one that did.
+func compactionKeep(entries []Feedback, n int, localOrigin string, folded func(Feedback) bool) []bool {
+	keep := make([]bool, len(entries))
+	type win struct {
+		i int
+		t lwwTag
+	}
+	winners := make(map[uint64]win)
+	heads := make(map[string]int)
+	for i, fb := range entries {
+		if !folded(fb) {
+			keep[i] = true
+			continue
+		}
+		heads[fb.Origin] = i
+		cell := uint64(fb.Rater)*uint64(n) + uint64(fb.Subject)
+		t := entryTag(fb, localOrigin)
+		if w, ok := winners[cell]; !ok || !t.before(w.t) {
+			winners[cell] = win{i: i, t: t}
+		}
+	}
+	for _, w := range winners {
+		keep[w.i] = true
+	}
+	for _, i := range heads {
+		keep[i] = true
+	}
+	return keep
+}
+
+// Compact rewrites the backing WAL file keeping only the live subset of
+// entries (see compactionKeep), with their original lines — sequence
+// numbers, origin tags and timestamps unchanged — so a post-compaction
+// replay rebuilds identical in-memory state. The rewrite follows the same
+// crash contract as snapshot publication: temp file in the same directory,
+// fsync, rename over the ledger path, directory fsync — after a crash the
+// path holds either the old file or the compacted one, never a torn mix.
+// The in-memory pending window, history and watermarks are untouched.
+func (l *Ledger) Compact(cfg CompactConfig) (CompactStats, error) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var st CompactStats
+	if l.f == nil {
+		return st, fmt.Errorf("store: compact: ledger has no backing file")
+	}
+	if l.wErr {
+		if err := l.resyncLocked(); err != nil {
+			return st, err
+		}
+	}
+	if err := l.w.Flush(); err != nil {
+		l.wErr = true
+		return st, fmt.Errorf("store: flush ledger: %w", err)
+	}
+	// Read the current contents through a separate handle, so the append
+	// handle's file position is untouched on every error path.
+	rf, err := os.Open(l.path)
+	if err != nil {
+		return st, fmt.Errorf("store: compact: %w", err)
+	}
+	defer rf.Close()
+	scratch := &Ledger{n: l.n}
+	entries, goodEnd, err := scratch.replay(rf)
+	if err != nil {
+		return st, fmt.Errorf("store: compact: %w", err)
+	}
+	st.EntriesBefore = len(entries)
+	st.BytesBefore = goodEnd
+	keep := compactionKeep(entries, l.n, cfg.Origin, func(fb Feedback) bool {
+		return cfg.FoldedSeq != nil && fb.Seq <= cfg.FoldedSeq(fb.Subject)
+	})
+
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, ".ledger-compact-*.tmp")
+	if err != nil {
+		return st, fmt.Errorf("store: compact: temp file: %w", err)
+	}
+	fail := func(err error) (CompactStats, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return st, err
+	}
+	w := bufio.NewWriter(tmp)
+	for i := range entries {
+		if !keep[i] {
+			continue
+		}
+		b, err := json.Marshal(entries[i])
+		if err != nil {
+			return fail(fmt.Errorf("store: compact: encode entry: %w", err))
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return fail(fmt.Errorf("store: compact: write: %w", err))
+		}
+		st.EntriesAfter++
+		st.BytesAfter += int64(len(b))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("store: compact: flush: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: compact: sync: %w", err))
+	}
+	if compactCrash != nil {
+		if err := compactCrash("tmp-written"); err != nil {
+			return fail(err)
+		}
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		return fail(fmt.Errorf("store: compact: publish: %w", err))
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync makes the rename durable; best effort on
+		// filesystems that reject it.
+		d.Sync()
+		d.Close()
+	}
+	if compactCrash != nil {
+		if err := compactCrash("renamed"); err != nil {
+			return st, err
+		}
+	}
+	// The temp handle survives the rename (it is the same inode, now at the
+	// ledger path) and is positioned at end-of-file, so it simply becomes
+	// the append handle — no reopen step that could fail half-swapped.
+	old := l.f
+	l.f, l.w = tmp, w
+	l.goodOff = st.BytesAfter
+	l.mCompactions.Inc()
+	if d := st.EntriesBefore - st.EntriesAfter; d > 0 {
+		l.mCompactDrops.Add(uint64(d))
+	}
+	if err := old.Close(); err != nil {
+		// The swap is complete and consistent; report the stray handle.
+		return st, fmt.Errorf("store: compact: close previous ledger handle: %w", err)
+	}
+	return st, nil
+}
+
+// TrimHistory compacts the in-memory per-origin replication history to the
+// same live subset Compact keeps on disk, dropping superseded entries that
+// every known peer has already passed. floors maps origin stream keys ("" =
+// locally accepted) to the highest origin sequence number all peers'
+// watermarks have passed: an entry is a trim candidate only at or below its
+// stream's floor, so any peer — live, suspect, or dead — can still pull
+// every entry it might be missing. Streams without a floor entry are never
+// trimmed. Returns the number of entries dropped. Requires EnableReplication
+// (0 otherwise). The WAL, pending window and watermarks are untouched.
+func (l *Ledger) TrimHistory(cfg CompactConfig, floors map[string]uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.hist) == 0 || len(floors) == 0 {
+		return 0
+	}
+	total := 0
+	for _, h := range l.hist {
+		total += len(h)
+	}
+	all := make([]Feedback, 0, total)
+	for _, h := range l.hist {
+		all = append(all, h...)
+	}
+	// Global ledger order (local Seq) restores apply order across streams,
+	// which the cell-winner tie-break depends on.
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	keep := compactionKeep(all, l.n, cfg.Origin, func(fb Feedback) bool {
+		floor, ok := floors[fb.Origin]
+		if !ok {
+			return false
+		}
+		key := fb.OriginSeq
+		if fb.Origin == "" {
+			key = fb.Seq
+		}
+		return key <= floor
+	})
+	nh := make(map[string][]Feedback, len(l.hist))
+	removed := 0
+	for i, fb := range all {
+		if keep[i] {
+			nh[fb.Origin] = append(nh[fb.Origin], fb)
+		} else {
+			removed++
+		}
+	}
+	l.hist = nh
+	if removed > 0 {
+		l.mHistTrims.Add(uint64(removed))
+	}
+	return removed
+}

@@ -1,0 +1,482 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// compactLedger opens a ledger at path, appends hist-style traffic with heavy
+// supersession (each rater re-rates the same few subjects), and returns it.
+func compactSeedLedger(t *testing.T, path string, appends int) *Ledger {
+	t.Helper()
+	l, replayed, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh ledger replayed %d entries", len(replayed))
+	}
+	for i := 0; i < appends; i++ {
+		rater, subject := i%4, (i+1)%4
+		if _, err := l.Append(rater, subject, float64(i%10)/10, int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestLedgerCompactKeepsLiveSubset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l := compactSeedLedger(t, path, 40)
+	seq := l.Seq()
+	// Everything is folded: only the 4 distinct (rater, subject) cells
+	// survive.
+	st, err := l.Compact(CompactConfig{FoldedSeq: func(int) uint64 { return seq }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesBefore != 40 || st.EntriesAfter != 4 {
+		t.Fatalf("compact kept %d of %d entries, want 4 of 40", st.EntriesAfter, st.EntriesBefore)
+	}
+	if st.BytesAfter >= st.BytesBefore {
+		t.Fatalf("compact did not shrink the file: %d -> %d bytes", st.BytesBefore, st.BytesAfter)
+	}
+	// Appends continue on the compacted file with the next seq.
+	if got, err := l.Append(5, 6, 0.5, 0); err != nil || got != seq+1 {
+		t.Fatalf("append after compact: seq=%d err=%v, want %d", got, err, seq+1)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The compacted file replays cleanly: sparse seqs, min seq > 1.
+	l2, replayed, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(replayed) != 5 {
+		t.Fatalf("reopen replayed %d entries, want 5", len(replayed))
+	}
+	if replayed[0].Seq <= 1 {
+		t.Fatalf("compacted file should start past seq 1, got %d", replayed[0].Seq)
+	}
+	if l2.Seq() != seq+1 {
+		t.Fatalf("reopened seq %d, want %d", l2.Seq(), seq+1)
+	}
+	// The survivors are the latest entry per cell — the LWW winner, since
+	// local timestamps here increase with seq.
+	wantVal := map[[2]int]float64{}
+	for i := 0; i < 40; i++ {
+		wantVal[[2]int{i % 4, (i + 1) % 4}] = float64(i%10) / 10
+	}
+	for _, fb := range replayed[:4] {
+		if want := wantVal[[2]int{fb.Rater, fb.Subject}]; fb.Value != want {
+			t.Fatalf("cell (%d,%d) kept value %v, want latest %v", fb.Rater, fb.Subject, fb.Value, want)
+		}
+	}
+}
+
+func TestLedgerCompactKeepsUnfoldedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l := compactSeedLedger(t, path, 40)
+	defer l.Close()
+	// Only the first 30 are folded; the unfolded tail survives verbatim.
+	st, err := l.Compact(CompactConfig{FoldedSeq: func(int) uint64 { return 30 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesAfter != 4+10 {
+		t.Fatalf("compact kept %d entries, want 4 cell winners + 10 tail", st.EntriesAfter)
+	}
+	// Nil FoldedSeq: nothing is folded, the rewrite is a no-op subset-wise.
+	st, err = l.Compact(CompactConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesBefore != st.EntriesAfter {
+		t.Fatalf("no-fold compact dropped entries: %d -> %d", st.EntriesBefore, st.EntriesAfter)
+	}
+}
+
+// TestLedgerCompactKeepsLWWWinnerNotLastAppend pins the conflict rule: the
+// kept entry per cell is the fold's LWW winner (timestamp, origin, seq), not
+// simply the last-appended line.
+func TestLedgerCompactKeepsLWWWinnerNotLastAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.EnableReplication(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Local write at t=2000 first, then a replicated rival for the same cell
+	// with an OLDER timestamp: the local entry stays the LWW winner even
+	// though the rival was appended later.
+	if _, err := l.Append(1, 2, 0.9, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.AppendReplicated(Feedback{Rater: 1, Subject: 2, Value: 0.1, UnixNano: 1000, Origin: "node-b", OriginSeq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	seq := l.Seq()
+	st, err := l.Compact(CompactConfig{Origin: "node-a", FoldedSeq: func(int) uint64 { return seq }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both survive — the loser is its origin stream's head, kept so the
+	// node-b watermark replays — but the winner must be among them.
+	if st.EntriesAfter != 2 {
+		t.Fatalf("kept %d entries, want cell winner + stream head", st.EntriesAfter)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var sawWinner bool
+	for _, fb := range replayed {
+		if fb.Origin == "" && fb.Value == 0.9 {
+			sawWinner = true
+		}
+	}
+	if !sawWinner {
+		t.Fatalf("LWW winner dropped by compaction: %+v", replayed)
+	}
+	// Watermarks replay to their pre-compaction values.
+	if err := l2.EnableReplication(replayed); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.OriginMark("node-b"); got != 5 {
+		t.Fatalf("node-b watermark after compacted replay = %d, want 5", got)
+	}
+}
+
+// TestLedgerCompactCrashPoints kills compaction at each stage of the
+// tmp/rename/swap sequence and proves a reboot replays cleanly from whichever
+// file the crash left behind, converging to the same entries either way.
+func TestLedgerCompactCrashPoints(t *testing.T) {
+	defer func() { compactCrash = nil }()
+	boom := errors.New("injected crash")
+
+	// Control: what an uncompacted reopen replays, minus the dropped losers.
+	mkPath := func(t *testing.T) string {
+		path := filepath.Join(t.TempDir(), "ledger.jsonl")
+		l := compactSeedLedger(t, path, 40)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("before-rename", func(t *testing.T) {
+		path := mkPath(t)
+		l, _, err := OpenLedger(path, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compactCrash = func(stage string) error {
+			if stage == "tmp-written" {
+				return boom
+			}
+			return nil
+		}
+		if _, err := l.Compact(CompactConfig{FoldedSeq: func(int) uint64 { return 40 }}); !errors.Is(err, boom) {
+			t.Fatalf("compact error = %v, want injected crash", err)
+		}
+		compactCrash = nil
+		l.Close()
+		// The rename never happened: boot sees the old, full ledger.
+		l2, replayed, err := OpenLedger(path, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l2.Close()
+		if len(replayed) != 40 || l2.Seq() != 40 {
+			t.Fatalf("reopen after pre-rename crash: %d entries seq %d, want the old file intact", len(replayed), l2.Seq())
+		}
+		// No temp litter survives the abort.
+		m, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".ledger-compact-*"))
+		if len(m) != 0 {
+			t.Fatalf("aborted compaction left temp files: %v", m)
+		}
+	})
+
+	t.Run("after-rename", func(t *testing.T) {
+		path := mkPath(t)
+		l, _, err := OpenLedger(path, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compactCrash = func(stage string) error {
+			if stage == "renamed" {
+				return boom
+			}
+			return nil
+		}
+		if _, err := l.Compact(CompactConfig{FoldedSeq: func(int) uint64 { return 40 }}); !errors.Is(err, boom) {
+			t.Fatalf("compact error = %v, want injected crash", err)
+		}
+		compactCrash = nil
+		// The crash hit after the rename published the new file: this Ledger
+		// object is dead (its handle points at the unlinked old inode, like a
+		// killed process's would) — discard it and reboot from disk.
+		l.Close()
+		l2, replayed, err := OpenLedger(path, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l2.Close()
+		if len(replayed) != 4 {
+			t.Fatalf("reopen after post-rename crash replayed %d entries, want the compacted 4", len(replayed))
+		}
+		if l2.Seq() != 40 {
+			t.Fatalf("reopened seq %d, want 40 (highest surviving seq)", l2.Seq())
+		}
+		if _, err := l2.Append(5, 6, 0.5, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestLedgerAppendRecoversAfterWriteError is the regression test for the
+// sticky bufio failure: before the goodOff/resync fix, one failed write or
+// flush left the buffered writer permanently errored (and possibly a partial
+// line in the file), so every later append failed and a reboot could refuse
+// the malformed line. Now the next append truncates back to the last good
+// line boundary and proceeds.
+func TestLedgerAppendRecoversAfterWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, _, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, 2, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the failure: swap in a writer whose sink always fails — the
+	// bufio error is sticky exactly like a real transient disk error — and,
+	// as a failed flush can, leave a partial line in the backing file.
+	l.mu.Lock()
+	l.w = bufio.NewWriterSize(failingWriter{}, 1)
+	if _, err := l.f.WriteString(`{"seq":2,"ra`); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.mu.Unlock()
+	if _, err := l.Append(3, 4, 0.25, 0); err == nil {
+		t.Fatal("append through a failing writer should error")
+	}
+	// The fix: the very next append resyncs (truncate to the last good line,
+	// reset the writer onto the file) and succeeds.
+	seq, err := l.Append(3, 4, 0.25, 0)
+	if err != nil {
+		t.Fatalf("append after write error did not recover: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("recovered append got seq %d, want 2 (failed attempt must not consume a seq)", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The partial line was truncated away: reboot replays cleanly.
+	l2, replayed, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatalf("reopen after recovered write error: %v", err)
+	}
+	defer l2.Close()
+	if len(replayed) != 2 || replayed[1].Rater != 3 {
+		t.Fatalf("replayed %+v, want the two good entries", replayed)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("injected write error") }
+
+func TestLedgerTrimHistory(t *testing.T) {
+	l := NewLedger(8)
+	if err := l.EnableReplication(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(i%4, (i+1)%4, 0.5, int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		fb := Feedback{Rater: 4, Subject: 5, Value: 0.5, UnixNano: int64(2000 + i), Origin: "node-b", OriginSeq: uint64(i + 1)}
+		if _, _, err := l.AppendReplicated(fb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No floor for node-b: its stream must not be trimmed at all.
+	removed := l.TrimHistory(CompactConfig{Origin: "node-a"}, map[string]uint64{"": 20})
+	if removed != 16 {
+		t.Fatalf("trimmed %d local entries, want 16 (4 cells survive)", removed)
+	}
+	if got := len(l.EntriesSince("node-b", 0, 0)); got != 10 {
+		t.Fatalf("node-b stream trimmed to %d entries despite missing floor", got)
+	}
+	// Floor below the node-b head: everything at or below it is superseded
+	// except the cell winner... which is the head here (same cell, rising
+	// timestamps), so 9 drop once the floor passes seq 9.
+	removed = l.TrimHistory(CompactConfig{Origin: "node-a"}, map[string]uint64{"node-b": 9})
+	if removed != 8 {
+		t.Fatalf("trimmed %d node-b entries, want 8 (floor at 9 spares seq 10 and the seq-9 winner-at-floor)", removed)
+	}
+	after := l.EntriesSince("node-b", 0, 0)
+	if len(after) != 2 || after[len(after)-1].OriginSeq != 10 {
+		t.Fatalf("node-b stream after trim: %+v", after)
+	}
+	// Watermarks and pull answers still work past the trim point.
+	if got := l.OriginMark("node-b"); got != 10 {
+		t.Fatalf("node-b watermark %d after trim, want 10", got)
+	}
+	if ents := l.EntriesSince("node-b", 9, 0); len(ents) != 1 || ents[0].OriginSeq != 10 {
+		t.Fatalf("EntriesSince past trim: %+v", ents)
+	}
+}
+
+// TestLedgerCompactConcurrentAppends races Compact against live appends (the
+// race job runs this under -race): compaction must neither lose nor duplicate
+// entries, and the post-compaction file must replay cleanly.
+func TestLedgerCompactConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l := compactSeedLedger(t, path, 20)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			if _, err := l.Append(i%8, (i+3)%8, 0.5, int64(5000+i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Compact(CompactConfig{FoldedSeq: func(int) uint64 { return 20 }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	before := l.Seq()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, err := OpenLedger(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Seq() != before {
+		t.Fatalf("reopened seq %d, want %d", l2.Seq(), before)
+	}
+	// Every entry past the fold point survived every rewrite.
+	unfolded := 0
+	for _, fb := range replayed {
+		if fb.Seq > 20 {
+			unfolded++
+		}
+	}
+	if unfolded != 50 {
+		t.Fatalf("%d unfolded entries survived, want all 50", unfolded)
+	}
+}
+
+// TestCompactionKeepTieBreak pins the tie rule: equal LWW tags resolve to the
+// later entry in apply order, matching the fold's overwrite semantics.
+func TestCompactionKeepTieBreak(t *testing.T) {
+	entries := []Feedback{
+		{Seq: 1, Rater: 1, Subject: 2, Value: 0.1, UnixNano: 100},
+		{Seq: 2, Rater: 1, Subject: 2, Value: 0.9, UnixNano: 100},
+	}
+	// Local entries tie on timestamp but differ on seq: seq 2 wins.
+	keep := compactionKeep(entries, 8, "", func(Feedback) bool { return true })
+	if !reflect.DeepEqual(keep, []bool{false, true}) {
+		t.Fatalf("keep = %v, want the later local entry", keep)
+	}
+}
+
+func TestHintLogRewriteSurfacesOldHandleCloseError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.jsonl")
+	hl, _, err := OpenHintLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hl.Append(testHint("peer-1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Force the old handle's Close inside Rewrite to fail. Before the fix
+	// this error was dropped on the floor (and a reopen failure would have
+	// left the log holding a closed handle).
+	if err := hl.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = hl.Rewrite([]Hint{testHint("peer-1", 1)})
+	if err == nil {
+		t.Fatal("Rewrite swallowed the old handle's close error")
+	}
+	// The error is diagnostic, not fatal: the rewrite itself succeeded and
+	// the log keeps working on the new handle.
+	if err := hl.Append(testHint("peer-2", 2)); err != nil {
+		t.Fatalf("hint log unusable after rewrite close error: %v", err)
+	}
+	if err := hl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := OpenHintLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Hint{testHint("peer-1", 1), testHint("peer-2", 2)}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replayed %+v, want %+v", replayed, want)
+	}
+}
+
+// TestHintLogBlankLinesTolerated is the regression test for the replay
+// asymmetry: Ledger.replay skipped blank lines but OpenHintLog fed them to
+// the JSON decoder and refused to boot.
+func TestHintLogBlankLinesTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.jsonl")
+	h1, h2 := testHint("peer-1", 0), testHint("peer-2", 7)
+	var buf []byte
+	for i, h := range []Hint{h1, h2} {
+		b, err := jsonMarshalHint(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+		if i == 0 {
+			buf = append(buf, '\n') // stray blank line between hints
+		}
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hl, replayed, err := OpenHintLog(path)
+	if err != nil {
+		t.Fatalf("blank line refused hint log boot: %v", err)
+	}
+	defer hl.Close()
+	if !reflect.DeepEqual(replayed, []Hint{h1, h2}) {
+		t.Fatalf("replayed %+v, want both hints", replayed)
+	}
+}
+
+func jsonMarshalHint(h Hint) ([]byte, error) {
+	return json.Marshal(h)
+}

@@ -30,6 +30,11 @@ func FuzzLedgerOpen(f *testing.F) {
 	f.Add([]byte("{\"seq\":0,\"rater\":0,\"subject\":0,\"value\":0}\n"))
 	f.Add([]byte("{\"seq\":1,\"rater\":-1,\"subject\":0,\"value\":0}\n"))
 	f.Add([]byte("{\"seq\":18446744073709551615,\"rater\":0,\"subject\":0,\"value\":0}\n{\"seq\":1,\"rater\":0,\"subject\":0,\"value\":0}\n"))
+	// Compacted-file shapes (see Compact): sparse seqs and a min seq > 1 are
+	// valid — only non-increasing seqs are corruption.
+	f.Add([]byte("{\"seq\":7,\"rater\":0,\"subject\":1,\"value\":0.5}\n"))
+	f.Add([]byte("{\"seq\":2,\"rater\":0,\"subject\":1,\"value\":0.5}\n{\"seq\":9,\"rater\":1,\"subject\":0,\"value\":1}\n{\"seq\":10,\"rater\":2,\"subject\":3,\"value\":0.25}\n"))
+	f.Add([]byte("{\"seq\":3,\"rater\":0,\"subject\":1,\"value\":0.5,\"origin\":\"node-1\",\"origin_seq\":8}\n{\"seq\":12,\"rater\":1,\"subject\":0,\"value\":1,\"origin\":\"node-1\",\"origin_seq\":20}\n"))
 
 	const n = 16
 	f.Fuzz(func(t *testing.T, data []byte) {

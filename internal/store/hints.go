@@ -84,12 +84,17 @@ func OpenHintLog(path string) (*HintLog, []Hint, error) {
 		}
 		if len(b) > 0 && b[len(b)-1] == '\n' {
 			line++
-			var h Hint
-			if jerr := json.Unmarshal(b, &h); jerr != nil {
-				f.Close()
-				return nil, nil, fmt.Errorf("store: hint log line %d: %w", line, jerr)
+			// Blank lines are tolerated exactly as Ledger.replay tolerates
+			// them: counted as good bytes and skipped, so a stray newline
+			// never refuses boot.
+			if trimmed := b[:len(b)-1]; len(trimmed) != 0 {
+				var h Hint
+				if jerr := json.Unmarshal(trimmed, &h); jerr != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("store: hint log line %d: %w", line, jerr)
+				}
+				out = append(out, h)
 			}
-			out = append(out, h)
 			goodEnd += int64(len(b))
 		}
 		if err == io.EOF {
@@ -129,7 +134,12 @@ func (hl *HintLog) Append(h Hint) error {
 
 // Rewrite atomically replaces the whole log with hints — called after a
 // replay drains part of the queue, so delivered batches are not replayed
-// again across a restart.
+// again across a restart. Any failure before the rename leaves the old file
+// and the old handle untouched; after the rename the temp handle itself
+// becomes the log's handle (the rename moves the inode, not the fd), so
+// there is no reopen step that could fail and leave the log pointing at a
+// closed file. A non-nil error after the swap means the replacement
+// succeeded but closing the previous handle failed; the log stays usable.
 func (hl *HintLog) Rewrite(hints []Hint) error {
 	tmp := hl.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -160,22 +170,18 @@ func (hl *HintLog) Rewrite(hints []Hint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: sync hint log: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: close hint log: %w", err)
-	}
 	if err := os.Rename(tmp, hl.path); err != nil {
+		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: replace hint log: %w", err)
 	}
-	hl.f.Close()
-	nf, err := os.OpenFile(hl.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: reopen hint log: %w", err)
-	}
-	hl.f = nf
-	hl.w = bufio.NewWriter(nf)
+	oldErr := hl.f.Close()
+	hl.f = f
+	hl.w = w // w's buffer is flushed; appends continue at the file's end
 	hl.mRewrites.Inc()
+	if oldErr != nil {
+		return fmt.Errorf("store: close previous hint log handle: %w", oldErr)
+	}
 	return nil
 }
 

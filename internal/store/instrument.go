@@ -31,4 +31,10 @@ func (l *Ledger) Instrument(reg *obs.Registry) {
 		"WAL fsync latency, in seconds.", h)
 	reg.Counter("diffgossip_store_snapshot_writes_total", "",
 		"Durable shard snapshot segment writes (process-wide).", &snapshotWrites)
+	reg.Counter("diffgossip_store_wal_compactions_total", "",
+		"WAL compaction rewrites completed.", &l.mCompactions)
+	reg.Counter("diffgossip_store_wal_compaction_dropped_entries_total", "",
+		"Superseded WAL entries dropped by compaction.", &l.mCompactDrops)
+	reg.Counter("diffgossip_store_hist_trimmed_entries_total", "",
+		"Superseded replication-history entries trimmed from memory.", &l.mHistTrims)
 }

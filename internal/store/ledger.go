@@ -108,8 +108,17 @@ type Ledger struct {
 	mu      sync.Mutex
 	seq     uint64
 	pending []Feedback
+	path    string
 	f       *os.File
 	w       *bufio.Writer
+
+	// goodOff is the byte offset just past the last fully flushed WAL line.
+	// wErr records that a write or flush failed, which may have left a
+	// partial line in the file; before the next write the ledger resyncs by
+	// truncating back to goodOff, so one transient I/O error can never
+	// produce a malformed complete line that bricks replay at next boot.
+	goodOff int64
+	wErr    bool
 
 	// syncMu serialises fsync without holding mu, so a slow disk never
 	// blocks Append (see Sync).
@@ -136,10 +145,13 @@ type Ledger struct {
 	// atomics maintained on every append/sync regardless of registration;
 	// the fsync histogram is created only when Instrument runs, behind an
 	// atomic pointer so Sync can read it without a lock.
-	mEntries    obs.Counter
-	mWALAppends obs.Counter
-	mFsyncs     obs.Counter
-	mFsyncHist  atomic.Pointer[obs.Histogram]
+	mEntries      obs.Counter
+	mWALAppends   obs.Counter
+	mFsyncs       obs.Counter
+	mFsyncHist    atomic.Pointer[obs.Histogram]
+	mCompactions  obs.Counter
+	mCompactDrops obs.Counter
+	mHistTrims    obs.Counter
 }
 
 // NewLedger returns a memory-only ledger over n nodes with a single shard.
@@ -203,7 +215,7 @@ func OpenLedger(path string, n int) (*Ledger, []Feedback, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open ledger: %w", err)
 	}
-	l := &Ledger{n: n, f: f}
+	l := &Ledger{n: n, f: f, path: path}
 	l.initShards(1)
 	replayed, goodEnd, err := l.replay(f)
 	if err != nil {
@@ -221,12 +233,16 @@ func OpenLedger(path string, n int) (*Ledger, []Feedback, error) {
 		return nil, nil, fmt.Errorf("store: seek ledger: %w", err)
 	}
 	l.w = bufio.NewWriter(f)
+	l.goodOff = goodEnd
 	return l, replayed, nil
 }
 
 // replay reads the whole file, validating every line, and returns the byte
 // offset just past the last good line. Sequence numbers must be strictly
-// increasing; the ledger resumes after the highest one seen. An
+// increasing — but need not be dense and need not start at 1: a compacted
+// file (see Compact) keeps an arbitrary subsequence of the original lines
+// with their original seqs, so gaps and a min seq > 1 are valid. The ledger
+// resumes after the highest one seen. An
 // unterminated final line is the crash artifact of an append that never
 // completed (Append flushes a full line per entry, so nothing else can tear)
 // and is silently dropped; any malformed *complete* line is real corruption
@@ -302,6 +318,15 @@ func (l *Ledger) Append(rater, subject int, value float64, unixNano int64) (uint
 // the retained per-origin history). Callers hold mu; fb.Seq and fb.Shard are
 // filled in on success, and on error nothing — file or memory — has changed.
 func (l *Ledger) appendLocked(fb *Feedback) error {
+	return l.appendModeLocked(fb, true)
+}
+
+// appendModeLocked is appendLocked with the pending window made optional:
+// enqueue=false records the entry in the WAL, history and watermarks but
+// does NOT add it to the pending window or dirty set — for entries arriving
+// in a bootstrap state transfer, whose fold is already reflected in the
+// shipped segments.
+func (l *Ledger) appendModeLocked(fb *Feedback, enqueue bool) error {
 	if l.seq == math.MaxUint64 {
 		// Replaying a hostile ledger can leave seq at the top of its range;
 		// wrapping to 0 would durably write an entry that poisons every
@@ -310,31 +335,57 @@ func (l *Ledger) appendLocked(fb *Feedback) error {
 	}
 	fb.Seq = l.seq + 1
 	if l.w != nil {
+		if l.wErr {
+			if err := l.resyncLocked(); err != nil {
+				return err
+			}
+		}
 		b, err := json.Marshal(fb)
 		if err != nil {
 			return fmt.Errorf("store: encode feedback: %w", err)
 		}
 		b = append(b, '\n')
 		if _, err := l.w.Write(b); err != nil {
+			l.wErr = true
 			return fmt.Errorf("store: write ledger: %w", err)
 		}
 		if err := l.w.Flush(); err != nil {
+			l.wErr = true
 			return fmt.Errorf("store: flush ledger: %w", err)
 		}
+		l.goodOff += int64(len(b))
 		l.mWALAppends.Inc()
 	}
 	l.mEntries.Inc()
 	l.seq = fb.Seq
 	fb.Shard = ShardOf(fb.Subject, l.shards)
-	l.pending = append(l.pending, *fb)
-	l.pendingN.Store(int64(len(l.pending)))
-	l.markDirtyLocked(fb.Shard)
+	if enqueue {
+		l.pending = append(l.pending, *fb)
+		l.pendingN.Store(int64(len(l.pending)))
+		l.markDirtyLocked(fb.Shard)
+	}
 	if l.hist != nil {
 		l.hist[fb.Origin] = append(l.hist[fb.Origin], *fb)
 		if fb.Origin != "" {
 			l.marks[fb.Origin] = fb.OriginSeq
 		}
 	}
+	return nil
+}
+
+// resyncLocked recovers the WAL after a failed write or flush: a bufio error
+// is sticky and the failed attempt may have pushed a partial line into the
+// file, so the ledger truncates back to the last known line boundary and
+// resets the writer before anything else is written. Callers hold mu.
+func (l *Ledger) resyncLocked() error {
+	if _, err := l.f.Seek(l.goodOff, io.SeekStart); err != nil {
+		return fmt.Errorf("store: resync ledger: %w", err)
+	}
+	if err := l.f.Truncate(l.goodOff); err != nil {
+		return fmt.Errorf("store: resync ledger: %w", err)
+	}
+	l.w.Reset(l.f)
+	l.wErr = false
 	return nil
 }
 
@@ -392,6 +443,33 @@ func (l *Ledger) AppendReplicated(fb Feedback) (uint64, bool, error) {
 		return 0, false, nil // duplicate: already applied
 	}
 	if err := l.appendLocked(&fb); err != nil {
+		return 0, false, err
+	}
+	return fb.Seq, true, nil
+}
+
+// AppendReplicatedStored applies one replicated entry exactly like
+// AppendReplicated — WAL line, local sequence number, history, watermark —
+// but does NOT enqueue it in the pending window: the caller asserts its fold
+// is already reflected in state it is installing alongside (a bootstrap
+// state transfer). Same idempotency rule: at or below the origin watermark
+// reports (0, false, nil).
+func (l *Ledger) AppendReplicatedStored(fb Feedback) (uint64, bool, error) {
+	if fb.Origin == "" || fb.OriginSeq == 0 {
+		return 0, false, fmt.Errorf("store: replicated entry missing origin tags")
+	}
+	if err := l.check(fb.Rater, fb.Subject, fb.Value); err != nil {
+		return 0, false, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hist == nil {
+		return 0, false, fmt.Errorf("store: replication not enabled")
+	}
+	if fb.OriginSeq <= l.marks[fb.Origin] {
+		return 0, false, nil // duplicate: already applied
+	}
+	if err := l.appendModeLocked(&fb, false); err != nil {
 		return 0, false, err
 	}
 	return fb.Seq, true, nil
@@ -540,7 +618,14 @@ func (l *Ledger) Sync() error {
 		return nil
 	}
 	if l.w != nil {
+		if l.wErr {
+			if err := l.resyncLocked(); err != nil {
+				l.mu.Unlock()
+				return err
+			}
+		}
 		if err := l.w.Flush(); err != nil {
+			l.wErr = true
 			l.mu.Unlock()
 			return fmt.Errorf("store: flush ledger: %w", err)
 		}

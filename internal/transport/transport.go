@@ -52,6 +52,45 @@ type Message struct {
 	// heartbeat) pair it has observed. Receivers merge the view to discover
 	// peers transitively from a single seed.
 	View []PeerView
+	// State is the bootstrap payload of a KindState message (nil on every
+	// other kind). Watermarks doubles as the requester's marks on a
+	// KindStateRequest message.
+	State *StatePayload
+}
+
+// StatePayload is the body of a snapshot-shipped bootstrap (KindState): the
+// sender's folded shard segments plus its retained ledger suffix, everything
+// a fresh or deeply lagging replica needs to converge in O(state) instead of
+// replaying whole origin streams.
+type StatePayload struct {
+	// N is the network size the segments cover; Shards is their layout.
+	N, Shards int
+	// Segments holds one encoded shard snapshot per shard (the gob framing
+	// store.ShardSnapshot.Save writes), indexed by shard.
+	Segments [][]byte
+	// Folded are retained entries already reflected in Segments; Tail are
+	// entries past the segments' fold points. Both in per-origin ascending
+	// order, every entry origin-stamped.
+	Folded []StateEntry
+	Tail   []StateEntry
+	// Marks are the sender's per-origin watermarks at capture time, keyed by
+	// origin id (the sender's own stream under its id).
+	Marks map[string]uint64
+}
+
+// StateEntry is one ledger entry inside a state transfer. Unlike a
+// KindEntries batch — which carries one origin on the enclosing Message — a
+// state transfer mixes streams, so each entry is origin-stamped itself.
+type StateEntry struct {
+	// Origin is the node id whose ledger first accepted the entry; OriginSeq
+	// is the sequence number that ledger assigned.
+	Origin    string
+	OriginSeq uint64
+	// Rater and Subject are node ids; Value is the direct trust t_ij ∈ [0,1].
+	Rater, Subject int
+	Value          float64
+	// UnixNano is the ingest wall-clock time at the origin (0 when unknown).
+	UnixNano int64
 }
 
 // PeerView is one row of a gossiped membership view. Liveness is ordered by
@@ -105,6 +144,13 @@ const (
 	// KindEntries carries a batch of replicated feedback ledger entries
 	// answering a digest.
 	KindEntries
+	// KindStateRequest asks a peer for a full bootstrap state transfer; the
+	// message's Watermarks carry the requester's per-origin marks so the
+	// reply ships only what the requester is missing.
+	KindStateRequest
+	// KindState answers a state request with a StatePayload — folded shard
+	// segments plus the retained ledger suffix.
+	KindState
 )
 
 // String implements fmt.Stringer.
@@ -122,6 +168,10 @@ func (k Kind) String() string {
 		return "digest"
 	case KindEntries:
 		return "entries"
+	case KindStateRequest:
+		return "state-request"
+	case KindState:
+		return "state"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
