@@ -75,13 +75,22 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v7" {
+	if report.Schema != "diffgossip-bench/v8" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
-	if len(report.Benchmarks) != 16 {
-		t.Fatalf("benchmarks = %d, want 16 (scalar, vector, vector-sparse, service, churn, 3×sharded, 3×anti-entropy, http-latency, 2×bootstrap, 2×wal-compaction)", len(report.Benchmarks))
+	if report.CPUs < 1 {
+		t.Fatalf("cpus = %d", report.CPUs)
+	}
+	// 16 fixed rows (scalar, vector, vector-sparse, service, churn,
+	// 3×sharded, 3×anti-entropy, http-latency, 2×bootstrap,
+	// 2×wal-compaction) plus the v8 epoch-scaling family: two warm rows and
+	// one cores row per GOMAXPROCS setting (host-dependent, at least three).
+	if len(report.Benchmarks) < 21 {
+		t.Fatalf("benchmarks = %d, want at least 21", len(report.Benchmarks))
 	}
 	var serviceRows, churnRows, shardedRows, handoffRows, latencyRows, bootstrapRows, walRows int
+	var warmRows, coresRows int
+	scaling := map[string]sim.BenchResult{}
 	for _, b := range report.Benchmarks {
 		if strings.HasPrefix(b.Name, "wal-compaction/") {
 			// The schema-v7 size rows measure bytes, not steps: the ledger
@@ -111,6 +120,26 @@ func TestBenchJSONWellFormed(t *testing.T) {
 			if !b.Converged {
 				t.Fatalf("sharded row did not converge: %+v", b)
 			}
+			continue
+		}
+		if strings.HasPrefix(b.Name, "epoch-scaling/") {
+			// The schema-v8 rows: warm-vs-cold campaign steps on an identical
+			// dirty slice, and cold epoch latency per core count.
+			if b.EpochNs <= 0 || b.FoldedSubjects == 0 || b.Shards <= 0 {
+				t.Fatalf("epoch-scaling row has no work recorded: %+v", b)
+			}
+			if !b.Converged {
+				t.Fatalf("epoch-scaling row did not converge: %+v", b)
+			}
+			if b.Cores > 0 {
+				coresRows++
+				if b.Speedup <= 0 || b.ColdStarts == 0 || b.TotalSteps <= 0 {
+					t.Fatalf("cores row has no scaling accounting: %+v", b)
+				}
+			} else {
+				warmRows++
+			}
+			scaling[b.Name] = b
 			continue
 		}
 		if b.NsPerStep <= 0 {
@@ -181,5 +210,21 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if serviceRows != 1 || churnRows != 1 || shardedRows != 3 || handoffRows != 3 || latencyRows != 1 || bootstrapRows != 2 || walRows != 2 {
 		t.Fatalf("service rows = %d, churn rows = %d, sharded rows = %d, handoff rows = %d, latency rows = %d, bootstrap rows = %d, wal rows = %d, want 1/1/3/3/1/2/2",
 			serviceRows, churnRows, shardedRows, handoffRows, latencyRows, bootstrapRows, walRows)
+	}
+	if warmRows != 2 || coresRows < 3 {
+		t.Fatalf("epoch-scaling rows = %d warm + %d cores, want 2 warm and at least 3 cores", warmRows, coresRows)
+	}
+	// The hardware-independent half of the v8 claim must hold wherever the
+	// report was generated: the warm epoch folds the same subjects as the
+	// cold one in at most a fifth of the campaign steps.
+	on, off := scaling["epoch-scaling/warm=on/dirty=5%"], scaling["epoch-scaling/warm=off/dirty=5%"]
+	if on.Name == "" || off.Name == "" {
+		t.Fatalf("warm twin rows missing from the report")
+	}
+	if on.WarmStarts == 0 || off.ColdStarts == 0 || on.FoldedSubjects != off.FoldedSubjects {
+		t.Fatalf("warm twins did not fold identical work: %+v vs %+v", on, off)
+	}
+	if 5*on.TotalSteps > off.TotalSteps {
+		t.Fatalf("warm epoch spent %d campaign steps, want at most a fifth of cold's %d", on.TotalSteps, off.TotalSteps)
 	}
 }

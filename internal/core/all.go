@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"diffgossip/internal/gossip"
 	"diffgossip/internal/graph"
@@ -27,26 +28,41 @@ var (
 )
 
 // GlobalSubjects runs the paper's Algorithm 1 for an arbitrary subject
-// subset: one independent push-sum campaign per subject, each on the
-// flat-memory VectorEngine restricted to that subject's column (reusing its
-// active-subject index and fused accumulate+scan kernels), each drawing
-// from its own randomness stream split off p.Seed by global subject id
+// subset: one independent push-sum campaign per subject, each drawing from
+// its own randomness stream split off p.Seed by global subject id
 // (SplitMix64 substream derivation — see subjectSeed).
 //
 // Because the campaigns share nothing, a subject's result column depends
-// only on (p.Seed, the graph, its trust column) — never on which other
-// subjects are computed alongside it, how the subject space is sharded, in
-// which order shards fold, or how many workers run. That invariance is what
-// lets the sharded service recompute any dirty subset of subjects and still
-// match a full recompute bit for bit; GlobalAll is exactly the S=1 /
-// all-subjects case.
+// only on (p.Seed, the graph, its trust column, and for warm starts its
+// recorded state) — never on which other subjects are computed alongside
+// it, how the subject space is sharded, in which order shards fold, or how
+// many workers run. That invariance is what lets the sharded service
+// recompute any dirty subset of subjects and still match a full recompute
+// bit for bit; GlobalAll is exactly the S=1 / all-subjects case.
 //
-// Subjects nobody has rated cost no gossip at all: their campaigns carry no
-// weight mass, so the result column is exactly zero and no engine runs.
+// Each campaign picks the cheapest sound execution:
+//
+//   - no raters: the column is exactly zero, no engine runs;
+//   - one rater (sparse mode on): the fixed point is the rater's value — the
+//     column is filled directly, zero gossip steps;
+//   - at most p.SparseRaterFrac·N raters: push-sum over the k-node rater
+//     overlay (overlayGraph), so cost scales with the raters, not N;
+//   - otherwise: push-sum over the full graph on the flat-memory
+//     VectorEngine restricted to the subject's column.
+//
+// When p.Warm supplies a usable previous state, the campaign restarts from
+// it with the trust-column delta injected as mass corrections — a
+// near-fixed-point start that converges in a handful of steps — and falls
+// back to a cold start when the state no longer fits (rater removed,
+// campaign mode changed). A campaign whose trust column is bit-identical to
+// what a converged state recorded skips the engine entirely: the recorded
+// fixed point is republished at zero steps and zero messages. Warm results
+// agree with cold ones within the ξ tolerance but not bit for bit.
 //
 // p.Workers parallelises across subjects (0/1 sequential, negative =
-// GOMAXPROCS); each worker reuses one engine via Reset, so the steady-state
-// allocation per subject is just its result column.
+// GOMAXPROCS): workers pull campaigns longest-estimated-first from a shared
+// queue (scheduleOrder) and reuse their engines via Reset, so the
+// steady-state allocation per subject is just its result column.
 func GlobalSubjects(g *graph.Graph, t ColumnSource, subjects []int, p Params) (*SubjectsResult, error) {
 	p = p.withDefaults()
 	if g == nil || g.N() == 0 {
@@ -74,61 +90,188 @@ func GlobalSubjects(g *graph.Graph, t ColumnSource, subjects []int, p Params) (*
 	}
 
 	res := &SubjectsResult{
-		Subjects:  append([]int(nil), subjects...),
-		Columns:   make([][]float64, len(subjects)),
-		Raters:    make([]int, len(subjects)),
-		Converged: true,
+		Subjects:       append([]int(nil), subjects...),
+		Columns:        make([][]float64, len(subjects)),
+		Raters:         make([]int, len(subjects)),
+		StepsBySubject: make([]int, len(subjects)),
+		Converged:      true,
 	}
+	if p.KeepStates {
+		res.States = make([]*gossip.CampaignState, len(subjects))
+	}
+	sparseMax := 0
+	if p.SparseRaterFrac > 0 {
+		sparseMax = int(p.SparseRaterFrac * float64(n))
+		if sparseMax < 1 {
+			sparseMax = 1
+		}
+	}
+
 	type outcome struct {
 		steps     int
 		converged bool
 		msgs      gossip.Messages
 		ran       bool
+		warm      bool
 		err       error
 	}
 	outs := make([]outcome, len(subjects))
 
-	worker := func(lo, hi int) {
-		var eng *gossip.VectorEngine
-		y0 := make([]float64, n)
-		g0 := make([]float64, n)
-		var ids []int
-		var vals []float64
-		for s := lo; s < hi; s++ {
-			j := res.Subjects[s]
-			ids, vals = t.RatersOfInto(j, ids[:0], vals[:0])
-			col := make([]float64, n)
-			res.Columns[s] = col
-			res.Raters[s] = len(ids)
-			if len(ids) == 0 {
-				outs[s] = outcome{converged: true}
-				continue
+	// Per-worker reusable state: one dense engine (built over the real
+	// graph on first dense campaign), one sparse engine per overlay size,
+	// and the seed scratch blocks.
+	type workerState struct {
+		dense   *gossip.VectorEngine
+		scratch *seedScratch
+		sparse  map[int]*gossip.VectorEngine
+		sy, sg  []float64 // sparse seeds, sliced to the overlay size
+		est     []float64 // sparse estimate column
+		ids     []int
+		vals    []float64
+	}
+
+	runSparse := func(s, j int, ids []int, vals []float64, ws *gossip.CampaignState, w *workerState, col []float64) {
+		k := len(ids)
+		if k == 1 {
+			// A single rater's campaign has a closed-form fixed point: every
+			// node's estimate is the rater's value. Zero steps, still a
+			// computed (cold) campaign for the incrementality accounting.
+			for i := range col {
+				col[i] = vals[0]
 			}
-			clear(y0)
-			clear(g0)
-			for k, i := range ids {
-				y0[i] = vals[k]
-				g0[i] = 1
+			outs[s] = outcome{converged: true, ran: true}
+			return
+		}
+		warm := ws != nil && ws.Sparse &&
+			len(ws.Y) == k && len(ws.G) == k && len(ws.PrevVals) == k &&
+			sameIDs(ws.Raters, ids)
+		if warm && ws.Converged && sameVals(ws.PrevVals, vals) {
+			// Unchanged campaign: the recorded state already holds the fixed
+			// point, so republish its column — zero steps, zero messages, and
+			// the state carries forward untouched for the next epoch.
+			stateColumn(ws, col)
+			outs[s] = outcome{converged: true, ran: true, warm: true}
+			if res.States != nil {
+				res.States[s] = ws
 			}
-			var err error
-			if eng == nil {
-				// The slot→subject label is fixed at first construction;
-				// only the seed and masses matter to the dynamics, so the
-				// same engine replays every later subject via Reset,
-				// bit-identically to a fresh construction.
-				cfg := p.gossipConfig(g)
-				cfg.Seed = subjectSeed(p.Seed, j)
-				cfg.Workers = 0 // parallelism lives across subjects
-				eng, err = gossip.NewVectorEngineSubjects(cfg, []int{j}, y0, g0)
-			} else {
-				err = eng.Reset(subjectSeed(p.Seed, j), y0, g0)
+			return
+		}
+		sy, sg := w.sy[:k], w.sg[:k]
+		if warm {
+			copy(sy, ws.Y)
+			copy(sg, ws.G)
+			for pos, v := range vals {
+				sy[pos] += v - ws.PrevVals[pos]
 			}
-			if err != nil {
-				outs[s] = outcome{err: err}
-				continue
+		} else {
+			for pos, v := range vals {
+				sy[pos] = v
+				sg[pos] = 1
 			}
-			steps, conv := eng.RunInto(col, 0)
-			outs[s] = outcome{steps: steps, converged: conv, msgs: eng.Messages(), ran: true}
+		}
+		seed := subjectSeed(p.Seed, j)
+		eng := w.sparse[k]
+		var err error
+		if eng == nil {
+			cfg := p.gossipConfig(overlayGraph(k))
+			cfg.Seed = seed
+			cfg.Workers = 0
+			eng, err = gossip.NewVectorEngineSubjects(cfg, []int{0}, sy, sg)
+			if err == nil {
+				w.sparse[k] = eng
+			}
+		} else {
+			err = eng.Reset(seed, sy, sg)
+		}
+		if err != nil {
+			outs[s] = outcome{err: err}
+			return
+		}
+		if warm {
+			eng.SetMinSteps(warmMinSteps)
+		} else {
+			eng.SetMinSteps(0)
+		}
+		est := w.est[:k]
+		steps, conv := eng.RunInto(est, 0)
+		// Every overlay node's estimate is within the ξ band; node 0's
+		// stands for the whole network, like the root's does on a dense run.
+		for i := range col {
+			col[i] = est[0]
+		}
+		outs[s] = outcome{steps: steps, converged: conv, msgs: eng.Messages(), ran: true, warm: warm}
+		if res.States != nil {
+			res.States[s] = captureState(eng, true, ids, vals, steps, k, conv)
+		}
+	}
+
+	runDense := func(s, j int, ids []int, vals []float64, ws *gossip.CampaignState, w *workerState, col []float64) {
+		usable := ws != nil && !ws.Sparse &&
+			len(ws.Y) == n && len(ws.G) == n &&
+			len(ws.PrevVals) == len(ws.Raters)
+		if usable && ws.Converged && sameIDs(ws.Raters, ids) && sameVals(ws.PrevVals, vals) {
+			// Unchanged campaign: republish the recorded fixed point directly
+			// (see the sparse twin above).
+			stateColumn(ws, col)
+			outs[s] = outcome{converged: true, ran: true, warm: true}
+			if res.States != nil {
+				res.States[s] = ws
+			}
+			return
+		}
+		warm := usable && w.scratch.seedWarm(ws, ids, vals)
+		if !warm {
+			w.scratch.seedCold(ids, vals)
+		}
+		seed := subjectSeed(p.Seed, j)
+		var err error
+		if w.dense == nil {
+			// The slot→subject label is fixed at first construction; only
+			// the seed and masses matter to the dynamics, so the same engine
+			// replays every later subject via Reset, bit-identically to a
+			// fresh construction.
+			cfg := p.gossipConfig(g)
+			cfg.Seed = seed
+			cfg.Workers = 0 // parallelism lives across subjects
+			w.dense, err = gossip.NewVectorEngineSubjects(cfg, []int{j}, w.scratch.y, w.scratch.g)
+		} else {
+			err = w.dense.Reset(seed, w.scratch.y, w.scratch.g)
+		}
+		if err != nil {
+			outs[s] = outcome{err: err}
+			return
+		}
+		if warm {
+			w.dense.SetMinSteps(warmMinSteps)
+		} else {
+			w.dense.SetMinSteps(0)
+		}
+		steps, conv := w.dense.RunInto(col, 0)
+		outs[s] = outcome{steps: steps, converged: conv, msgs: w.dense.Messages(), ran: true, warm: warm}
+		if res.States != nil {
+			res.States[s] = captureState(w.dense, false, ids, vals, steps, n, conv)
+		}
+	}
+
+	runSubject := func(s int, w *workerState) {
+		j := res.Subjects[s]
+		w.ids, w.vals = t.RatersOfInto(j, w.ids[:0], w.vals[:0])
+		ids, vals := w.ids, w.vals
+		col := make([]float64, n)
+		res.Columns[s] = col
+		res.Raters[s] = len(ids)
+		if len(ids) == 0 {
+			outs[s] = outcome{converged: true}
+			return
+		}
+		var ws *gossip.CampaignState
+		if p.Warm != nil {
+			ws = p.Warm(j)
+		}
+		if k := len(ids); sparseMax > 0 && k <= sparseMax {
+			runSparse(s, j, ids, vals, ws, w, col)
+		} else {
+			runDense(s, j, ids, vals, ws, w, col)
 		}
 	}
 
@@ -136,25 +279,40 @@ func GlobalSubjects(g *graph.Graph, t ColumnSource, subjects []int, p Params) (*
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 || len(subjects) < 2 {
-		worker(0, len(subjects))
-	} else {
-		if workers > len(subjects) {
-			workers = len(subjects)
+	if workers > len(subjects) {
+		workers = len(subjects)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	order := scheduleOrder(t, res.Subjects, p, n, sparseMax, workers)
+	var cursor atomic.Int64
+	runWorker := func() {
+		w := &workerState{
+			scratch: newSeedScratch(n),
+			sparse:  make(map[int]*gossip.VectorEngine),
+			sy:      make([]float64, sparseMax),
+			sg:      make([]float64, sparseMax),
+			est:     make([]float64, sparseMax),
 		}
-		chunk := (len(subjects) + workers - 1) / workers
+		for {
+			x := int(cursor.Add(1)) - 1
+			if x >= len(order) {
+				return
+			}
+			runSubject(order[x], w)
+		}
+	}
+	if workers == 1 {
+		runWorker()
+	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := min(lo+chunk, len(subjects))
-			if lo >= hi {
-				break
-			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func() {
 				defer wg.Done()
-				worker(lo, hi)
-			}(lo, hi)
+				runWorker()
+			}()
 		}
 		wg.Wait()
 	}
@@ -171,11 +329,20 @@ func GlobalSubjects(g *graph.Graph, t ColumnSource, subjects []int, p Params) (*
 		res.Converged = res.Converged && outs[s].converged
 		if outs[s].ran {
 			res.Computed++
+			res.TotalSteps += outs[s].steps
+			res.StepsBySubject[s] = outs[s].steps
+			if outs[s].warm {
+				res.WarmStarts++
+			} else {
+				res.ColdStarts++
+			}
 			res.Messages.Gossip += outs[s].msgs.Gossip
 			res.Messages.Announce += outs[s].msgs.Announce
 			res.Messages.Lost += outs[s].msgs.Lost
 			res.Messages.ActiveNodeSteps += outs[s].msgs.ActiveNodeSteps
 			res.Messages.Setup += outs[s].msgs.Setup
+		} else {
+			res.StepsBySubject[s] = -1
 		}
 	}
 	res.Messages.Setup += 2 * g.M()

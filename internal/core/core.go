@@ -48,6 +48,29 @@ type Params struct {
 	// Workers parallelises the vector variants' per-step work; results are
 	// bit-identical for any value. 0/1 sequential, negative = GOMAXPROCS.
 	Workers int
+	// SparseRaterFrac enables restricted-overlay campaigns in
+	// GlobalSubjects: a subject whose rater count k is at most
+	// SparseRaterFrac·N runs its push-sum over a synthetic k-node overlay of
+	// its raters instead of the full graph, so campaign cost scales with the
+	// raters, not N. The fixed point is unchanged (the mass-weighted mean is
+	// topology-independent); the per-node micro-estimates differ within the
+	// same ξ tolerance. 0 or negative keeps every campaign on the full graph
+	// — the default, which the paper-experiment paths rely on for
+	// bit-stability.
+	SparseRaterFrac float64
+	// Warm, when set, supplies the previous epoch's converged campaign
+	// state for a subject (nil = none). GlobalSubjects seeds matching
+	// campaigns from it — injecting the trust-column delta as mass
+	// corrections — and falls back to a cold start when the state does not
+	// fit (rater removed, campaign mode changed, wrong shape). Warm-started
+	// results stay within the configured ξ of the cold fixed point but are
+	// not bit-identical to a cold run, so replicas that pin bit-equality
+	// must not set it.
+	Warm func(subject int) *gossip.CampaignState
+	// KeepStates records each computed campaign's final state in
+	// SubjectsResult.States, for the caller to persist and feed back as
+	// Warm next epoch.
+	KeepStates bool
 }
 
 func (p Params) withDefaults() Params {
@@ -137,6 +160,20 @@ type SubjectsResult struct {
 	// every campaign converged within its budget.
 	Steps     int
 	Converged bool
+	// TotalSteps sums every campaign's step count — the epoch-compute cost
+	// meter the warm-start benchmarks compare (Steps is the max, not the
+	// sum). StepsBySubject[s] is campaign s's own count, −1 for subjects
+	// that ran no campaign.
+	TotalSteps     int
+	StepsBySubject []int
+	// WarmStarts and ColdStarts split Computed by how each campaign was
+	// seeded: from a previous epoch's recorded state (warm) or from the
+	// trust column alone (cold).
+	WarmStarts, ColdStarts int
+	// States[s] is campaign s's final recorded state when Params.KeepStates
+	// is set (nil for subjects that ran no campaign or whose state is not
+	// worth keeping).
+	States []*gossip.CampaignState
 	// Messages sums the campaigns' tallies plus one shared degree exchange.
 	Messages gossip.Messages
 }

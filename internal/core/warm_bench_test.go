@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSeedScratch pins the satellite fix for the O(N) zero-fill on
+// campaign reset: seeding a k-rater campaign into an N-slot scratch must
+// cost O(k) — the dirty-extent scrub touches only the slots the previous
+// seed dirtied, so the per-campaign cost tracks the active rater set, not
+// the network size. Before the fix every campaign paid two N-length clears;
+// the k=4 and k=512 rows then benched identically.
+func BenchmarkSeedScratch(b *testing.B) {
+	const n = 4096
+	for _, k := range []int{4, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			s := newSeedScratch(n)
+			ids := make([]int, k)
+			vals := make([]float64, k)
+			for x := range ids {
+				ids[x] = x * (n / k)
+				vals[x] = 0.5
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.seedCold(ids, vals)
+			}
+		})
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"diffgossip/internal/gossip"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/trust"
+)
+
+// warmTol is the agreement tolerance for campaigns that converge to the same
+// fixed point along different trajectories (sparse vs dense, warm vs cold):
+// each is within the ξ envelope of the exact column mean, so their mutual
+// distance is bounded by the same class. Matches the service's epsTol.
+const warmTol = 1e-2
+
+// sparseParams returns params with restricted-overlay campaigns enabled at
+// the service's default threshold.
+func sparseParams(eps float64, seed uint64) Params {
+	p := params(eps, seed)
+	p.SparseRaterFrac = 0.25
+	return p
+}
+
+// TestSparseMatchesReference: every sparse campaign's estimate agrees with
+// the exact column mean within the tolerance, and rater counts small enough
+// for the overlay actually take the sparse path (their per-step cost is the
+// rater count, which TotalSteps alone can't show — the message tallies can).
+func TestSparseMatchesReference(t *testing.T) {
+	const n = 80
+	g, _ := denseWorkload(t, n, 0.2, 11)
+	tm := trust.NewMatrix(n)
+	src := rng.New(12)
+	// A few raters per subject — well under the 0.25·n threshold.
+	for j := 0; j < n; j++ {
+		k := 1 + src.Intn(6)
+		for x := 0; x < k; x++ {
+			i := src.Intn(n)
+			if i == j {
+				continue
+			}
+			if err := tm.Set(i, j, src.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	subjects := make([]int, n)
+	for j := range subjects {
+		subjects[j] = j
+	}
+	res, err := GlobalSubjects(g, tm, subjects, sparseParams(1e-6, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("sparse run did not converge")
+	}
+	for k, j := range res.Subjects {
+		want := GlobalRef(tm, j)
+		for i := 0; i < n; i++ {
+			if math.Abs(res.Columns[k][i]-want) > warmTol {
+				t.Fatalf("subject %d node %d: sparse estimate %v, exact mean %v", j, i, res.Columns[k][i], want)
+			}
+		}
+	}
+	// The sparse run must be dramatically cheaper than the dense one: dense
+	// campaigns push O(N) messages per step, overlay campaigns O(k).
+	dense, err := GlobalSubjects(g, tm, subjects, params(1e-6, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages.Gossip*10 > dense.Messages.Gossip {
+		t.Fatalf("sparse run pushed %d messages, dense %d — expected ≥10× reduction",
+			res.Messages.Gossip, dense.Messages.Gossip)
+	}
+}
+
+// TestSparsePartitionInvariant: with sparse campaigns on, any partition of
+// the subject space at any worker count still reproduces the single-shot run
+// bit for bit — the overlay and its randomness derive from (seed, column)
+// alone.
+func TestSparsePartitionInvariant(t *testing.T) {
+	const n = 60
+	g, _ := denseWorkload(t, n, 0.3, 21)
+	tm := subjectsWorkload(t, n, 22)
+	p := sparseParams(1e-6, 23)
+
+	subjects := make([]int, n)
+	for j := range subjects {
+		subjects[j] = j
+	}
+	ref, err := GlobalSubjects(g, tm, subjects, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{4, 17} {
+		for _, workers := range []int{0, 3, -1} {
+			ps := p
+			ps.Workers = workers
+			for sh := 0; sh < shards; sh++ {
+				var part []int
+				for j := sh; j < n; j += shards {
+					part = append(part, j)
+				}
+				res, err := GlobalSubjects(g, tm, part, ps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, j := range res.Subjects {
+					for i := 0; i < n; i++ {
+						if res.Columns[k][i] != ref.Columns[j][i] {
+							t.Fatalf("S=%d workers=%d subject %d node %d: %v != %v",
+								shards, workers, j, i, res.Columns[k][i], ref.Columns[j][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// warmWorkload builds a workload, runs a cold epoch with KeepStates, applies
+// a small perturbation, and returns everything a warm-restart test needs.
+func warmWorkload(t *testing.T, n int, seed uint64, sparse bool) (w graphAndTrust, states []*gossip.CampaignState, subjects []int, p Params) {
+	t.Helper()
+	gr, _ := denseWorkload(t, n, 0.3, seed)
+	tm := subjectsWorkload(t, n, seed+1)
+	if sparse {
+		p = sparseParams(1e-6, seed+2)
+	} else {
+		p = params(1e-6, seed+2)
+	}
+	p.KeepStates = true
+	subjects = make([]int, n)
+	for j := range subjects {
+		subjects[j] = j
+	}
+	res, err := GlobalSubjects(gr, tm, subjects, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarts != 0 || res.ColdStarts != res.Computed {
+		t.Fatalf("first epoch claims %d warm starts", res.WarmStarts)
+	}
+	return graphAndTrust{gr, tm}, res.States, subjects, p
+}
+
+type graphAndTrust struct {
+	g  *graph.Graph
+	tm *trust.Matrix
+}
+
+// TestWarmMatchesColdWithinTolerance is the tentpole equivalence criterion:
+// after perturbing a small fraction of ratings, a warm-started recompute
+// agrees with a cold recompute of the same matrix within the reference
+// tolerance — while running a fraction of the steps.
+func TestWarmMatchesColdWithinTolerance(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		const n = 60
+		w, states, subjects, p := warmWorkload(t, n, 31, sparse)
+
+		// Perturb ~5% of the subjects: changed values for existing raters
+		// plus one new rater each.
+		src := rng.New(35)
+		for x := 0; x < 3; x++ {
+			j := src.Intn(n)
+			ids, _ := w.tm.RatersOfInto(j, nil, nil)
+			if len(ids) > 0 {
+				if err := w.tm.Set(ids[0], j, src.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.tm.Set((j+1)%n, j, src.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cold, err := GlobalSubjects(w.g, w.tm, subjects, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw := p
+		pw.Warm = func(j int) *gossip.CampaignState { return states[j] }
+		warm, err := GlobalSubjects(w.g, w.tm, subjects, pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Converged {
+			t.Fatalf("sparse=%v: warm run did not converge", sparse)
+		}
+		if warm.WarmStarts == 0 {
+			t.Fatalf("sparse=%v: no campaign warm-started", sparse)
+		}
+		for k, j := range subjects {
+			want := GlobalRef(w.tm, j)
+			for i := 0; i < n; i++ {
+				if math.Abs(warm.Columns[k][i]-want) > warmTol {
+					t.Fatalf("sparse=%v subject %d node %d: warm %v, exact mean %v", sparse, j, i, warm.Columns[k][i], want)
+				}
+				if math.Abs(warm.Columns[k][i]-cold.Columns[k][i]) > warmTol {
+					t.Fatalf("sparse=%v subject %d node %d: warm %v vs cold %v", sparse, j, i, warm.Columns[k][i], cold.Columns[k][i])
+				}
+			}
+		}
+		if warm.TotalSteps*2 > cold.TotalSteps {
+			t.Fatalf("sparse=%v: warm run took %d total steps, cold %d — warm starts bought nothing",
+				sparse, warm.TotalSteps, cold.TotalSteps)
+		}
+	}
+}
+
+// TestWarmFallsBackCold: recorded state that no longer fits — a rater
+// removed, or the campaign switching between sparse and dense mode — must
+// restart cold (counted as such), never corrupt the result.
+func TestWarmFallsBackCold(t *testing.T) {
+	const n = 40
+	g, _ := denseWorkload(t, n, 0.3, 41)
+	tm := trust.NewMatrix(n)
+	for _, e := range [][3]int{{1, 0, 0}, {2, 0, 0}, {3, 0, 0}} {
+		if err := tm.Set(e[0], e[1], 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := sparseParams(1e-6, 42)
+	p.KeepStates = true
+	res, err := GlobalSubjects(g, tm, []int{0}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.States[0]
+	if st == nil || !st.Sparse {
+		t.Fatalf("expected a sparse recorded state, got %+v", st)
+	}
+
+	// Case 1: rater set changed incompatibly (rater 2 "removed" — simulate
+	// with a fresh matrix lacking it). Sparse states require the exact same
+	// rater set.
+	tm2 := trust.NewMatrix(n)
+	for _, r := range []int{1, 3} {
+		if err := tm2.Set(r, 0, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pw := p
+	pw.Warm = func(int) *gossip.CampaignState { return st }
+	got, err := GlobalSubjects(g, tm2, []int{0}, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WarmStarts != 0 || got.ColdStarts != 1 {
+		t.Fatalf("changed rater set: warm=%d cold=%d, want 0/1", got.WarmStarts, got.ColdStarts)
+	}
+	if want := GlobalRef(tm2, 0); math.Abs(got.Columns[0][0]-want) > warmTol {
+		t.Fatalf("fallback result %v, want %v", got.Columns[0][0], want)
+	}
+
+	// Case 2: mode change — enough new raters to push the subject over the
+	// sparse threshold; the sparse state must not seed a dense campaign.
+	tm3 := trust.NewMatrix(n)
+	for i := 1; i <= n/2; i++ {
+		if err := tm3.Set(i, 0, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = GlobalSubjects(g, tm3, []int{0}, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WarmStarts != 0 || got.ColdStarts != 1 {
+		t.Fatalf("mode change: warm=%d cold=%d, want 0/1", got.WarmStarts, got.ColdStarts)
+	}
+	if want := GlobalRef(tm3, 0); math.Abs(got.Columns[0][0]-want) > warmTol {
+		t.Fatalf("mode-change result %v, want %v", got.Columns[0][0], want)
+	}
+}
+
+// TestDenseWarmAcceptsNewRaters: a dense recorded state stays usable when
+// raters are ADDED (their mass injects on top); only removal forces cold.
+func TestDenseWarmAcceptsNewRaters(t *testing.T) {
+	const n = 50
+	g, _ := denseWorkload(t, n, 0.3, 51)
+	tm := subjectsWorkload(t, n, 52)
+	p := params(1e-6, 53) // dense: sparse off
+	p.KeepStates = true
+	subjects := []int{3, 8, 15}
+	res, err := GlobalSubjects(g, tm, subjects, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[int]*gossip.CampaignState{}
+	for k, j := range subjects {
+		states[j] = res.States[k]
+	}
+
+	// Add a brand-new rater to each subject.
+	for _, j := range subjects {
+		if err := tm.Set((j+2)%n, j, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pw := p
+	pw.Warm = func(j int) *gossip.CampaignState { return states[j] }
+	warm, err := GlobalSubjects(g, tm, subjects, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmStarts != len(subjects) {
+		t.Fatalf("warm starts = %d, want %d (new raters must merge, not force cold)", warm.WarmStarts, len(subjects))
+	}
+	for k, j := range subjects {
+		want := GlobalRef(tm, j)
+		if math.Abs(warm.Columns[k][0]-want) > warmTol {
+			t.Fatalf("subject %d: warm-with-new-rater %v, exact mean %v", j, warm.Columns[k][0], want)
+		}
+	}
+}
+
+// TestSingleRaterFastPath: a one-rater subject's fixed point is closed-form;
+// the campaign must cost zero gossip steps yet still count as computed.
+func TestSingleRaterFastPath(t *testing.T) {
+	const n = 30
+	g, _ := denseWorkload(t, n, 0.3, 61)
+	tm := trust.NewMatrix(n)
+	if err := tm.Set(4, 9, 0.73); err != nil {
+		t.Fatal(err)
+	}
+	res, err := GlobalSubjects(g, tm, []int{9}, sparseParams(1e-6, 62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Computed != 1 || !res.Converged {
+		t.Fatalf("fast path: computed=%d converged=%v", res.Computed, res.Converged)
+	}
+	if res.StepsBySubject[0] != 0 || res.Messages.Gossip != 0 {
+		t.Fatalf("fast path ran gossip: steps=%d msgs=%d", res.StepsBySubject[0], res.Messages.Gossip)
+	}
+	for i := 0; i < n; i++ {
+		if res.Columns[0][i] != 0.73 {
+			t.Fatalf("node %d estimate %v, want the exact rating", i, res.Columns[0][i])
+		}
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"diffgossip/internal/core"
+	"diffgossip/internal/gossip"
 	"diffgossip/internal/graph"
 	"diffgossip/internal/obs"
 	"diffgossip/internal/store"
@@ -104,6 +105,17 @@ type Config struct {
 	// many epochs it took to get there. Cluster deployments set it; the
 	// standalone default (off) draws an independent stream per epoch.
 	FixedEpochSeed bool
+	// NoWarmStart disables warm-started campaigns: every fold then reseeds
+	// its campaigns from the trust columns alone, as if no previous epoch
+	// had run. Replicated services (Config.Replicate) force this regardless
+	// — warm results match cold ones within ξ but not bit for bit, and
+	// cluster convergence pins bit-equality.
+	//
+	// Params.SparseRaterFrac is related but distinct: the service default is
+	// 0.25 when left zero (a negative value disables sparse campaigns).
+	// Sparse campaigns are deterministic functions of (seed, column), so
+	// they stay on in cluster mode.
+	NoWarmStart bool
 	// TraceDepth sizes the epoch trace ring (how many recent non-empty
 	// epochs Trace returns). 0 defaults to DefaultTraceDepth; negative
 	// disables tracing.
@@ -160,6 +172,12 @@ type Service struct {
 	shards int
 	ledger *store.Ledger
 
+	// graphFP fingerprints cfg.Graph; persisted warm state from a different
+	// graph is dropped at boot. warmOK caches whether warm starts are on
+	// (not disabled, not replicating).
+	graphFP uint64
+	warmOK  bool
+
 	// epochMu serialises epoch compute and guards master and lww, the only
 	// mutable trust state. Readers never take it; neither does the
 	// persistence phase.
@@ -197,10 +215,13 @@ type Service struct {
 	// trace row. trace is the bounded per-epoch trace ring behind
 	// GET /v1/trace.
 	campaignSteps   atomic.Uint64
+	warmStarts      atomic.Uint64
+	coldStarts      atomic.Uint64
 	convergedEpochs atomic.Uint64
 	epochErrs       atomic.Uint64
 	epochHist       atomic.Pointer[obs.Histogram]
 	foldHist        atomic.Pointer[obs.Histogram]
+	stepsHist       atomic.Pointer[obs.Histogram]
 	preExchange     atomic.Bool
 	trace           traceRing
 
@@ -261,11 +282,22 @@ func New(cfg Config) (*Service, error) {
 		cfg:            cfg,
 		n:              n,
 		shards:         shards,
+		graphFP:        graphFingerprint(cfg.Graph),
+		warmOK:         !cfg.NoWarmStart && !cfg.Replicate,
 		lww:            make(map[uint64]cellTag),
 		states:         make([]atomic.Pointer[store.ShardSnapshot], shards),
 		persistedEpoch: make([]uint64, shards),
 		persistedSeq:   make([]uint64, shards),
 		stop:           make(chan struct{}),
+	}
+	// Resolve the sparse-campaign threshold: the service defaults it ON (the
+	// core default is off, for the paper-experiment paths' bit-stability);
+	// negative means explicitly off.
+	switch {
+	case s.cfg.Params.SparseRaterFrac == 0:
+		s.cfg.Params.SparseRaterFrac = 0.25
+	case s.cfg.Params.SparseRaterFrac < 0:
+		s.cfg.Params.SparseRaterFrac = 0
 	}
 	switch {
 	case cfg.TraceDepth > 0:
@@ -302,6 +334,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	var maxEpoch uint64
 	for sh, seg := range segs {
+		if seg.Warm != nil && (!s.warmOK || seg.GraphFP != s.graphFP) {
+			// Persisted warm state is only a valid seed against the exact
+			// graph that shaped it (and only when warm starts are on at
+			// all); dropping it costs one cold epoch, nothing else.
+			seg.Warm = nil
+		}
 		s.states[sh].Store(seg)
 		s.persistedEpoch[sh] = seg.Epoch
 		if cfg.Dir != "" {
@@ -658,6 +696,15 @@ func (s *Service) FoldedSubjects() uint64 { return s.foldedSubjects.Load() }
 // FoldedShards returns the cumulative number of shard folds.
 func (s *Service) FoldedShards() uint64 { return s.foldedShards.Load() }
 
+// WarmStarts returns the cumulative number of campaigns seeded from a
+// previous epoch's recorded state; ColdStarts the rest. Together they equal
+// FoldedSubjects.
+func (s *Service) WarmStarts() uint64 { return s.warmStarts.Load() }
+
+// ColdStarts returns the cumulative number of campaigns seeded from their
+// trust column alone (see WarmStarts).
+func (s *Service) ColdStarts() uint64 { return s.coldStarts.Load() }
+
 // Err returns the last epoch error observed by the background scheduler, or
 // nil. A successful epoch clears it.
 func (s *Service) Err() error {
@@ -776,6 +823,8 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 				s.foldedShards.Add(1)
 				s.foldedSubjects.Add(uint64(seg.Computed))
 				s.campaignSteps.Add(uint64(seg.Steps))
+				s.warmStarts.Add(uint64(seg.WarmStarts))
+				s.coldStarts.Add(uint64(seg.ColdStarts))
 				s.foldHist.Load().Observe(float64(seg.ElapsedNs) / 1e9)
 			}
 		}()
@@ -798,6 +847,7 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 		shardTraces[i] = ShardTrace{
 			Shard: seg.Shard, StartOffsetNs: starts[i], DurationNs: seg.ElapsedNs,
 			Steps: seg.Steps, Converged: seg.Converged, Computed: seg.Computed,
+			WarmStarts: seg.WarmStarts, ColdStarts: seg.ColdStarts,
 		}
 		if !seg.Converged {
 			allConverged = false
@@ -835,12 +885,27 @@ func (s *Service) RunEpoch() (*View, bool, error) {
 }
 
 // foldShard recomputes one dirty shard at the given epoch: freeze its trust
-// columns, run the per-subject campaigns, assemble the shard snapshot.
+// columns, run the per-subject campaigns — warm-seeded from the shard's
+// previous publication where the recorded states still fit — and assemble
+// the shard snapshot, carrying the new campaign states forward as the next
+// fold's warm seeds.
 func (s *Service) foldShard(shard int, epoch, seq uint64, p core.Params) (*store.ShardSnapshot, error) {
 	subjects := store.ShardSubjects(s.n, shard, s.shards)
 	cols, err := trust.ColumnsOf(s.master, subjects)
 	if err != nil {
 		return nil, fmt.Errorf("service: freeze shard %d: %w", shard, err)
+	}
+	if s.warmOK {
+		p.KeepStates = true
+		prev := s.states[shard].Load()
+		if prev != nil && prev.Warm != nil && len(prev.Warm) == len(subjects) &&
+			prev.Shards == s.shards && prev.N == s.n && prev.GraphFP == s.graphFP {
+			warm := prev.Warm
+			shards := s.shards
+			p.Warm = func(j int) *gossip.CampaignState {
+				return warm[store.SlotOf(j, shards)]
+			}
+		}
 	}
 	start := time.Now()
 	res, err := core.GlobalSubjects(s.cfg.Graph, cols, subjects, p)
@@ -848,6 +913,13 @@ func (s *Service) foldShard(shard int, epoch, seq uint64, p core.Params) (*store
 		return nil, fmt.Errorf("service: epoch %d shard %d gossip: %w", epoch, shard, err)
 	}
 	elapsed := time.Since(start)
+	if h := s.stepsHist.Load(); h != nil {
+		for _, st := range res.StepsBySubject {
+			if st >= 0 {
+				h.Observe(float64(st))
+			}
+		}
+	}
 
 	root := p.Root // zero value = node 0, matching core's default
 	global := make([]float64, len(subjects))
@@ -865,9 +937,14 @@ func (s *Service) foldShard(shard int, epoch, seq uint64, p core.Params) (*store
 		Steps:           res.Steps,
 		Converged:       res.Converged,
 		Computed:        res.Computed,
+		TotalSteps:      res.TotalSteps,
+		WarmStarts:      res.WarmStarts,
+		ColdStarts:      res.ColdStarts,
 		ElapsedNs:       elapsed.Nanoseconds(),
 		CreatedUnixNano: time.Now().UnixNano(),
+		GraphFP:         s.graphFP,
 		Cols:            cols,
+		Warm:            res.States,
 	}, nil
 }
 
@@ -947,6 +1024,23 @@ func epochSeed(base, epoch uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// graphFingerprint hashes the gossip overlay's node count and edge set, for
+// stamping shard snapshots: warm campaign state is only a valid seed against
+// the graph whose topology shaped it. Per-edge hashes combine by addition,
+// so the fingerprint is independent of adjacency construction order.
+func graphFingerprint(g *graph.Graph) uint64 {
+	n := g.N()
+	fp := epochSeed(0x67726170682d6670, uint64(n)) // "graph-fp"
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				fp += epochSeed(uint64(u)<<32|uint64(v), 0x65646765)
+			}
+		}
+	}
+	return fp
 }
 
 // loop is the background epoch scheduler.

@@ -44,7 +44,10 @@ func TestShardedEpochMatchesGlobalAllBitwise(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	p := core.Params{Epsilon: 1e-6, Seed: epochSeed(baseSeed, 1)}
+	// SparseRaterFrac matches the service default, so the reference runs the
+	// same sparse campaigns the folds do. (Warm starts can't diverge here —
+	// epoch 1 has no previous state, so every campaign is cold.)
+	p := core.Params{Epsilon: 1e-6, Seed: epochSeed(baseSeed, 1), SparseRaterFrac: 0.25}
 	all, err := core.GlobalAll(g, ref, p)
 	if err != nil {
 		t.Fatal(err)

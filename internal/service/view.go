@@ -101,6 +101,23 @@ func (v *View) Steps() int {
 	return max
 }
 
+// TotalSteps returns the summed campaign step counts of the newest epoch's
+// folds — the epoch's compute-cost meter (warm-started epochs spend far
+// fewer than cold ones for the same dirty set).
+func (v *View) TotalSteps() int {
+	epoch := v.Epoch()
+	if epoch == 0 {
+		return 0
+	}
+	total := 0
+	for _, seg := range v.segs {
+		if seg.Epoch == epoch {
+			total += seg.TotalSteps
+		}
+	}
+	return total
+}
+
 // ElapsedNs returns the total compute time of the newest epoch: the sum of
 // fold durations over the shards published at Epoch().
 func (v *View) ElapsedNs() int64 {

@@ -1,0 +1,433 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/obs"
+	"diffgossip/internal/rng"
+	"diffgossip/internal/trust"
+)
+
+// TestWarmEpochMatchesReference is the tentpole equivalence criterion at the
+// service layer: a second epoch that warm-starts most of its campaigns from
+// the first epoch's recorded states serves reputations that agree — within
+// the reference tolerance — with a from-scratch core.GlobalAll over the same
+// folded matrix, for S ∈ {1, 4, 17} and representative worker counts.
+func TestWarmEpochMatchesReference(t *testing.T) {
+	const n = 60
+	const baseSeed = 23
+	g := testGraph(t, n, 9)
+
+	// Mirror both feedback batches into a reference matrix, in submission
+	// order (ascending timestamps make last-write-wins equal last-Set-wins).
+	ref := trust.NewMatrix(n)
+	mirror := func(seed uint64, count int) [][3]float64 {
+		src := rng.New(seed)
+		out := make([][3]float64, count)
+		for k := range out {
+			out[k] = [3]float64{float64(src.Intn(n)), float64(src.Intn(n)), src.Float64()}
+		}
+		return out
+	}
+	batch1 := mirror(77, 500)
+	batch2 := mirror(78, 120)
+	for _, b := range append(append([][3]float64{}, batch1...), batch2...) {
+		if err := ref.Set(int(b[0]), int(b[1]), b[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cold comparator runs at epoch 2's derived seed with the service's
+	// sparse default; the exact column means anchor both runs.
+	p := core.Params{Epsilon: 1e-6, Seed: epochSeed(baseSeed, 2), SparseRaterFrac: 0.25}
+	all, err := core.GlobalAll(g, ref, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ shards, foldWorkers, workers int }{
+		{1, 1, 0},
+		{4, -1, 3},
+		{17, 2, -1},
+	} {
+		s := newTestService(t, n, Config{
+			Graph:       g,
+			Params:      core.Params{Epsilon: 1e-6, Seed: baseSeed, Workers: tc.workers},
+			Shards:      tc.shards,
+			FoldWorkers: tc.foldWorkers,
+		})
+		submit := func(batch [][3]float64) {
+			t.Helper()
+			for _, b := range batch {
+				if _, err := s.Submit(int(b[0]), int(b[1]), b[2]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		submit(batch1)
+		if _, _, err := s.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		submit(batch2)
+		v, ran, err := s.RunEpoch()
+		if err != nil || !ran {
+			t.Fatalf("S=%d: epoch 2 (ran=%v, err=%v)", tc.shards, ran, err)
+		}
+		if s.WarmStarts() == 0 {
+			t.Fatalf("S=%d: epoch 2 warm-started no campaigns", tc.shards)
+		}
+		for j := 0; j < n; j++ {
+			got, err := v.Reputation(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := all.Reputation[0][j]; math.Abs(got-want) > epsTol {
+				t.Fatalf("S=%d foldWorkers=%d workers=%d subject %d: warm-epoch %v vs cold GlobalAll %v",
+					tc.shards, tc.foldWorkers, tc.workers, j, got, want)
+			}
+		}
+	}
+}
+
+// TestWarmStartTraceMetricsAgree pins the three observability surfaces to
+// one truth: the per-epoch trace rows' warm/cold splits sum to the service
+// counters, which are exactly what the Prometheus registry scrapes, and the
+// campaign-steps histogram has observed every computed campaign.
+func TestWarmStartTraceMetricsAgree(t *testing.T) {
+	const n = 40
+	s := newTestService(t, n, Config{Shards: 5})
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+
+	src := rng.New(3)
+	for e := 0; e < 4; e++ {
+		for k := 0; k < 80; k++ {
+			if _, err := s.Submit(src.Intn(n), src.Intn(n), src.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := s.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.WarmStarts() == 0 || s.ColdStarts() == 0 {
+		t.Fatalf("hammer produced warm=%d cold=%d — wanted both kinds", s.WarmStarts(), s.ColdStarts())
+	}
+	if s.WarmStarts()+s.ColdStarts() != s.FoldedSubjects() {
+		t.Fatalf("warm %d + cold %d != folded subjects %d", s.WarmStarts(), s.ColdStarts(), s.FoldedSubjects())
+	}
+
+	var traceWarm, traceCold uint64
+	for _, row := range s.Trace() {
+		for _, sh := range row.Shards {
+			traceWarm += uint64(sh.WarmStarts)
+			traceCold += uint64(sh.ColdStarts)
+		}
+	}
+	if traceWarm != s.WarmStarts() || traceCold != s.ColdStarts() {
+		t.Fatalf("trace sums warm=%d cold=%d, counters %d/%d", traceWarm, traceCold, s.WarmStarts(), s.ColdStarts())
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scraped := func(name string) float64 {
+		t.Helper()
+		sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, name+" ") {
+				v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+				if err != nil {
+					t.Fatalf("metric %s: %v", name, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("metric %s not scraped", name)
+		return 0
+	}
+	if got := scraped("diffgossip_service_warm_starts_total"); got != float64(s.WarmStarts()) {
+		t.Fatalf("scraped warm starts %v, counter %d", got, s.WarmStarts())
+	}
+	if got := scraped("diffgossip_service_cold_starts_total"); got != float64(s.ColdStarts()) {
+		t.Fatalf("scraped cold starts %v, counter %d", got, s.ColdStarts())
+	}
+	if got := scraped("diffgossip_service_campaign_steps_count"); got != float64(s.FoldedSubjects()) {
+		t.Fatalf("steps histogram observed %v campaigns, folded %d", got, s.FoldedSubjects())
+	}
+	// Stats mirrors the same counters.
+	st := s.Stats()
+	if st.WarmStarts != s.WarmStarts() || st.ColdStarts != s.ColdStarts() {
+		t.Fatalf("stats warm/cold %d/%d, counters %d/%d", st.WarmStarts, st.ColdStarts, s.WarmStarts(), s.ColdStarts())
+	}
+}
+
+// TestWarmStateSurvivesRestart: recorded campaign states persist in the
+// shard segments, so a restarted service's first epoch still warm-starts —
+// unless the graph changed, in which case the fingerprint mismatch forces a
+// (correct) cold epoch.
+func TestWarmStateSurvivesRestart(t *testing.T) {
+	const n = 40
+	dir := t.TempDir()
+	cfg := Config{Graph: testGraph(t, n, 7), Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir, Shards: 4}
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBatch(t, s, n, 200, 5)
+	if _, _, err := s.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBatch(t, s2, n, 50, 6)
+	if _, _, err := s2.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.WarmStarts() == 0 {
+		t.Fatal("restart lost the persisted warm states")
+	}
+	s2.Close()
+
+	// A different overlay invalidates the states: every campaign restarts
+	// cold, and the results still match the exact references.
+	cfg3 := cfg
+	cfg3.Graph = testGraph(t, n, 8)
+	s3, err := New(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	submitBatch(t, s3, n, 50, 7)
+	if _, _, err := s3.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if s3.WarmStarts() != 0 {
+		t.Fatalf("graph changed but %d campaigns warm-started off the stale states", s3.WarmStarts())
+	}
+	v := s3.View()
+	for j := 0; j < n; j++ {
+		if seg, _ := s3.SubjectRead(j); seg.Epoch == 0 {
+			continue
+		}
+		got, _ := v.Reputation(j)
+		if want := core.GlobalRef(v, j); math.Abs(got-want) > epsTol {
+			t.Fatalf("subject %d after graph change: %v, reference %v", j, got, want)
+		}
+	}
+}
+
+// TestWarmStartDisabled: NoWarmStart and Replicate both force every campaign
+// cold — replicas pin bit-equality, which warm trajectories would break.
+func TestWarmStartDisabled(t *testing.T) {
+	const n = 30
+	for name, cfg := range map[string]Config{
+		"NoWarmStart": {Shards: 3, NoWarmStart: true},
+		"Replicate":   {Shards: 3, Replicate: true},
+	} {
+		s := newTestService(t, n, cfg)
+		for e := 0; e < 3; e++ {
+			submitBatch(t, s, n, 60, uint64(40+e))
+			if _, _, err := s.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.WarmStarts() != 0 {
+			t.Fatalf("%s: %d campaigns warm-started", name, s.WarmStarts())
+		}
+		if s.ColdStarts() != s.FoldedSubjects() {
+			t.Fatalf("%s: cold %d != folded %d", name, s.ColdStarts(), s.FoldedSubjects())
+		}
+	}
+}
+
+// TestWarmColdEpochHammer alternates warm and cold epochs under concurrent
+// ingest and reads — the race job runs this with -race to shake out
+// publication hazards around the shared warm states and engine reuse.
+func TestWarmColdEpochHammer(t *testing.T) {
+	const n = 50
+	s := newTestService(t, n, Config{Shards: 7, Params: core.Params{Epsilon: 1e-4, Seed: 13, Workers: -1}, FoldWorkers: -1})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			src := rng.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Submit(src.Intn(n), src.Intn(n), src.Float64())
+				s.Reputation(src.Intn(n))
+				s.Stats()
+			}
+		}(uint64(100 + w))
+	}
+	src := rng.New(99)
+	for e := 0; e < 8; e++ {
+		// A synchronous dribble guarantees every epoch has work even if the
+		// submitter goroutines lag; the concurrent traffic rides on top.
+		for k := 0; k < 20; k++ {
+			if _, err := s.Submit(src.Intn(n), src.Intn(n), src.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := s.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.FoldedSubjects() == 0 {
+		t.Fatal("hammer folded nothing")
+	}
+	v := s.View()
+	for j := 0; j < n; j++ {
+		if seg, _ := s.SubjectRead(j); seg.Seq == 0 {
+			continue
+		}
+		got, _ := v.Reputation(j)
+		if got < 0 || got > 1 || math.IsNaN(got) {
+			t.Fatalf("subject %d served out-of-range reputation %v", j, got)
+		}
+	}
+}
+
+// prev8Config matches the parameters the pre-v8 fixture generator used.
+func prev8Config(t *testing.T, dir string, shards int) Config {
+	t.Helper()
+	return Config{Graph: testGraph(t, 40, 7), Params: core.Params{Epsilon: 1e-6, Seed: 11}, Dir: dir, Shards: shards}
+}
+
+// copyPrev8Fixture clones the committed pre-v8 (wire v1, pre-warm/sparse)
+// sharded data dir into a temp dir and returns it with the expected state.
+func copyPrev8Fixture(t *testing.T) (string, prerefactorExpect) {
+	t.Helper()
+	src := filepath.Join("testdata", "prev8")
+	dir := t.TempDir()
+	names := []string{"ledger.jsonl", "manifest.json"}
+	for sh := 0; sh < 4; sh++ {
+		names = append(names, fmt.Sprintf("shard-%04d.gob", sh))
+	}
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var expect prerefactorExpect
+	b, err := os.ReadFile(filepath.Join(src, "expect.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &expect); err != nil {
+		t.Fatal(err)
+	}
+	return dir, expect
+}
+
+// TestMigrationFromPreV8Dir is the wire-compat criterion for this change: a
+// sharded data directory written BEFORE the warm/sparse work (shard wire v1,
+// committed as a fixture) boots in place, serves bit-identical reputations,
+// folds its WAL tail, and afterwards persists in the v2 format with warm
+// state — all without rewriting anything at boot.
+func TestMigrationFromPreV8Dir(t *testing.T) {
+	// Native shard count: segments load as-is.
+	dir, expect := copyPrev8Fixture(t)
+	s, err := New(prev8Config(t, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	if v.Epoch() != expect.Epoch || v.Seq() != expect.Seq {
+		t.Fatalf("booted at epoch %d/seq %d, want %d/%d", v.Epoch(), v.Seq(), expect.Epoch, expect.Seq)
+	}
+	for j := 0; j < expect.N; j++ {
+		got, err := v.Reputation(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != expect.Global[j] {
+			t.Fatalf("subject %d: booted reputation %v != pre-v8 %v", j, got, expect.Global[j])
+		}
+		if v.Raters(j) != expect.Raters[j] {
+			t.Fatalf("subject %d: raters %d != %d", j, v.Raters(j), expect.Raters[j])
+		}
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("replayed %d pending entries, want the 2 unfolded tail entries", s.Pending())
+	}
+
+	// Folding the tail works on v1 segments (every campaign cold — v1 has no
+	// warm state) and persists v2 segments with warm state for the next run.
+	v2, ran, err := s.RunEpoch()
+	if err != nil || !ran {
+		t.Fatalf("post-boot epoch (ran=%v, err=%v)", ran, err)
+	}
+	if s.WarmStarts() != 0 {
+		t.Fatalf("%d campaigns warm-started off a v1 directory", s.WarmStarts())
+	}
+	for j := 0; j < expect.N; j++ {
+		got, _ := v2.Reputation(j)
+		if want := core.GlobalRef(v2, j); math.Abs(got-want) > epsTol {
+			t.Fatalf("subject %d post-fold: %v, reference %v", j, got, want)
+		}
+	}
+	s.Close()
+
+	// Second boot reads the refreshed segments and warm-starts.
+	s2, err := New(prev8Config(t, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Submit(1, 2, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.WarmStarts() == 0 {
+		t.Fatal("second boot found no usable warm states in the refolded segments")
+	}
+	s2.Close()
+
+	// Resharding the v1 directory still works (warm state is dropped along
+	// the way, by construction).
+	dir, expect = copyPrev8Fixture(t)
+	s3, err := New(prev8Config(t, dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	v3 := s3.View()
+	for j := 0; j < expect.N; j++ {
+		got, _ := v3.Reputation(j)
+		if got != expect.Global[j] {
+			t.Fatalf("subject %d: resharded v1 reputation %v != %v", j, got, expect.Global[j])
+		}
+	}
+}

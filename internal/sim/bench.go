@@ -105,6 +105,20 @@ type BenchResult struct {
 	Cells          int   `json:"cells,omitempty"`
 	WalBytesBefore int64 `json:"wal_bytes_before,omitempty"`
 	WalBytesAfter  int64 `json:"wal_bytes_after,omitempty"`
+	// TotalSteps, WarmStarts, ColdStarts, Cores and Speedup describe the
+	// epoch-scaling rows (schema v8). TotalSteps is the summed campaign step
+	// count of the measured epoch — the hardware-independent compute meter
+	// the warm-vs-cold comparison is made on. WarmStarts/ColdStarts count how
+	// many of the epoch's campaigns seeded from persisted state versus from
+	// scratch. Cores is the GOMAXPROCS setting a cores row ran under and
+	// Speedup its epoch-latency ratio against the cores=1 row (1.0 there by
+	// construction); Speedup is only meaningful when the report's cpus field
+	// shows at least that many hardware threads.
+	TotalSteps int     `json:"total_steps,omitempty"`
+	WarmStarts uint64  `json:"warm_starts,omitempty"`
+	ColdStarts uint64  `json:"cold_starts,omitempty"`
+	Cores      int     `json:"cores,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
@@ -131,11 +145,22 @@ type BenchResult struct {
 // against a 10× spread of lifetime history (history/cells/converge_ns —
 // flat in history), and wal-compaction rows recording the ledger file size
 // around one compaction against the same spread (wal_bytes_before/
-// wal_bytes_after — the after size tracks live cells, not appends).
+// wal_bytes_after — the after size tracks live cells, not appends). v8 adds
+// the epoch-scaling rows and the report-level cpus field: warm rows run twin
+// services (warm starts on versus off) through an identical 5%-dirty epoch
+// and record total_steps/warm_starts/cold_starts — the steps ratio is the
+// hardware-independent warm-start claim; cores rows time identical cold
+// full-recompute epochs under GOMAXPROCS 1/2/4/all and record each row's
+// speedup against the 1-core row. Speedups are only meaningful where cpus
+// covers the core count — a 1-CPU host still emits the rows (CI gates its
+// speedup assertion on cpus), and its steps ratio remains valid.
 type BenchReport struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUs is runtime.NumCPU() on the generating host — readers gate any
+	// parallel-speedup interpretation of the epoch-scaling cores rows on it.
+	CPUs       int           `json:"cpus"`
 	Seed       uint64        `json:"seed"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
@@ -202,9 +227,10 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v7",
+		Schema:     "diffgossip-bench/v8",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 		Seed:       cfg.Seed,
 	}
 
@@ -313,7 +339,199 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		}
 		report.Benchmarks = append(report.Benchmarks, rows...)
 	}
+
+	// Epoch scaling (schema v8): warm-vs-cold campaign steps on an identical
+	// dirty slice, and cold epoch latency against the core count.
+	{
+		rows, err := benchEpochScaling(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
 	return report, nil
+}
+
+// benchEpochScaling measures the two schema-v8 claims of the warm-started,
+// sparse campaign pipeline on one deterministic workload (every subject rated
+// by the same 48 id-adjacent raters, so each campaign runs the sparse
+// restricted-overlay path).
+//
+// Warm rows: twin services — one default, one NoWarmStart — ingest identical
+// feedback, fold a seeding epoch, then both fold a measured epoch in which 5%
+// of subjects received a fresh rating from an existing rater. Modulo shard
+// placement makes that slice dirty every shard, so both services re-run every
+// campaign and the rows' total_steps compare warm seeding against cold
+// seeding on byte-identical work. The steps ratio is hardware-independent:
+// it holds on a 1-CPU host exactly as on a 64-way box.
+//
+// Cores rows: the cold service folds further full-recompute epochs (every
+// subject re-rated) with GOMAXPROCS pinned to 1, 2, 4 and every hardware
+// thread, best of two epochs per setting; each row's Speedup is its latency
+// ratio against the 1-core row. Rows are emitted regardless of the host's
+// core count — readers (and CI) gate speedup interpretation on the report's
+// cpus field.
+func benchEpochScaling(cfg BenchConfig) ([]BenchResult, error) {
+	n, shards := cfg.ShardN, cfg.Shards
+	if shards > n {
+		shards = n
+	}
+	raters := 48
+	if raters > n-1 {
+		raters = n - 1
+	}
+	g, err := buildPA(n, cfg.Seed+80)
+	if err != nil {
+		return nil, err
+	}
+	newSvc := func(noWarm bool) (*service.Service, error) {
+		return service.New(service.Config{
+			Graph:       g,
+			Params:      core.Params{Epsilon: cfg.Epsilon, Seed: cfg.Seed + 81, Workers: -1},
+			Shards:      shards,
+			FoldWorkers: -1,
+			NoWarmStart: noWarm,
+		})
+	}
+	svcWarm, err := newSvc(false)
+	if err != nil {
+		return nil, err
+	}
+	defer svcWarm.Close()
+	svcCold, err := newSvc(true)
+	if err != nil {
+		return nil, err
+	}
+	defer svcCold.Close()
+	pair := []*service.Service{svcWarm, svcCold}
+
+	// Identical feedback to both services; subject j's raters are the ids
+	// just above it, which never include j itself while raters < n.
+	src := rng.New(cfg.Seed + 82)
+	rate := func(svcs []*service.Service, j, i int) error {
+		v := src.Float64()
+		for _, svc := range svcs {
+			if _, err := svc.Submit((j+1+i)%n, j, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Seeding epoch (unmeasured): rate every subject fully and fold, so the
+	// warm service holds converged campaign state for the whole subject space.
+	for j := 0; j < n; j++ {
+		for i := 0; i < raters; i++ {
+			if err := rate(pair, j, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, svc := range pair {
+		if _, _, err := svc.RunEpoch(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Measured 5%-dirty epoch on each twin: one fresh rating per dirty
+	// subject, from a rater the subject already has — rater sets are
+	// unchanged, so every warm campaign stays warm-eligible.
+	dirty := n / 20
+	if dirty < 1 {
+		dirty = 1
+	}
+	for j := 0; j < dirty; j++ {
+		if err := rate(pair, j, 0); err != nil {
+			return nil, err
+		}
+	}
+	var rows []BenchResult
+	for _, svc := range pair {
+		mode := "on"
+		if svc == svcCold {
+			mode = "off"
+		}
+		warmBefore, coldBefore := svc.WarmStarts(), svc.ColdStarts()
+		foldedBefore := svc.FoldedSubjects()
+		start := time.Now()
+		view, ran, err := svc.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if !ran {
+			return nil, fmt.Errorf("bench: epoch-scaling warm=%s epoch had nothing to fold", mode)
+		}
+		rows = append(rows, BenchResult{
+			Name:           fmt.Sprintf("epoch-scaling/warm=%s/dirty=5%%", mode),
+			N:              n,
+			Steps:          view.Steps(),
+			Converged:      view.Converged(),
+			EpochNs:        float64(elapsed.Nanoseconds()),
+			Shards:         shards,
+			FoldedSubjects: svc.FoldedSubjects() - foldedBefore,
+			TotalSteps:     view.TotalSteps(),
+			WarmStarts:     svc.WarmStarts() - warmBefore,
+			ColdStarts:     svc.ColdStarts() - coldBefore,
+		})
+	}
+
+	// Cores rows on the cold twin: full-recompute epochs under a pinned
+	// GOMAXPROCS, best of two per setting to damp scheduler noise.
+	counts := []int{1, 2, 4}
+	if all := runtime.NumCPU(); all > counts[len(counts)-1] {
+		counts = append(counts, all)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	base := 0.0
+	for _, c := range counts {
+		var best time.Duration
+		var view *service.View
+		var folded, coldStarts uint64
+		for rep := 0; rep < 2; rep++ {
+			for j := 0; j < n; j++ {
+				if err := rate([]*service.Service{svcCold}, j, 0); err != nil {
+					return nil, err
+				}
+			}
+			coldBefore := svcCold.ColdStarts()
+			foldedBefore := svcCold.FoldedSubjects()
+			runtime.GOMAXPROCS(c)
+			start := time.Now()
+			v, ran, err := svcCold.RunEpoch()
+			elapsed := time.Since(start)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				return nil, err
+			}
+			if !ran {
+				return nil, fmt.Errorf("bench: epoch-scaling cores=%d epoch had nothing to fold", c)
+			}
+			if rep == 0 || elapsed < best {
+				best, view = elapsed, v
+				folded = svcCold.FoldedSubjects() - foldedBefore
+				coldStarts = svcCold.ColdStarts() - coldBefore
+			}
+		}
+		if base == 0 {
+			base = float64(best.Nanoseconds())
+		}
+		rows = append(rows, BenchResult{
+			Name:           fmt.Sprintf("epoch-scaling/cores=%d", c),
+			N:              n,
+			Steps:          view.Steps(),
+			Converged:      view.Converged(),
+			EpochNs:        float64(best.Nanoseconds()),
+			Shards:         shards,
+			FoldedSubjects: folded,
+			TotalSteps:     view.TotalSteps(),
+			ColdStarts:     coldStarts,
+			Cores:          c,
+			Speedup:        base / float64(best.Nanoseconds()),
+		})
+	}
+	return rows, nil
 }
 
 // benchBootstrap measures the O(state) join claim: an established node folds

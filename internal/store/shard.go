@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"diffgossip/internal/gossip"
 	"diffgossip/internal/trust"
 )
 
@@ -51,12 +53,25 @@ type ShardSnapshot struct {
 	Steps     int
 	Converged bool
 	Computed  int
+	// TotalSteps sums every campaign's step count in the last fold;
+	// WarmStarts/ColdStarts split Computed by how each campaign was seeded.
+	TotalSteps             int
+	WarmStarts, ColdStarts int
 	// ElapsedNs is the last fold's wall-clock compute time.
 	ElapsedNs int64
 	// CreatedUnixNano is the publication wall-clock time.
 	CreatedUnixNano int64
+	// GraphFP fingerprints the gossip graph the fold ran over. Warm state is
+	// only valid against the same graph (the masses live on its nodes and its
+	// topology shaped them), so boot drops Warm when the fingerprint
+	// disagrees with the running service's.
+	GraphFP uint64
 	// Cols holds the frozen trust columns of this shard's subjects.
 	Cols *trust.Columns
+	// Warm[k] is subject slot k's recorded campaign state — next epoch's warm
+	// seed — or nil when none was kept. A nil slice (the pre-v2 decode, a
+	// reshard, a boot snapshot) means every campaign restarts cold.
+	Warm []*gossip.CampaignState
 }
 
 // NewBootShardSnapshot returns the empty shard state a fresh service
@@ -113,12 +128,33 @@ type shardWire struct {
 	Steps            int
 	Converged        bool
 	Computed         int
+	TotalSteps       int
+	WarmStarts       int
+	ColdStarts       int
 	ElapsedNs        int64
 	CreatedUnixNano  int64
+	GraphFP          uint64
 	Cols             []byte
+	Warm             []warmWire
 }
 
-const shardWireVersion = 1
+// warmWire is a slot's campaign state on the wire. Gob cannot encode nil
+// pointers inside a slice, so absent states ride as the zero value with
+// Present=false instead of as nils.
+type warmWire struct {
+	Present   bool
+	Sparse    bool
+	Raters    []int
+	PrevVals  []float64
+	Y, G      []float64
+	Steps     int
+	Converged bool
+}
+
+// shardWireVersion 2 added TotalSteps/WarmStarts/ColdStarts, GraphFP and the
+// Warm payload. Version-1 segments decode fine — their warm fields are simply
+// absent, so every campaign restarts cold after the upgrade.
+const shardWireVersion = 2
 
 // maxShardWireN caps the node count accepted from a serialised segment,
 // mirroring trust's maxWireN: decode allocates Θ(N) before reading entries.
@@ -136,8 +172,23 @@ func (s *ShardSnapshot) Save(w io.Writer) error {
 		Epoch: s.Epoch, Seq: s.Seq,
 		Global: s.Global, Raters: s.Raters,
 		Steps: s.Steps, Converged: s.Converged, Computed: s.Computed,
+		TotalSteps: s.TotalSteps, WarmStarts: s.WarmStarts, ColdStarts: s.ColdStarts,
 		ElapsedNs: s.ElapsedNs, CreatedUnixNano: s.CreatedUnixNano,
-		Cols: cb.Bytes(),
+		GraphFP: s.GraphFP,
+		Cols:    cb.Bytes(),
+	}
+	if s.Warm != nil {
+		wire.Warm = make([]warmWire, len(s.Warm))
+		for k, ws := range s.Warm {
+			if ws == nil {
+				continue
+			}
+			wire.Warm[k] = warmWire{
+				Present: true, Sparse: ws.Sparse,
+				Raters: ws.Raters, PrevVals: ws.PrevVals,
+				Y: ws.Y, G: ws.G, Steps: ws.Steps, Converged: ws.Converged,
+			}
+		}
 	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
 		return fmt.Errorf("store: encode shard snapshot: %w", err)
@@ -152,7 +203,7 @@ func LoadShardSnapshot(r io.Reader) (*ShardSnapshot, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("store: decode shard snapshot: %w", err)
 	}
-	if wire.Version != shardWireVersion {
+	if wire.Version < 1 || wire.Version > shardWireVersion {
 		return nil, fmt.Errorf("store: unsupported shard snapshot version %d", wire.Version)
 	}
 	if wire.N < 0 || wire.Shards < 1 || wire.Shard < 0 || wire.Shard >= wire.Shards {
@@ -180,14 +231,79 @@ func LoadShardSnapshot(r io.Reader) (*ShardSnapshot, error) {
 			return nil, fmt.Errorf("store: shard snapshot column %d holds subject %d", k, j)
 		}
 	}
+	warm, err := decodeWarm(wire, want)
+	if err != nil {
+		return nil, err
+	}
 	return &ShardSnapshot{
 		Shard: wire.Shard, Shards: wire.Shards, N: wire.N,
 		Epoch: wire.Epoch, Seq: wire.Seq,
 		Global: wire.Global, Raters: wire.Raters,
 		Steps: wire.Steps, Converged: wire.Converged, Computed: wire.Computed,
+		TotalSteps: wire.TotalSteps, WarmStarts: wire.WarmStarts, ColdStarts: wire.ColdStarts,
 		ElapsedNs: wire.ElapsedNs, CreatedUnixNano: wire.CreatedUnixNano,
-		Cols: cols,
+		GraphFP: wire.GraphFP,
+		Cols:    cols,
+		Warm:    warm,
 	}, nil
+}
+
+// decodeWarm validates and unpacks a segment's warm payload. Warm state is an
+// optimisation, not ground truth, but a corrupt segment must still fail
+// loudly rather than inject NaNs or negative weight mass into next epoch's
+// campaigns — the same strictness the column payload gets.
+func decodeWarm(wire shardWire, want int) ([]*gossip.CampaignState, error) {
+	if wire.Warm == nil {
+		return nil, nil
+	}
+	if len(wire.Warm) != want {
+		return nil, fmt.Errorf("store: shard snapshot has %d warm slots, want %d", len(wire.Warm), want)
+	}
+	warm := make([]*gossip.CampaignState, want)
+	for k := range wire.Warm {
+		w := &wire.Warm[k]
+		if !w.Present {
+			continue
+		}
+		if len(w.Raters) > wire.N || len(w.PrevVals) != len(w.Raters) {
+			return nil, fmt.Errorf("store: warm slot %d has a malformed rater set", k)
+		}
+		prev := -1
+		for x, i := range w.Raters {
+			if i <= prev || i >= wire.N {
+				return nil, fmt.Errorf("store: warm slot %d raters not strictly ascending in range", k)
+			}
+			prev = i
+			v := w.PrevVals[x]
+			if !(v >= 0 && v <= 1) { // rejects NaN too
+				return nil, fmt.Errorf("store: warm slot %d value %v out of [0,1]", k, v)
+			}
+		}
+		size := wire.N
+		if w.Sparse {
+			size = len(w.Raters)
+		}
+		if len(w.Y) != size || len(w.G) != size {
+			return nil, fmt.Errorf("store: warm slot %d masses have length %d/%d, want %d", k, len(w.Y), len(w.G), size)
+		}
+		for x := range w.Y {
+			if math.IsNaN(w.Y[x]) || math.IsInf(w.Y[x], 0) {
+				return nil, fmt.Errorf("store: warm slot %d carries a non-finite value mass", k)
+			}
+			if !(w.G[x] >= 0) || math.IsInf(w.G[x], 0) {
+				return nil, fmt.Errorf("store: warm slot %d carries an invalid weight mass", k)
+			}
+		}
+		if w.Steps < 0 {
+			return nil, fmt.Errorf("store: warm slot %d has a negative step count", k)
+		}
+		warm[k] = &gossip.CampaignState{
+			Sparse: w.Sparse,
+			Raters: w.Raters, PrevVals: w.PrevVals,
+			Y: w.Y, G: w.G, Steps: w.Steps, Converged: w.Converged,
+		}
+	}
+	return warm, nil
 }
 
 // SaveFile writes the segment to path atomically and durably (fsync, rename,
@@ -262,7 +378,10 @@ func LoadManifestFile(path string) (*Manifest, error) {
 // segments — the boot-time migration from the pre-shard format. Globals,
 // rater counts and trust columns are copied verbatim, so the migrated
 // directory serves exactly the reputations the old one did; every segment
-// inherits the snapshot's fold point.
+// inherits the snapshot's fold point. Warm state and the graph fingerprint
+// are not carried (the legacy format never had them, and a reshard
+// re-slots every subject), so the first post-split epoch restarts cold —
+// correct, just slower.
 func SplitSnapshot(snap *Snapshot, shards int) ([]*ShardSnapshot, error) {
 	if shards < 1 || shards > snap.N {
 		return nil, fmt.Errorf("store: cannot split snapshot over N=%d into %d shards", snap.N, shards)

@@ -2,9 +2,11 @@ package store
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"testing"
 
+	"diffgossip/internal/gossip"
 	"diffgossip/internal/rng"
 	"diffgossip/internal/trust"
 )
@@ -206,5 +208,93 @@ func TestLedgerShardTracking(t *testing.T) {
 	}
 	if err := l.SetShards(0); err == nil {
 		t.Fatal("shard count 0 accepted")
+	}
+}
+
+// TestShardSnapshotWarmRoundTrip: wire v2 carries the per-slot campaign
+// states (sparse, dense, and absent alike) through save/load bit for bit,
+// and rejects corrupt warm payloads instead of seeding next epoch's
+// campaigns with them.
+func TestShardSnapshotWarmRoundTrip(t *testing.T) {
+	snap := randomSnapshot(t, 15, 9)
+	segs, err := SplitSnapshot(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segs[1] // subjects 1, 4, 7, 10, 13 → 5 slots
+	seg.GraphFP = 0xfeedbeef
+	seg.TotalSteps = 42
+	seg.WarmStarts = 2
+	seg.ColdStarts = 3
+	seg.Warm = []*gossip.CampaignState{
+		{Sparse: true, Raters: []int{2, 9}, PrevVals: []float64{0.5, 0.25},
+			Y: []float64{0.4, 0.35}, G: []float64{1, 1}, Steps: 7},
+		nil,
+		{Sparse: false, Raters: []int{3}, PrevVals: []float64{1},
+			Y: make([]float64, 15), G: make([]float64, 15), Steps: 12},
+		nil,
+		nil,
+	}
+	seg.Warm[2].Y[3] = 1
+	seg.Warm[2].G[3] = 1
+
+	var buf bytes.Buffer
+	if err := seg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadShardSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GraphFP != seg.GraphFP || got.TotalSteps != 42 || got.WarmStarts != 2 || got.ColdStarts != 3 {
+		t.Fatalf("reloaded header %+v", got)
+	}
+	if len(got.Warm) != 5 || got.Warm[1] != nil || got.Warm[3] != nil || got.Warm[4] != nil {
+		t.Fatalf("reloaded warm layout wrong: %+v", got.Warm)
+	}
+	for _, k := range []int{0, 2} {
+		a, b := seg.Warm[k], got.Warm[k]
+		if b == nil || b.Sparse != a.Sparse || b.Steps != a.Steps {
+			t.Fatalf("slot %d header drifted: %+v vs %+v", k, a, b)
+		}
+		for x := range a.Raters {
+			if b.Raters[x] != a.Raters[x] || b.PrevVals[x] != a.PrevVals[x] {
+				t.Fatalf("slot %d rater %d drifted", k, x)
+			}
+		}
+		for x := range a.Y {
+			if b.Y[x] != a.Y[x] || b.G[x] != a.G[x] {
+				t.Fatalf("slot %d mass %d drifted", k, x)
+			}
+		}
+	}
+
+	// Segments without warm state (the v1 shape) still round-trip to nil.
+	seg.Warm = nil
+	buf.Reset()
+	if err := seg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadShardSnapshot(bytes.NewReader(buf.Bytes())); err != nil || got.Warm != nil {
+		t.Fatalf("no-warm round trip = (%v, %v)", got, err)
+	}
+
+	// Corrupt warm payloads must be refused: NaN mass, descending raters,
+	// mismatched shapes.
+	for name, ws := range map[string]*gossip.CampaignState{
+		"nan-mass":          {Sparse: true, Raters: []int{1}, PrevVals: []float64{0.5}, Y: []float64{math.NaN()}, G: []float64{1}},
+		"negative-weight":   {Sparse: true, Raters: []int{1}, PrevVals: []float64{0.5}, Y: []float64{0.5}, G: []float64{-1}},
+		"descending-raters": {Sparse: true, Raters: []int{9, 2}, PrevVals: []float64{0.5, 0.5}, Y: []float64{0, 0}, G: []float64{1, 1}},
+		"bad-prev-val":      {Sparse: true, Raters: []int{1}, PrevVals: []float64{1.5}, Y: []float64{0.5}, G: []float64{1}},
+		"dense-wrong-len":   {Sparse: false, Raters: []int{1}, PrevVals: []float64{0.5}, Y: []float64{0.5}, G: []float64{1}},
+	} {
+		seg.Warm = []*gossip.CampaignState{ws, nil, nil, nil, nil}
+		buf.Reset()
+		if err := seg.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadShardSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatalf("%s: corrupt warm payload accepted", name)
+		}
 	}
 }

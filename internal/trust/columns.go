@@ -38,12 +38,19 @@ var (
 //
 // Reads for subjects outside the subset report "no entry" — the composite
 // view dispatches each subject to the shard that owns it.
+//
+// Storage is compressed-sparse-column: all rater ids live in one flat []int
+// and all values in one flat []float64, with the per-slot slices as
+// contiguous subslice views into them. A shard's whole column set is then
+// two allocations plus the views, entries of neighbouring subjects share
+// cache lines, and total memory scales with the number of ratings — never
+// with N×subjects.
 type Columns struct {
 	n        int
 	subjects []int
-	slot     map[int]int // subject -> position in subjects
-	raters   [][]int     // per slot, ascending
-	vals     [][]float64
+	slot     map[int]int       // subject -> position in subjects
+	raters   [][]int           // per slot, ascending; views into one flat backing
+	vals     [][]float64       // aligned with raters; views into one flat backing
 	rows     []map[int]float64 // rows[i][j] = t_ij restricted to subjects; nil when empty
 }
 
@@ -54,18 +61,36 @@ func ColumnsOf(m *Matrix, subjects []int) (*Columns, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Accumulate every column into one flat backing, then carve the per-slot
+	// views — the CSC layout. Appends may reallocate the backing mid-build,
+	// so the views are taken only after the last column lands.
+	var ids []int
+	var vals []float64
+	offs := make([]int, len(c.subjects)+1)
 	for s, j := range c.subjects {
-		ids, vals := m.RatersOfInto(j, nil, nil)
-		c.raters[s], c.vals[s] = ids, vals
+		ids, vals = m.RatersOfInto(j, ids, vals)
+		offs[s+1] = len(ids)
 	}
+	c.attachFlat(ids, vals, offs)
 	c.buildRows()
 	return c, nil
 }
 
+// attachFlat carves the per-slot column views out of one flat (ids, vals)
+// backing, slot s owning [offs[s], offs[s+1]). Full-capacity slicing keeps a
+// stray append on one view from clobbering its neighbour.
+func (c *Columns) attachFlat(ids []int, vals []float64, offs []int) {
+	for s := range c.subjects {
+		lo, hi := offs[s], offs[s+1]
+		c.raters[s] = ids[lo:hi:hi]
+		c.vals[s] = vals[lo:hi:hi]
+	}
+}
+
 // NewColumns assembles a frozen Columns from raw per-subject rater lists —
 // the decode path of the shard-snapshot wire format. Each raters[s] must be
-// strictly ascending with values in [0,1]; the slices are adopted, not
-// copied, and must not be mutated afterwards.
+// strictly ascending with values in [0,1]; the entries are compacted into
+// the flat CSC backing, so the input slices stay the caller's.
 func NewColumns(n int, subjects []int, raters [][]int, vals [][]float64) (*Columns, error) {
 	c, err := newColumnsShell(n, subjects)
 	if err != nil {
@@ -74,6 +99,7 @@ func NewColumns(n int, subjects []int, raters [][]int, vals [][]float64) (*Colum
 	if len(raters) != len(subjects) || len(vals) != len(subjects) {
 		return nil, fmt.Errorf("trust: columns payload has %d/%d columns, want %d", len(raters), len(vals), len(subjects))
 	}
+	total := 0
 	for s := range subjects {
 		ids, vs := raters[s], vals[s]
 		if len(ids) != len(vs) {
@@ -92,8 +118,17 @@ func NewColumns(n int, subjects []int, raters [][]int, vals [][]float64) (*Colum
 			}
 			prev = i
 		}
-		c.raters[s], c.vals[s] = ids, vs
+		total += len(ids)
 	}
+	flatIDs := make([]int, 0, total)
+	flatVals := make([]float64, 0, total)
+	offs := make([]int, len(subjects)+1)
+	for s := range subjects {
+		flatIDs = append(flatIDs, raters[s]...)
+		flatVals = append(flatVals, vals[s]...)
+		offs[s+1] = len(flatIDs)
+	}
+	c.attachFlat(flatIDs, flatVals, offs)
 	c.buildRows()
 	return c, nil
 }
