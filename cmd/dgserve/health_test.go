@@ -13,6 +13,7 @@ import (
 	"diffgossip/internal/cluster"
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/httpapi"
 	"diffgossip/internal/service"
 	"diffgossip/internal/transport"
 )
@@ -103,8 +104,10 @@ func TestReadyzStalledScheduler(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	srv := newClusterServer(svc, nil, time.Millisecond, nil)
-	srv.started = time.Now().Add(-time.Second) // the grace has long passed
+	srv := httpapi.New(httpapi.Config{
+		Service: svc, EpochEvery: time.Millisecond,
+		Started: time.Now().Add(-time.Second), // the grace has long passed
+	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

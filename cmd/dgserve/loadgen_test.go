@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeLoadgenReport extracts the JSON report from loadgen output (a banner
+// line precedes it).
+func decodeLoadgenReport(t *testing.T, out string) loadgenReport {
+	t.Helper()
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON report in output: %q", out)
+	}
+	var report loadgenReport
+	if err := json.Unmarshal([]byte(out[idx:]), &report); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, out)
+	}
+	return report
+}
+
+// TestLoadgenAdversarial runs the adversarial loadgen — open-loop pacing,
+// batched writers, hot-subject skew, malformed/oversized probes and
+// slow-loris connections — against an in-process server squeezed down to a
+// tiny backpressure window, and holds the report to the overload contract:
+// shed and rejected traffic lands in its own buckets, real Errors stay at
+// zero, and the server keeps accepting work throughout (the shed-rate sanity
+// bound: shedding is partial, never a full outage). This is the CI
+// http-overload job's workload; under -race it doubles as a hammer over the
+// whole ingress stack.
+func TestLoadgenAdversarial(t *testing.T) {
+	var out bytes.Buffer
+	err := runLoadgen(runConfig{
+		n: 60, m: 2, graphSeed: 7, seed: 1, epsilon: 1e-5,
+		epoch: 10 * time.Millisecond, workers: 1,
+		duration: 500 * time.Millisecond, writers: 4, readers: 2,
+		batchSize: 4, rate: 5000, adversarial: true,
+		maxPending: 32, maxInflight: 64,
+		readTimeout: 2 * time.Second, writeTimeout: 2 * time.Second,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := decodeLoadgenReport(t, out.String())
+	if report.Errors != 0 {
+		t.Fatalf("adversarial run saw %d real errors: %+v", report.Errors, report)
+	}
+	if report.AcceptedRatings == 0 || report.IngestOps == 0 {
+		t.Fatalf("server accepted nothing under adversarial load: %+v", report)
+	}
+	if report.QueryOps == 0 {
+		t.Fatalf("readers did no work: %+v", report)
+	}
+	// The tiny pending window must have shed load — and the shed rate must be
+	// partial: a server that refuses every write is an outage, not
+	// backpressure.
+	if report.Shed429 == 0 {
+		t.Fatalf("32-entry pending window shed nothing under a 5k/s flood: %+v", report)
+	}
+	attempts := report.IngestOps + report.Shed429 + report.Shed503
+	if report.Shed429+report.Shed503 >= attempts {
+		t.Fatalf("every write attempt was shed (%d of %d): %+v", report.Shed429+report.Shed503, attempts, report)
+	}
+	// The probe mix fires at 1/16 per writer iteration, so hundreds of
+	// iterations make both probe kinds a statistical certainty — and each
+	// must have been turned away with its documented status, not served.
+	if report.Rejected400 == 0 || report.Rejected413 == 0 {
+		t.Fatalf("adversarial probes not rejected (400s=%d, 413s=%d): %+v",
+			report.Rejected400, report.Rejected413, report)
+	}
+	if report.SlowLoris == 0 {
+		t.Fatalf("no slow-loris connection was ever held: %+v", report)
+	}
+	if report.FinalEpoch.Epoch == 0 {
+		t.Fatalf("no epoch ever ran: %+v", report.FinalEpoch)
+	}
+}

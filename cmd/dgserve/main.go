@@ -63,6 +63,7 @@ import (
 	"diffgossip/internal/cluster"
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/httpapi"
 	"diffgossip/internal/obs"
 	"diffgossip/internal/service"
 	"diffgossip/internal/transport"
@@ -89,16 +90,27 @@ func main() {
 		histTrimEvery = flag.Int("hist-trim-every", 16, "trim fully-acknowledged replication history every N exchanges (0 = never)")
 		bootstrapLag  = flag.Uint64("bootstrap-lag", 8192, "request a snapshot-shipped bootstrap when trailing the cluster by more than this many entries (fresh nodes always request; 0 = never request)")
 
+		maxBatch     = flag.Int("max-batch", httpapi.DefaultMaxBatch, "max ratings per POST /v1/feedback/batch (batch bodies beyond it get 413)")
+		maxPending   = flag.Int("max-pending", httpapi.DefaultMaxPending, "pending-fold window size beyond which feedback ingest sheds with 429 (negative = unlimited)")
+		maxInflight  = flag.Int("max-inflight", httpapi.DefaultMaxInflight, "max concurrently served data-route requests; excess get 503 (negative = unlimited)")
+		maxBody      = flag.Int64("max-body", httpapi.DefaultMaxBodyBytes, "max batch request body bytes (oversized bodies get 413)")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout: a request (headers+body) slower than this is dropped")
+		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout: a response slower than this is dropped")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		pprofAddr  = flag.String("pprof-addr", "", "address for net/http/pprof profiling endpoints (empty = disabled)")
 		traceDepth = flag.Int("trace-depth", service.DefaultTraceDepth, "epochs kept in the GET /v1/trace ring (negative = disabled)")
 
-		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
-		duration = flag.Duration("duration", 5*time.Second, "loadgen: how long to generate load")
-		writers  = flag.Int("writers", 8, "loadgen: concurrent feedback writers")
-		readers  = flag.Int("readers", 8, "loadgen: concurrent reputation readers")
-		target   = flag.String("target", "", "loadgen: base URL of an external dgserve (empty = in-process server)")
+		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		duration    = flag.Duration("duration", 5*time.Second, "loadgen: how long to generate load")
+		writers     = flag.Int("writers", 8, "loadgen: concurrent feedback writers")
+		readers     = flag.Int("readers", 8, "loadgen: concurrent reputation readers")
+		target      = flag.String("target", "", "loadgen: base URL of an external dgserve (empty = in-process server)")
+		batchSize   = flag.Int("batch", 0, "loadgen: ratings per write (0/1 = single POSTs, >1 = POST /v1/feedback/batch)")
+		rate        = flag.Float64("rate", 0, "loadgen: open-loop total write arrival rate per second (0 = closed loop, as fast as accepted)")
+		adversarial = flag.Bool("adversarial", false, "loadgen: mix in malformed and oversized bodies, slow-loris writers and hot-subject skew")
 	)
 	flag.Parse()
 
@@ -116,10 +128,14 @@ func main() {
 		foldWorkers: *foldWkrs, dataDir: *dataDir, compactEvery: *compactEvery,
 		clusterListen: *clusterListen, peers: peers, antiEntropy: *antiEntropy,
 		histTrimEvery: *histTrimEvery, bootstrapLag: *bootstrapLag,
-		logLevel: *logLevel, logFormat: *logFormat,
+		maxBatch: *maxBatch, maxPending: *maxPending, maxInflight: *maxInflight,
+		maxBody: *maxBody, readTimeout: *readTimeout, writeTimeout: *writeTimeout,
+		idleTimeout: *idleTimeout,
+		logLevel:    *logLevel, logFormat: *logFormat,
 		pprofAddr: *pprofAddr, traceDepth: *traceDepth, reg: obs.Default,
 		loadgen: *loadgen, duration: *duration, writers: *writers,
-		readers: *readers, target: *target,
+		readers: *readers, target: *target, batchSize: *batchSize,
+		rate: *rate, adversarial: *adversarial,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
 		os.Exit(1)
@@ -146,6 +162,20 @@ type runConfig struct {
 	duration         time.Duration
 	writers, readers int
 	target           string
+	// batchSize, rate and adversarial shape the loadgen workload: ratings
+	// per write request, open-loop total write arrival rate (0 = closed
+	// loop), and whether the adversarial mix (malformed/oversized bodies,
+	// slow-loris writers, hot-subject skew) is on.
+	batchSize   int
+	rate        float64
+	adversarial bool
+
+	// The ingress limits (zero values fall back to the httpapi defaults)
+	// and http.Server deadlines.
+	maxBatch, maxPending, maxInflight int
+	maxBody                           int64
+	readTimeout, writeTimeout         time.Duration
+	idleTimeout                       time.Duration
 
 	// logLevel/logFormat configure the process-wide slog default;
 	// empty values skip setup (tests keep their quiet default logger).
@@ -187,6 +217,21 @@ func (c runConfig) newService(origin string) (*service.Service, error) {
 		Origin:         origin,
 		TraceDepth:     c.traceDepth,
 		CompactEvery:   c.compactEvery,
+	})
+}
+
+// newHTTPServer builds the HTTP front door with the flag-configured ingress
+// limits (batch size, body bytes, backpressure window, in-flight gate).
+func (c runConfig) newHTTPServer(svc *service.Service, node *cluster.Node) *httpapi.Server {
+	return httpapi.New(httpapi.Config{
+		Service:      svc,
+		Node:         node,
+		EpochEvery:   c.epoch,
+		Registry:     c.reg,
+		MaxBatch:     c.maxBatch,
+		MaxBodyBytes: c.maxBody,
+		MaxPending:   c.maxPending,
+		MaxInflight:  c.maxInflight,
 	})
 }
 
@@ -314,7 +359,16 @@ func run(c runConfig) error {
 		go http.Serve(pln, pprofMux())
 	}
 	logger.Info("listening", "addr", ln.Addr().String())
-	srv := &http.Server{Handler: newClusterServer(svc, node, c.epoch, c.reg)}
+	// The deadlines bound how long any one connection can hold resources:
+	// slow-loris request trickles die at ReadTimeout, stalled consumers of
+	// big responses at WriteTimeout, and idle keep-alives at IdleTimeout.
+	srv := &http.Server{
+		Handler:           c.newHTTPServer(svc, node),
+		ReadTimeout:       c.readTimeout,
+		ReadHeaderTimeout: c.readTimeout,
+		WriteTimeout:      c.writeTimeout,
+		IdleTimeout:       c.idleTimeout,
+	}
 	if c.ready != nil {
 		c.ready(ln.Addr().String())
 	}

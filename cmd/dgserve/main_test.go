@@ -15,6 +15,7 @@ import (
 
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/httpapi"
 	"diffgossip/internal/obs"
 	"diffgossip/internal/rng"
 	"diffgossip/internal/service"
@@ -190,15 +191,68 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// TestConcurrentHTTPTraffic hammers POST /v1/feedback and GET /v1/reputation
-// over real HTTP while the background scheduler runs epochs — the HTTP-layer
-// face of the service's concurrency contract (run under -race in CI). Every
-// read must see a complete snapshot: a consistent (epoch, seq) pair with the
-// reputation value in range.
+// TestConcurrentHTTPTraffic hammers POST /v1/feedback, POST
+// /v1/feedback/batch and GET /v1/reputation over real HTTP while the
+// background scheduler runs epochs — the HTTP-layer face of the service's
+// concurrency contract (run under -race in CI). The server runs with a small
+// backpressure window, so writers exercise the real 429-retry loop; readers
+// poll with If-None-Match and require every ETag — fresh or 304 — to name a
+// fold point actually served. Every read must see a complete snapshot: a
+// consistent (epoch, seq) pair with the reputation value in range.
 func TestConcurrentHTTPTraffic(t *testing.T) {
 	const n = 30
-	ts, svc := newTestServer(t, n, 2*time.Millisecond)
+	const interval = 2 * time.Millisecond
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: n, M: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{
+		Graph:         g,
+		Params:        core.Params{Epsilon: 1e-6, Seed: 11},
+		EpochInterval: interval,
+		Shards:        4,
+		FoldWorkers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
+	// MaxPending far below the write volume: the scheduler drains the window
+	// every couple of milliseconds, but bursts between folds shed real 429s
+	// that the writers must absorb and retry.
+	ts := httptest.NewServer(httpapi.New(httpapi.Config{
+		Service: svc, EpochEvery: interval, Registry: reg, MaxPending: 48,
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
 	client := ts.Client()
+
+	// postAccepted retries through backpressure (429) and gate rejections
+	// (503) until the write is accepted — the client half of the overload
+	// contract. Anything else is a real failure.
+	postAccepted := func(url, body string) error {
+		for {
+			resp, err := client.Post(url, "application/json", strings.NewReader(body))
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				return nil
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// Retry-After says "next fold" (seconds); at test scale the
+				// 2ms scheduler drains far sooner.
+				time.Sleep(time.Millisecond)
+			default:
+				return fmt.Errorf("write status %d", resp.StatusCode)
+			}
+		}
+	}
 
 	// A metrics poller scrapes /metrics at ~1 kHz for the whole hammer; every
 	// scrape must parse — well-formed exposition, monotone histogram buckets
@@ -247,15 +301,28 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 			for i := 0; i < 150; i++ {
 				body := fmt.Sprintf(`{"rater":%d,"subject":%d,"value":%.4f}`,
 					src.Intn(n), src.Intn(n), src.Float64())
-				resp, err := client.Post(ts.URL+"/v1/feedback", "application/json", bytes.NewReader([]byte(body)))
-				if err != nil {
+				if err := postAccepted(ts.URL+"/v1/feedback", body); err != nil {
 					t.Error(err)
 					return
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
-					t.Errorf("feedback status %d", resp.StatusCode)
+			}
+		}(w)
+	}
+	// Batch writers share the sequence space and the backpressure window with
+	// the single writers: 2 × 30 batches × 5 ratings, JSON-lines encoding.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(300 + w))
+			for i := 0; i < 30; i++ {
+				var body bytes.Buffer
+				for k := 0; k < 5; k++ {
+					fmt.Fprintf(&body, "{\"rater\":%d,\"subject\":%d,\"value\":%.4f}\n",
+						src.Intn(n), src.Intn(n), src.Float64())
+				}
+				if err := postAccepted(ts.URL+"/v1/feedback/batch", body.String()); err != nil {
+					t.Error(err)
 					return
 				}
 			}
@@ -266,13 +333,34 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 		go func(r int) {
 			defer wg.Done()
 			src := rng.New(uint64(200 + r))
+			etags := make(map[int]string)
 			for i := 0; i < 150; i++ {
-				var rep reputationResponse
-				resp, err := client.Get(fmt.Sprintf("%s/v1/reputation/%d", ts.URL, src.Intn(n)))
+				subject := src.Intn(n)
+				req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/reputation/%d", ts.URL, subject), nil)
 				if err != nil {
 					t.Error(err)
 					return
 				}
+				if tag, ok := etags[subject]; ok {
+					req.Header.Set("If-None-Match", tag)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode == http.StatusNotModified {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					// A 304 may only confirm the fold point this reader was
+					// actually served earlier — never some invented tag.
+					if got := resp.Header.Get("ETag"); got != etags[subject] {
+						t.Errorf("304 ETag %q does not match the validator %q", got, etags[subject])
+						return
+					}
+					continue
+				}
+				var rep reputationResponse
 				err = json.NewDecoder(resp.Body).Decode(&rep)
 				resp.Body.Close()
 				if err != nil {
@@ -287,6 +375,14 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 					t.Errorf("torn snapshot over HTTP: seq %d at epoch 0", rep.Seq)
 					return
 				}
+				// The ETag must name exactly the fold point in the body: a
+				// conditional revalidation hits only real publications.
+				want := fmt.Sprintf(`"%d-%d-%d"`, rep.Shard, rep.Epoch, rep.Seq)
+				if got := resp.Header.Get("ETag"); got != want {
+					t.Errorf("ETag %q for fold point %s", got, want)
+					return
+				}
+				etags[subject] = want
 			}
 		}(r)
 	}
@@ -294,13 +390,14 @@ func TestConcurrentHTTPTraffic(t *testing.T) {
 	close(stopPoller)
 	<-pollerDone
 
-	// Everything folds; the final state matches the exact reference.
+	// Everything folds — retried writes included, exactly once each; the
+	// final state matches the exact reference.
 	if _, _, err := svc.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
 	v := svc.View()
-	if v.Seq() != 600 {
-		t.Fatalf("final seq %d, want 600", v.Seq())
+	if v.Seq() != 900 {
+		t.Fatalf("final seq %d, want 900 (600 single + 300 batched)", v.Seq())
 	}
 	for j := 0; j < n; j++ {
 		got, err := v.Reputation(j)

@@ -11,6 +11,7 @@ import (
 	"diffgossip/internal/cluster"
 	"diffgossip/internal/core"
 	"diffgossip/internal/graph"
+	"diffgossip/internal/httpapi"
 	"diffgossip/internal/obs"
 	"diffgossip/internal/service"
 	"diffgossip/internal/transport"
@@ -261,8 +262,10 @@ func TestReadyzAndMetricsAgree(t *testing.T) {
 	// As in TestReadyzStalledScheduler: the server believes a millisecond
 	// scheduler exists and the grace has long passed, so one pending entry
 	// flips it to stalled.
-	srv := newClusterServer(svc, nil, time.Millisecond, reg)
-	srv.started = time.Now().Add(-time.Second)
+	srv := httpapi.New(httpapi.Config{
+		Service: svc, EpochEvery: time.Millisecond, Registry: reg,
+		Started: time.Now().Add(-time.Second),
+	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := ts.Client()

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+	"diffgossip/internal/httpapi"
+	"diffgossip/internal/obs"
+	"diffgossip/internal/service"
+)
+
+// newOverloadServer builds an httpapi server with explicit limits over a
+// fresh service and registry, without binding a listener — the overload
+// contract is exercised through ServeHTTP directly so request lifetimes
+// (stalled bodies, pre-canceled contexts) stay under test control.
+func newOverloadServer(t *testing.T, mutate func(*httpapi.Config)) (*httpapi.Server, *service.Service) {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: 16, M: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
+	cfg := httpapi.Config{Service: svc, EpochEvery: 2 * time.Second, Registry: reg}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return httpapi.New(cfg), svc
+}
+
+// refusedCounts scrapes the server's own /metrics and returns the full
+// dgserve_http_refused_total family keyed by reason label.
+func refusedCounts(t *testing.T, srv *httpapi.Server) map[string]float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	fams, err := obs.ParseExposition(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	counts := make(map[string]float64)
+	for _, f := range fams {
+		if f.Name != "dgserve_http_refused_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			reason := strings.TrimSuffix(strings.TrimPrefix(s.Labels, `reason="`), `"`)
+			counts[reason] = s.Value
+		}
+	}
+	if len(counts) != 5 {
+		t.Fatalf("refused family has %d reasons, want 5: %v", len(counts), counts)
+	}
+	return counts
+}
+
+// wantRefused asserts the named reason's counter is exactly 1 and every
+// other refusal reason stayed at 0 — each refusal is counted once, under
+// one reason.
+func wantRefused(t *testing.T, srv *httpapi.Server, reason string) {
+	t.Helper()
+	for r, v := range refusedCounts(t, srv) {
+		want := 0.0
+		if r == reason {
+			want = 1.0
+		}
+		if v != want {
+			t.Errorf("refused{reason=%q} = %v, want %v", r, v, want)
+		}
+	}
+}
+
+func doReq(srv *httpapi.Server, method, target, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	srv.ServeHTTP(rec, httptest.NewRequest(method, target, rd))
+	return rec
+}
+
+// TestOverloadContract pins the front door's refusal table: every overload
+// and abuse case answers its documented status, and increments its
+// dgserve_http_refused_total reason exactly once.
+func TestOverloadContract(t *testing.T) {
+	t.Run("oversized single body -> 413", func(t *testing.T) {
+		srv, _ := newOverloadServer(t, nil)
+		// Leading whitespace pushes the body past the single-feedback byte
+		// limit before the decoder reaches the value.
+		body := strings.Repeat(" ", 8192) + `{"rater":1,"subject":2,"value":0.5}`
+		if rec := doReq(srv, http.MethodPost, "/v1/feedback", body); rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", rec.Code)
+		}
+		wantRefused(t, srv, "oversized")
+	})
+
+	t.Run("batch over entry limit -> 413", func(t *testing.T) {
+		srv, _ := newOverloadServer(t, func(c *httpapi.Config) { c.MaxBatch = 2 })
+		body := `[{"rater":1,"subject":2,"value":0.5},{"rater":2,"subject":3,"value":0.5},{"rater":3,"subject":4,"value":0.5}]`
+		if rec := doReq(srv, http.MethodPost, "/v1/feedback/batch", body); rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d, want 413", rec.Code)
+		}
+		wantRefused(t, srv, "oversized")
+	})
+
+	t.Run("malformed body -> 400", func(t *testing.T) {
+		srv, _ := newOverloadServer(t, nil)
+		if rec := doReq(srv, http.MethodPost, "/v1/feedback", `{"rater":`); rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", rec.Code)
+		}
+		wantRefused(t, srv, "malformed")
+	})
+
+	t.Run("invalid rating in batch -> 400, all-or-nothing", func(t *testing.T) {
+		srv, svc := newOverloadServer(t, nil)
+		// Entry 2 of 2 is out of range: the whole batch must be rejected.
+		body := `[{"rater":1,"subject":2,"value":0.5},{"rater":2,"subject":3,"value":7.0}]`
+		if rec := doReq(srv, http.MethodPost, "/v1/feedback/batch", body); rec.Code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", rec.Code)
+		}
+		if got := svc.Pending(); got != 0 {
+			t.Fatalf("%d entries admitted from a rejected batch, want 0", got)
+		}
+		wantRefused(t, srv, "malformed")
+	})
+
+	t.Run("pending window full -> 429 with Retry-After", func(t *testing.T) {
+		srv, svc := newOverloadServer(t, func(c *httpapi.Config) { c.MaxPending = 1 })
+		if _, err := svc.Submit(1, 2, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		rec := doReq(srv, http.MethodPost, "/v1/feedback", `{"rater":3,"subject":4,"value":0.5}`)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", rec.Code)
+		}
+		// Retry-After is the epoch cadence rounded up (2s configured here).
+		if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra != 2 {
+			t.Fatalf("Retry-After = %q, want 2", rec.Header().Get("Retry-After"))
+		}
+		wantRefused(t, srv, "backpressure")
+
+		// Backpressure is also a readiness reason, so load balancers rotate
+		// writes away before clients ever see the 429s.
+		var rb readyBody
+		rr := doReq(srv, http.MethodGet, "/readyz", "")
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("/readyz status %d under backpressure, want 503", rr.Code)
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &rb); err != nil || rb.Ready {
+			t.Fatalf("/readyz body %s", rr.Body.String())
+		}
+
+		// An epoch drains the window and ingest reopens.
+		if _, _, err := svc.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if rec := doReq(srv, http.MethodPost, "/v1/feedback", `{"rater":3,"subject":4,"value":0.5}`); rec.Code != http.StatusAccepted {
+			t.Fatalf("post-fold status %d, want 202", rec.Code)
+		}
+	})
+
+	t.Run("inflight gate full -> 503", func(t *testing.T) {
+		srv, _ := newOverloadServer(t, func(c *httpapi.Config) { c.MaxInflight = 1 })
+		// The first request holds the only slot: its body arrives through a
+		// pipe, so the handler is provably past the gate once a write is
+		// consumed, and stays in the handler until the body completes.
+		pr, pw := io.Pipe()
+		first := httptest.NewRequest(http.MethodPost, "/v1/feedback", pr)
+		firstRec := httptest.NewRecorder()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeHTTP(firstRec, first)
+		}()
+		if _, err := pw.Write([]byte(" ")); err != nil { // returns only after the decoder reads
+			t.Fatal(err)
+		}
+		rec := doReq(srv, http.MethodGet, "/v1/stats", "")
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", rec.Code)
+		}
+		if rec.Header().Get("Retry-After") != "1" {
+			t.Fatalf("Retry-After = %q, want 1", rec.Header().Get("Retry-After"))
+		}
+		// Release the slot with a valid body: the held request itself is
+		// accepted, so the only refusal on the books is the gate's.
+		if _, err := pw.Write([]byte(`{"rater":1,"subject":2,"value":0.5}`)); err != nil {
+			t.Fatal(err)
+		}
+		pw.Close()
+		wg.Wait()
+		if firstRec.Code != http.StatusAccepted {
+			t.Fatalf("held request status %d, want 202", firstRec.Code)
+		}
+		wantRefused(t, srv, "inflight")
+		if rec := doReq(srv, http.MethodGet, "/v1/stats", ""); rec.Code != http.StatusOK {
+			t.Fatalf("post-release status %d, want 200", rec.Code)
+		}
+	})
+
+	t.Run("canceled context -> 499, no WAL write", func(t *testing.T) {
+		srv, svc := newOverloadServer(t, nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for _, c := range []struct{ target, body string }{
+			{"/v1/feedback", `{"rater":1,"subject":2,"value":0.5}`},
+			{"/v1/feedback/batch", `[{"rater":1,"subject":2,"value":0.5}]`},
+		} {
+			req := httptest.NewRequest(http.MethodPost, c.target, strings.NewReader(c.body)).WithContext(ctx)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != httpapi.StatusClientClosedRequest {
+				t.Fatalf("%s status %d, want 499", c.target, rec.Code)
+			}
+		}
+		// Nothing was recorded: the context is checked before the ledger is
+		// touched, so an abandoned request leaves no partial write behind.
+		if got := svc.Pending(); got != 0 {
+			t.Fatalf("%d entries admitted from canceled requests, want 0", got)
+		}
+		if counts := refusedCounts(t, srv); counts["canceled"] != 2 {
+			t.Fatalf("refused{canceled} = %v after two canceled posts, want 2", counts["canceled"])
+		}
+	})
+}

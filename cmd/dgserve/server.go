@@ -1,380 +1,36 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"net/http"
-	"strconv"
 	"time"
 
 	"diffgossip/internal/cluster"
+	"diffgossip/internal/httpapi"
 	"diffgossip/internal/obs"
 	"diffgossip/internal/service"
-	"diffgossip/internal/store"
 )
 
-// server wraps a reputation service with the HTTP/JSON API:
-//
-//	POST /v1/feedback                    {"rater":i,"subject":j,"value":v}
-//	GET  /v1/reputation/{subject}        global reputation
-//	GET  /v1/reputation/{subject}?as=i   GCLR personalised view for rater i
-//	GET  /v1/epoch                       composite view metadata
-//	POST /v1/epoch                       force an epoch now
-//	GET  /v1/stats                       shard pipeline statistics
-//	GET  /v1/trace                       recent per-epoch fold traces
-//	GET  /healthz                        liveness: 200 while the process serves
-//	GET  /readyz                         readiness: 503 when degraded (see below)
-//	GET  /metrics                        Prometheus text exposition (when instrumented)
-//
-// Reads are served lock-free from the published per-shard snapshots;
-// feedback becomes visible when its subject's shard next folds (see the
-// internal/service consistency model). Responses to subject queries carry
-// the fold point (epoch, seq) of that subject's own shard.
-//
-// The two probes split orchestrator concerns: /healthz answers "should this
-// process be restarted" (it always says 200 — a serving process is alive),
-// while /readyz answers "should a load balancer route here" and degrades to
-// 503 — with the reasons in the body — when the epoch pipeline has failed,
-// a majority of cluster peers look suspect or dead (this node is probably
-// the partitioned one), or the epoch scheduler has stalled with feedback
-// pending.
-type server struct {
-	svc        *service.Service
-	node       *cluster.Node // nil outside cluster mode
-	epochEvery time.Duration // scheduler interval, 0 = manual epochs
-	started    time.Time
-	mux        *http.ServeMux
-}
+// The HTTP surface lives in internal/httpapi (so the bench harness drives
+// the same ingress path production serves); these aliases keep this
+// package's tests and the loadgen reading naturally.
+type (
+	feedbackResponse   = httpapi.FeedbackResponse
+	batchResponse      = httpapi.BatchResponse
+	reputationResponse = httpapi.ReputationResponse
+	epochResponse      = httpapi.EpochResponse
+	statsResponse      = httpapi.StatsResponse
+	traceResponse      = httpapi.TraceResponse
+)
 
-func newServer(svc *service.Service) *server { return newClusterServer(svc, nil, 0, nil) }
+// newServer builds a standalone front door with default limits — the
+// in-process loadgen target and simple-test construction.
+func newServer(svc *service.Service) *httpapi.Server { return newClusterServer(svc, nil, 0, nil) }
 
 // newClusterServer builds the HTTP surface over a service and, in cluster
-// mode, its replication node — /v1/stats then carries the peer health and
-// replication counters alongside the shard pipeline statistics, and /readyz
-// watches cluster membership. epochEvery is the epoch scheduler interval
-// (0 = manual epochs), which bounds how long pending feedback may sit
-// unfolded before /readyz calls the scheduler stalled.
-//
-// A non-nil reg turns instrumentation on: every route is wrapped in the
-// request-count/latency/in-flight middleware, GET /metrics serves reg's
-// exposition, and the readiness verdict is mirrored as the dgserve_ready and
-// per-reason dgserve_unready_reason gauges so dashboards and load balancers
-// read from the same readyReasons source.
-func newClusterServer(svc *service.Service, node *cluster.Node, epochEvery time.Duration, reg *obs.Registry) *server {
-	s := &server{svc: svc, node: node, epochEvery: epochEvery, started: time.Now(), mux: http.NewServeMux()}
-	wrap := func(route string, h http.HandlerFunc) http.HandlerFunc { return h }
-	if reg != nil {
-		wrap = obs.NewHTTPMetrics(reg, "dgserve_http").Wrap
-	}
-	s.mux.HandleFunc("POST /v1/feedback", wrap("/v1/feedback", s.handleFeedback))
-	s.mux.HandleFunc("GET /v1/reputation/{subject}", wrap("/v1/reputation", s.handleReputation))
-	s.mux.HandleFunc("GET /v1/epoch", wrap("/v1/epoch", s.handleEpochGet))
-	s.mux.HandleFunc("POST /v1/epoch", wrap("/v1/epoch", s.handleEpochPost))
-	s.mux.HandleFunc("GET /v1/stats", wrap("/v1/stats", s.handleStats))
-	s.mux.HandleFunc("GET /v1/trace", wrap("/v1/trace", s.handleTrace))
-	s.mux.HandleFunc("GET /healthz", wrap("/healthz", s.handleHealth))
-	s.mux.HandleFunc("GET /readyz", wrap("/readyz", s.handleReady))
-	if reg != nil {
-		s.mux.Handle("GET /metrics", reg.Handler())
-		reg.GaugeFunc("dgserve_ready", "",
-			"Readiness verdict mirrored from GET /readyz: 1 ready, 0 degraded.", func() float64 {
-				if len(s.readyReasons()) == 0 {
-					return 1
-				}
-				return 0
-			})
-		reg.GaugeMapFunc("dgserve_unready_reason", "reason",
-			"Active readiness-failure causes (1 = failing): epoch_pipeline_failed, membership_degraded, scheduler_stalled.",
-			func() map[string]float64 {
-				out := map[string]float64{
-					reasonEpochFailed: 0, reasonMembership: 0, reasonStalled: 0,
-				}
-				for _, r := range s.readyReasons() {
-					out[r.key] = 1
-				}
-				return out
-			})
-	}
-	return s
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// feedbackRequest is the POST /v1/feedback body.
-type feedbackRequest struct {
-	Rater   int     `json:"rater"`
-	Subject int     `json:"subject"`
-	Value   float64 `json:"value"`
-}
-
-// feedbackResponse acknowledges an accepted feedback entry. The entry is
-// durable in the ledger but not yet visible to reads — hence 202 Accepted —
-// and will be folded once its subject's shard epoch reaches Seq (watch the
-// reputation response's seq field). Shard identifies the subject shard the
-// entry dirtied.
-type feedbackResponse struct {
-	Seq     uint64 `json:"seq"`
-	Shard   int    `json:"shard"`
-	Pending int    `json:"pending"`
-	Epoch   uint64 `json:"epoch"`
-}
-
-func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	var req feedbackRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad feedback body: %w", err))
-		return
-	}
-	seq, err := s.svc.Submit(req.Rater, req.Subject, req.Value)
-	if err != nil {
-		// Validation failures are the caller's fault; anything else (WAL
-		// I/O) is a server-side failure the client should retry.
-		status := http.StatusInternalServerError
-		if errors.Is(err, store.ErrInvalidFeedback) {
-			status = http.StatusBadRequest
-		}
-		writeError(w, status, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, feedbackResponse{
-		Seq:     seq,
-		Shard:   store.ShardOf(req.Subject, s.svc.Shards()),
-		Pending: s.svc.Pending(),
-		Epoch:   s.svc.Epochs(),
+// mode, its replication node, with the package's default ingress limits.
+// run() wires the flag-configured limits through runConfig.newHTTPServer
+// instead.
+func newClusterServer(svc *service.Service, node *cluster.Node, epochEvery time.Duration, reg *obs.Registry) *httpapi.Server {
+	return httpapi.New(httpapi.Config{
+		Service: svc, Node: node, EpochEvery: epochEvery, Registry: reg,
 	})
-}
-
-// reputationResponse answers a reputation query. Epoch and Seq identify the
-// fold point of the subject's own shard; Raters is the number of distinct
-// raters backing the value (0 means "no evidence", not "bad reputation").
-type reputationResponse struct {
-	Subject    int     `json:"subject"`
-	Reputation float64 `json:"reputation"`
-	Raters     int     `json:"raters"`
-	Shard      int     `json:"shard"`
-	Epoch      uint64  `json:"epoch"`
-	Seq        uint64  `json:"seq"`
-	// As and Personal are set on ?as=rater queries: the GCLR view of the
-	// subject from that rater's perspective.
-	As       *int `json:"as,omitempty"`
-	Personal bool `json:"personal,omitempty"`
-}
-
-func (s *server) handleReputation(w http.ResponseWriter, r *http.Request) {
-	subject, err := strconv.Atoi(r.PathValue("subject"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad subject: %w", err))
-		return
-	}
-	resp := reputationResponse{Subject: subject}
-	if as := r.URL.Query().Get("as"); as != "" {
-		rater, err := strconv.Atoi(as)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad as=%q: %w", as, err))
-			return
-		}
-		resp.As, resp.Personal = &rater, true
-		var view *service.View
-		resp.Reputation, view, err = s.svc.PersonalReputation(rater, subject)
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		resp.Raters = view.Raters(subject)
-		resp.Shard = store.ShardOf(subject, view.Shards())
-		resp.Epoch, resp.Seq = view.SubjectEpoch(subject), view.SubjectSeq(subject)
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	// Global read: everything comes from the subject's own shard snapshot,
-	// so one atomic load suffices — no composite view on the hot path.
-	seg, err := s.svc.SubjectRead(subject)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	resp.Reputation, err = seg.Reputation(subject)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	resp.Raters = seg.RaterCount(subject)
-	resp.Shard = seg.Shard
-	resp.Epoch, resp.Seq = seg.Epoch, seg.Seq
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// epochResponse is the GET/POST /v1/epoch answer: the composite view's
-// metadata plus the current ingest backlog. Epoch/Seq are the newest fold
-// point any shard has published; Steps/ElapsedNs aggregate the newest
-// epoch's folds; PerShard carries each shard's own fold point and timings.
-type epochResponse struct {
-	Epoch       uint64              `json:"epoch"`
-	Seq         uint64              `json:"seq"`
-	Pending     int                 `json:"pending"`
-	N           int                 `json:"n"`
-	Shards      int                 `json:"shards"`
-	DirtyShards int                 `json:"dirty_shards"`
-	Steps       int                 `json:"steps"`
-	Converged   bool                `json:"converged"`
-	ElapsedNs   int64               `json:"elapsed_ns"`
-	PerShard    []service.ShardStat `json:"per_shard"`
-	// Ran reports, on POST /v1/epoch responses, whether an epoch actually
-	// recomputed (false = nothing pending, shard snapshots unchanged).
-	Ran bool `json:"ran"`
-}
-
-func (s *server) epochInfo(view *service.View) epochResponse {
-	st := s.svc.Stats()
-	return epochResponse{
-		Epoch:       view.Epoch(),
-		Seq:         view.Seq(),
-		Pending:     st.Pending,
-		N:           view.N(),
-		Shards:      view.Shards(),
-		DirtyShards: st.DirtyShards,
-		Steps:       view.Steps(),
-		Converged:   view.Converged(),
-		ElapsedNs:   view.ElapsedNs(),
-		PerShard:    st.PerShard,
-	}
-}
-
-func (s *server) handleEpochGet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.epochInfo(s.svc.View()))
-}
-
-func (s *server) handleEpochPost(w http.ResponseWriter, r *http.Request) {
-	view, ran, err := s.svc.RunEpoch()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	resp := s.epochInfo(view)
-	resp.Ran = ran
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// statsResponse is the /v1/stats body: the shard pipeline statistics plus,
-// in cluster mode, the replication layer's watermarks, counters and per-peer
-// health.
-type statsResponse struct {
-	service.Stats
-	Cluster *cluster.Stats `json:"cluster,omitempty"`
-}
-
-// handleStats serves the shard pipeline statistics (and cluster peer health
-// when federated). The service half of the path is lock-free — atomic
-// counter loads and per-shard pointer loads — so it can be scraped
-// aggressively without perturbing ingest or epochs.
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{Stats: s.svc.Stats()}
-	if s.node != nil {
-		st := s.node.Stats()
-		resp.Cluster = &st
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// handleHealth is the liveness probe: a process that can answer it should
-// not be restarted, so it always reports 200. Degradation — epoch errors,
-// failing peers, a stalled scheduler — is readiness, on /readyz.
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":     true,
-		"epoch":  s.svc.Epochs(),
-		"n":      s.svc.N(),
-		"shards": s.svc.Shards(),
-	})
-}
-
-// stallGrace is how many scheduler intervals pending feedback may wait
-// before /readyz declares the epoch scheduler stalled. Three intervals
-// absorbs one slow fold without flapping.
-const stallGrace = 3
-
-// The stable reason keys readiness failures are exported under — both as the
-// dgserve_unready_reason gauge's label values and for tests matching probe
-// output to metrics.
-const (
-	reasonEpochFailed = "epoch_pipeline_failed"
-	reasonMembership  = "membership_degraded"
-	reasonStalled     = "scheduler_stalled"
-)
-
-// readyReason is one cause of readiness failure: a stable key for metrics
-// and a human explanation for the probe body.
-type readyReason struct{ key, msg string }
-
-// readyReasons computes the readiness verdict — the single source both
-// GET /readyz and the dgserve_ready/dgserve_unready_reason gauges report
-// from. Empty means ready.
-func (s *server) readyReasons() []readyReason {
-	var reasons []readyReason
-	if err := s.svc.Err(); err != nil {
-		reasons = append(reasons, readyReason{reasonEpochFailed, fmt.Sprintf("epoch pipeline failed: %v", err)})
-	}
-	if s.node != nil {
-		if degraded, why := s.node.Degraded(); degraded {
-			reasons = append(reasons, readyReason{reasonMembership, "cluster membership degraded: " + why})
-		}
-	}
-	if s.epochEvery > 0 && s.svc.Pending() > 0 {
-		// Pending feedback with a running scheduler should fold within an
-		// interval; measure from the later of the last epoch and process
-		// start so a fresh server is not instantly stalled.
-		ref := s.started.UnixNano()
-		if last := s.svc.LastEpochUnixNano(); last > ref {
-			ref = last
-		}
-		if wait := time.Since(time.Unix(0, ref)); wait > stallGrace*s.epochEvery {
-			reasons = append(reasons, readyReason{reasonStalled,
-				fmt.Sprintf("epoch scheduler stalled: %d entries pending for %v (interval %v)",
-					s.svc.Pending(), wait.Round(time.Millisecond), s.epochEvery)})
-		}
-	}
-	return reasons
-}
-
-// handleReady is the readiness probe: 200 while this node should receive
-// traffic, 503 with the reasons otherwise. A degraded node keeps serving —
-// clients that reach it directly still get answers — the probe only steers
-// load balancers away.
-func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
-	if rs := s.readyReasons(); len(rs) > 0 {
-		msgs := make([]string, len(rs))
-		for i, rr := range rs {
-			msgs[i] = rr.msg
-		}
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": msgs})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
-}
-
-// traceResponse is the GET /v1/trace body: the scheduler's ring of recent
-// non-empty epochs, oldest first, plus the ring's capacity.
-type traceResponse struct {
-	Depth  int                  `json:"depth"`
-	Epochs []service.EpochTrace `json:"epochs"`
-}
-
-// handleTrace serves the epoch trace ring — the postmortem view of the last
-// TraceDepth folds: which shards recomputed, when each fold started and how
-// long its campaigns ran, and whether anti-entropy preceded the epoch.
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, traceResponse{Depth: s.svc.TraceDepth(), Epochs: s.svc.Trace()})
 }

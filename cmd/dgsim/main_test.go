@@ -75,7 +75,7 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("BENCH json does not parse: %v", err)
 	}
-	if report.Schema != "diffgossip-bench/v8" {
+	if report.Schema != "diffgossip-bench/v9" {
 		t.Fatalf("schema = %q", report.Schema)
 	}
 	if report.CPUs < 1 {
@@ -83,15 +83,27 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	}
 	// 16 fixed rows (scalar, vector, vector-sparse, service, churn,
 	// 3×sharded, 3×anti-entropy, http-latency, 2×bootstrap,
-	// 2×wal-compaction) plus the v8 epoch-scaling family: two warm rows and
-	// one cores row per GOMAXPROCS setting (host-dependent, at least three).
-	if len(report.Benchmarks) < 21 {
-		t.Fatalf("benchmarks = %d, want at least 21", len(report.Benchmarks))
+	// 2×wal-compaction) plus the v8 epoch-scaling family (two warm rows and
+	// one cores row per GOMAXPROCS setting, at least three) and the six v9
+	// http-front-door rows.
+	if len(report.Benchmarks) < 27 {
+		t.Fatalf("benchmarks = %d, want at least 27", len(report.Benchmarks))
 	}
 	var serviceRows, churnRows, shardedRows, handoffRows, latencyRows, bootstrapRows, walRows int
 	var warmRows, coresRows int
 	scaling := map[string]sim.BenchResult{}
+	frontDoor := map[string]sim.BenchResult{}
 	for _, b := range report.Benchmarks {
+		if strings.HasPrefix(b.Name, "http-front-door/") {
+			// The schema-v9 rows: the production ingress driven over
+			// loopback. They report throughput and reader percentiles, not
+			// gossip steps (the cluster row's steps are exchange rounds).
+			frontDoor[b.Name] = b
+			if !b.Converged {
+				t.Fatalf("front-door row did not converge: %+v", b)
+			}
+			continue
+		}
 		if strings.HasPrefix(b.Name, "wal-compaction/") {
 			// The schema-v7 size rows measure bytes, not steps: the ledger
 			// file around one compaction of a fixed live cell set.
@@ -226,5 +238,40 @@ func TestBenchJSONWellFormed(t *testing.T) {
 	}
 	if 5*on.TotalSteps > off.TotalSteps {
 		t.Fatalf("warm epoch spent %d campaign steps, want at most a fifth of cold's %d", on.TotalSteps, off.TotalSteps)
+	}
+
+	// The v9 front-door rows. CI bench-smoke holds the strict throughput and
+	// tail-latency ratios (batch ≥ 5× single, bp p99 ≤ 0.5× nobp) on a
+	// dedicated run; here — where the suite may run under the race detector —
+	// the claims are checked directionally with slack.
+	single, batch := frontDoor["http-front-door/ingest=single"], frontDoor["http-front-door/ingest=batch"]
+	nobp, bp := frontDoor["http-front-door/overload=nobp"], frontDoor["http-front-door/overload=bp"]
+	cond, clus := frontDoor["http-front-door/reads=conditional"], frontDoor["http-front-door/cluster=3"]
+	if len(frontDoor) != 6 || single.Name == "" || batch.Name == "" || nobp.Name == "" || bp.Name == "" || cond.Name == "" || clus.Name == "" {
+		t.Fatalf("front-door rows incomplete: %d rows %v", len(frontDoor), frontDoor)
+	}
+	for _, b := range []sim.BenchResult{single, batch, nobp, bp, cond} {
+		if b.Requests <= 0 || b.P50Ns <= 0 || b.P50Ns > b.P95Ns || b.P95Ns > b.P99Ns {
+			t.Fatalf("front-door row has no monotone request accounting: %+v", b)
+		}
+	}
+	if single.AcceptedRatings != single.Requests || batch.AcceptedRatings <= batch.Requests {
+		t.Fatalf("ingest rows accepted/requests inconsistent: single %+v, batch %+v", single, batch)
+	}
+	if batch.IngestPerSec < 3*single.IngestPerSec {
+		t.Fatalf("batch ingest %.0f ratings/s vs single %.0f — batching amortized nothing",
+			batch.IngestPerSec, single.IngestPerSec)
+	}
+	if nobp.ShedRequests != 0 || bp.ShedRequests <= 0 || bp.AcceptedRatings <= 0 {
+		t.Fatalf("overload rows shed accounting wrong: nobp %+v, bp %+v", nobp, bp)
+	}
+	if bp.P99Ns >= nobp.P99Ns {
+		t.Fatalf("backpressure did not improve read p99: bp %dns vs nobp %dns", bp.P99Ns, nobp.P99Ns)
+	}
+	if cond.NotModified <= 0 || cond.NotModified >= cond.Requests {
+		t.Fatalf("conditional row 304 accounting wrong: %+v", cond)
+	}
+	if clus.Steps <= 0 || clus.ConvergeNs <= 0 || clus.AcceptedRatings <= 0 || clus.IngestPerSec <= 0 {
+		t.Fatalf("cluster row has no convergence accounting: %+v", clus)
 	}
 }

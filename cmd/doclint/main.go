@@ -34,7 +34,7 @@ import (
 
 // lintPackages are the directories (relative to the repo root) whose
 // exported symbols must all be documented.
-var lintPackages = []string{".", "internal/service", "internal/store", "internal/cluster", "internal/obs"}
+var lintPackages = []string{".", "internal/service", "internal/store", "internal/cluster", "internal/obs", "internal/httpapi"}
 
 // lintMarkdown are the markdown files (and globs) whose relative links must
 // resolve.

@@ -1,0 +1,83 @@
+package httpapi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeBatchArray(t *testing.T) {
+	entries, err := DecodeBatch(strings.NewReader(
+		` [ {"rater":1,"subject":2,"value":0.5}, {"rater":3,"subject":4,"value":0.25,"unix_nano":77} ] `), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Rater != 1 || entries[1].UnixNano != 77 {
+		t.Fatalf("decoded %+v", entries)
+	}
+}
+
+func TestDecodeBatchJSONLines(t *testing.T) {
+	body := "{\"rater\":1,\"subject\":2,\"value\":0.5}\n{\"rater\":3,\"subject\":4,\"value\":0.25}\n"
+	entries, err := DecodeBatch(strings.NewReader(body), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Subject != 4 {
+		t.Fatalf("decoded %+v", entries)
+	}
+}
+
+func TestDecodeBatchRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"empty body":       "",
+		"whitespace only":  "  \n\t ",
+		"empty array":      "[]",
+		"trailing garbage": `[{"rater":1,"subject":2,"value":0.5}] extra`,
+		"unknown field":    `[{"rater":1,"subject":2,"value":0.5,"bogus":1}]`,
+		"truncated":        `[{"rater":1,"sub`,
+		"not feedback":     `"just a string"`,
+	} {
+		if entries, err := DecodeBatch(strings.NewReader(body), 10); err == nil {
+			t.Errorf("%s accepted: %+v", name, entries)
+		}
+	}
+}
+
+func TestDecodeBatchEntryLimit(t *testing.T) {
+	body := `[{"rater":1,"subject":2,"value":0.5},{"rater":3,"subject":4,"value":0.5},{"rater":5,"subject":6,"value":0.5}]`
+	if _, err := DecodeBatch(strings.NewReader(body), 2); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("3 entries under limit 2: err = %v, want ErrBatchTooLarge", err)
+	}
+	// 0 or negative = unlimited.
+	if _, err := DecodeBatch(strings.NewReader(body), 0); err != nil {
+		t.Fatalf("unlimited decode: %v", err)
+	}
+}
+
+// FuzzBatchDecode holds DecodeBatch to its contract on arbitrary bodies:
+// never panic, never return entries alongside an error, never return an
+// empty batch without one, and never exceed the entry limit.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add([]byte(`[{"rater":1,"subject":2,"value":0.5}]`), 10)
+	f.Add([]byte("{\"rater\":1,\"subject\":2,\"value\":0.5}\n{\"rater\":2,\"subject\":3,\"value\":0.25}"), 4096)
+	f.Add([]byte(`[]`), 1)
+	f.Add([]byte(` [ {"rater":0,"subject":0,"value":0} ] trailing`), 2)
+	f.Add([]byte(`[{"rater":1,"subject":2,"value":0.5},`), 0)
+	f.Add([]byte("\xff\xfe"), 3)
+	f.Fuzz(func(t *testing.T, body []byte, maxBatch int) {
+		entries, err := DecodeBatch(strings.NewReader(string(body)), maxBatch)
+		if err != nil {
+			if entries != nil {
+				t.Fatalf("entries %+v returned alongside error %v", entries, err)
+			}
+			return
+		}
+		if len(entries) == 0 {
+			t.Fatal("nil error with an empty batch")
+		}
+		if maxBatch > 0 && len(entries) > maxBatch {
+			t.Fatalf("%d entries decoded past limit %d", len(entries), maxBatch)
+		}
+	})
+}

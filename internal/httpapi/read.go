@@ -1,0 +1,161 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"diffgossip/internal/service"
+	"diffgossip/internal/store"
+)
+
+// ReputationResponse answers a reputation query. Epoch and Seq identify the
+// fold point of the subject's own shard; Raters is the number of distinct
+// raters backing the value (0 means "no evidence", not "bad reputation").
+type ReputationResponse struct {
+	Subject    int     `json:"subject"`
+	Reputation float64 `json:"reputation"`
+	Raters     int     `json:"raters"`
+	Shard      int     `json:"shard"`
+	Epoch      uint64  `json:"epoch"`
+	Seq        uint64  `json:"seq"`
+	// As and Personal are set on ?as=rater queries: the GCLR view of the
+	// subject from that rater's perspective.
+	As       *int `json:"as,omitempty"`
+	Personal bool `json:"personal,omitempty"`
+}
+
+// segETag renders a shard fold point as a strong ETag: "<shard>-<epoch>-<seq>".
+// The triple fully identifies a published shard snapshot — two responses
+// with the same tag were served from the same immutable publication.
+func segETag(shard, epoch, seq uint64) string {
+	b := make([]byte, 0, 48)
+	b = append(b, '"')
+	b = strconv.AppendUint(b, shard, 10)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, epoch, 10)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, '"')
+	return string(b)
+}
+
+// statsETag is the /v1/stats variant, keyed by the cumulative fold counters:
+// "s-<epochs>-<folded_shards>". It moves whenever any shard folds.
+func statsETag(epochs, foldedShards uint64) string {
+	b := make([]byte, 0, 48)
+	b = append(b, '"', 's', '-')
+	b = strconv.AppendUint(b, epochs, 10)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, foldedShards, 10)
+	b = append(b, '"')
+	return string(b)
+}
+
+// handleReputation serves single-subject reads. The global path is the hot
+// read: one atomic shard-snapshot load (service.SubjectRead), no composite
+// view, and an ETag keyed by that shard's fold point — an If-None-Match hit
+// answers 304 before the response struct is even built, so pollers between
+// folds cost the server almost nothing. Personalised (?as=) reads recompute
+// a GCLR view per request and are not ETagged.
+func (s *Server) handleReputation(w http.ResponseWriter, r *http.Request) {
+	subject, err := strconv.Atoi(r.PathValue("subject"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad subject: %w", err))
+		return
+	}
+	resp := ReputationResponse{Subject: subject}
+	if as := r.URL.Query().Get("as"); as != "" {
+		rater, err := strconv.Atoi(as)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad as=%q: %w", as, err))
+			return
+		}
+		resp.As, resp.Personal = &rater, true
+		var view *service.View
+		resp.Reputation, view, err = s.svc.PersonalReputation(rater, subject)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		resp.Raters = view.Raters(subject)
+		resp.Shard = store.ShardOf(subject, view.Shards())
+		resp.Epoch, resp.Seq = view.SubjectEpoch(subject), view.SubjectSeq(subject)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Global read: everything comes from the subject's own shard snapshot,
+	// so one atomic load suffices — no composite view on the hot path.
+	seg, err := s.svc.SubjectRead(subject)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	etag := segETag(uint64(seg.Shard), seg.Epoch, seg.Seq)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		s.m.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	resp.Reputation, err = seg.Reputation(subject)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp.Raters = seg.RaterCount(subject)
+	resp.Shard = seg.Shard
+	resp.Epoch, resp.Seq = seg.Epoch, seg.Seq
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// dumpFlushEvery is how many NDJSON lines the reputation dump writes between
+// flushes: frequent enough that a slow consumer sees steady progress, rare
+// enough that flushing never dominates.
+const dumpFlushEvery = 512
+
+// handleReputationDump streams every subject's global reputation as NDJSON
+// (one ReputationResponse per line, subjects ascending), chunked — the full
+// network never materialises as one response buffer. The view is captured
+// once at the start: the dump is snapshot-consistent per shard, like any
+// composite read.
+func (s *Server) handleReputationDump(w http.ResponseWriter, r *http.Request) {
+	view := s.svc.View()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	shards := view.Shards()
+	line := ReputationResponse{}
+	for j := 0; j < view.N(); j++ {
+		rep, err := view.Reputation(j)
+		if err != nil {
+			return // client sees a truncated stream; nothing sane to send mid-body
+		}
+		line.Subject = j
+		line.Reputation = rep
+		line.Raters = view.Raters(j)
+		line.Shard = store.ShardOf(j, shards)
+		line.Epoch, line.Seq = view.SubjectEpoch(j), view.SubjectSeq(j)
+		if err := writeNDJSON(w, &line); err != nil {
+			return // client went away
+		}
+		if flusher != nil && (j+1)%dumpFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// writeNDJSON writes one dump line.
+func writeNDJSON(w http.ResponseWriter, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -39,6 +39,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -572,6 +573,43 @@ func (s *Service) Submit(rater, subject int, value float64) (uint64, error) {
 // use it to pin conflict resolution; live traffic uses Submit.
 func (s *Service) SubmitAt(rater, subject int, value float64, unixNano int64) (uint64, error) {
 	return s.ledger.Append(rater, subject, value, unixNano)
+}
+
+// SubmitCtx is Submit with request-scoped cancellation: a context already
+// canceled (or past its deadline) returns its error before the ledger is
+// touched, so an abandoned HTTP request can never leave a WAL line behind.
+// The check is deliberately before the append, not during it — once the
+// write-ahead line starts, it completes; half-written entries are a crash
+// concern (handled by replay truncation), not a cancellation one. unixNano
+// is the LWW coordinate of the write; 0 means "stamp now".
+func (s *Service) SubmitCtx(ctx context.Context, rater, subject int, value float64, unixNano int64) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if unixNano == 0 {
+		unixNano = time.Now().UnixNano()
+	}
+	return s.ledger.Append(rater, subject, value, unixNano)
+}
+
+// SubmitBatch records a batch of feedback entries atomically — one WAL flush,
+// one fsync for the whole batch (store.Ledger.AppendBatch) — and returns the
+// first and last assigned sequence numbers. Entries carrying UnixNano 0 are
+// stamped with the current wall clock, so every entry keeps its own LWW
+// coordinate and cluster convergence is indistinguishable from the same
+// ratings submitted singly; deterministic drivers pre-stamp their own. A
+// canceled context returns before anything is written.
+func (s *Service) SubmitBatch(ctx context.Context, entries []store.Feedback) (first, last uint64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	now := time.Now().UnixNano()
+	for i := range entries {
+		if entries[i].UnixNano == 0 {
+			entries[i].UnixNano = now
+		}
+	}
+	return s.ledger.AppendBatch(entries)
 }
 
 // Origin returns this node's cluster identity (Config.Origin; empty for

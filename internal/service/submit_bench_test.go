@@ -1,0 +1,62 @@
+package service
+
+import (
+	"testing"
+
+	"diffgossip/internal/core"
+	"diffgossip/internal/graph"
+)
+
+// newBenchService builds a memory-backed sharded service for hot-path
+// measurement.
+func newBenchService(tb testing.TB) *Service {
+	tb.Helper()
+	g, err := graph.PreferentialAttachment(graph.PAConfig{N: 1024, M: 2, Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := New(Config{Graph: g, Params: core.Params{Epsilon: 1e-6, Seed: 11}, Shards: 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Close() })
+	return s
+}
+
+// BenchmarkSubmit is the service-side single-POST hot path: validate, assign
+// a sequence number, admit to the pending window, mark the shard dirty. It
+// must stay at 0 allocs/op — everything the HTTP layer adds per request
+// (backpressure check, in-flight gate) is an atomic load on top of this.
+// WAL-backed submits add exactly the line encoding; see the ledger.
+func BenchmarkSubmit(b *testing.B) {
+	s := newBenchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(i%1024, (i+1)%1024, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSubmitHotPathAllocs pins the memory-mode submit path at zero
+// allocations per call. The pending window is pre-grown and the measured
+// submits re-rate one cell, so neither slice growth nor LWW-tag map inserts
+// can contribute — a nonzero count here means the hot path itself regressed
+// (the historical culprit: boxing the Feedback into the WAL encoder's
+// interface argument made every submit escape to the heap, WAL or not).
+func TestSubmitHotPathAllocs(t *testing.T) {
+	s := newBenchService(t)
+	for i := 0; i < 4096; i++ {
+		if _, err := s.Submit(i%1024, (i+1)%1024, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := s.Submit(3, 4, 0.7); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("single-submit hot path allocates %.1f times per call, want 0", avg)
+	}
+}

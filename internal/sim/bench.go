@@ -119,6 +119,18 @@ type BenchResult struct {
 	ColdStarts uint64  `json:"cold_starts,omitempty"`
 	Cores      int     `json:"cores,omitempty"`
 	Speedup    float64 `json:"speedup,omitempty"`
+	// AcceptedRatings, ShedRequests and NotModified describe the
+	// http-front-door rows (schema v9). AcceptedRatings counts ratings the
+	// server answered 202 for — a batch contributes its whole batch — and
+	// IngestPerSec on those rows is AcceptedRatings over wall time, so the
+	// single-vs-batch comparison is per rating, not per request.
+	// ShedRequests counts writes refused 429 by backpressure (overload=bp
+	// only). NotModified counts conditional reads answered 304 on the
+	// reads=conditional row; Requests and the latency percentiles on the
+	// overload rows describe the concurrent READER workload, not the flood.
+	AcceptedRatings int64 `json:"accepted_ratings,omitempty"`
+	ShedRequests    int64 `json:"shed_requests,omitempty"`
+	NotModified     int64 `json:"not_modified,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json emits (BENCH_1.json starts
@@ -153,7 +165,18 @@ type BenchResult struct {
 // full-recompute epochs under GOMAXPROCS 1/2/4/all and record each row's
 // speedup against the 1-core row. Speedups are only meaningful where cpus
 // covers the core count — a 1-CPU host still emits the rows (CI gates its
-// speedup assertion on cpus), and its steps ratio remains valid.
+// speedup assertion on cpus), and its steps ratio remains valid. v9 adds the
+// http-front-door rows, all driven through the production ingress package
+// (internal/httpapi) over a real loopback socket: ingest=single/ingest=batch
+// compare accepted ratings per second for the same WAL-backed workload
+// arriving one rating per POST versus 256 per batch (accepted_ratings,
+// ingest_per_sec); overload=nobp/overload=bp record reader latency
+// percentiles while batch writers flood, without and with the MaxPending
+// backpressure window (shed_requests counts the 429s); reads=conditional
+// records the If-None-Match path's 304 ratio (not_modified/requests); and
+// cluster=3 runs a mixed single/batch workload with pinned LWW stamps across
+// three federated front doors, timing anti-entropy to watermark agreement
+// (converge_ns) and demanding bit-identical reputation dumps.
 type BenchReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go"`
@@ -227,7 +250,7 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 		return nil, err
 	}
 	report := &BenchReport{
-		Schema:     "diffgossip-bench/v8",
+		Schema:     "diffgossip-bench/v9",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		CPUs:       runtime.NumCPU(),
@@ -344,6 +367,18 @@ func RunBench(cfg BenchConfig) (*BenchReport, error) {
 	// dirty slice, and cold epoch latency against the core count.
 	{
 		rows, err := benchEpochScaling(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
+
+	// HTTP front door (schema v9): batch-vs-single accepted throughput,
+	// reader tail latency under a write flood with and without backpressure,
+	// the conditional-read 304 path, and a 3-replica mixed workload — all
+	// through the production ingress package.
+	{
+		rows, err := benchFrontDoor(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -340,7 +340,11 @@ func (l *Ledger) appendModeLocked(fb *Feedback, enqueue bool) error {
 				return err
 			}
 		}
-		b, err := json.Marshal(fb)
+		// Marshal the value, not the pointer: boxing *fb would make every
+		// caller's Feedback escape to the heap even in memory mode, where
+		// this branch never runs — the copy costs one alloc only when a WAL
+		// line is actually encoded.
+		b, err := json.Marshal(*fb)
 		if err != nil {
 			return fmt.Errorf("store: encode feedback: %w", err)
 		}
@@ -371,6 +375,98 @@ func (l *Ledger) appendModeLocked(fb *Feedback, enqueue bool) error {
 		}
 	}
 	return nil
+}
+
+// AppendBatch validates and records a batch of locally-submitted feedback
+// entries atomically, returning the first and last assigned sequence numbers.
+// The batch is all-or-nothing: every entry is validated before anything is
+// written, the WAL lines are buffered and flushed as one unit, and only after
+// the flush succeeds does any in-memory state (seq, pending window, dirty
+// set, replication history) change — a batch that fails before its flush
+// leaves the ledger exactly as it was, with any partial bytes truncated away
+// before the next write. Only the terminal fsync can fail after admission; an
+// error from it means the entries will fold but their durability barrier did
+// not complete, so callers should report the batch as failed (re-submitting
+// identical ratings is idempotent at the trust layer — same cells, same LWW
+// coordinates).
+//
+// Durability is the batch's whole point: where Append flushes each entry to
+// the OS (fsync deferred to the epoch boundary), AppendBatch finishes with
+// ONE fsync for the entire batch — thousands of ratings amortize a single
+// disk barrier, and a 202 for the batch means every entry in it is on disk.
+// Entries must be local (no Origin tags): replicated entries arrive one at a
+// time through AppendReplicated, whose watermark bookkeeping is per-entry.
+func (l *Ledger) AppendBatch(entries []Feedback) (first, last uint64, err error) {
+	if len(entries) == 0 {
+		return 0, 0, fmt.Errorf("store: empty batch: %w", ErrInvalidFeedback)
+	}
+	for i := range entries {
+		if entries[i].Origin != "" || entries[i].OriginSeq != 0 {
+			return 0, 0, fmt.Errorf("store: batch entry %d carries origin tags; batches are local-only", i)
+		}
+		if err := l.check(entries[i].Rater, entries[i].Subject, entries[i].Value); err != nil {
+			return 0, 0, fmt.Errorf("store: batch entry %d: %w", i, err)
+		}
+	}
+	l.mu.Lock()
+	if l.seq > math.MaxUint64-uint64(len(entries)) {
+		l.mu.Unlock()
+		return 0, 0, fmt.Errorf("store: ledger sequence space exhausted")
+	}
+	var total int64
+	if l.w != nil {
+		if l.wErr {
+			if err := l.resyncLocked(); err != nil {
+				l.mu.Unlock()
+				return 0, 0, err
+			}
+		}
+		for i := range entries {
+			entries[i].Seq = l.seq + 1 + uint64(i)
+			b, err := json.Marshal(&entries[i])
+			if err != nil {
+				l.mu.Unlock()
+				return 0, 0, fmt.Errorf("store: encode feedback: %w", err)
+			}
+			b = append(b, '\n')
+			if _, err := l.w.Write(b); err != nil {
+				// bufio may already have spilled complete earlier lines into
+				// the file; wErr makes the next write truncate back to
+				// goodOff, which still sits before the batch.
+				l.wErr = true
+				l.mu.Unlock()
+				return 0, 0, fmt.Errorf("store: write ledger: %w", err)
+			}
+			total += int64(len(b))
+		}
+		if err := l.w.Flush(); err != nil {
+			l.wErr = true
+			l.mu.Unlock()
+			return 0, 0, fmt.Errorf("store: flush ledger: %w", err)
+		}
+		l.goodOff += total
+		l.mWALAppends.Add(uint64(len(entries)))
+	}
+	for i := range entries {
+		entries[i].Seq = l.seq + 1 + uint64(i)
+		entries[i].Shard = ShardOf(entries[i].Subject, l.shards)
+		l.markDirtyLocked(entries[i].Shard)
+	}
+	l.seq += uint64(len(entries))
+	l.mEntries.Add(uint64(len(entries)))
+	l.pending = append(l.pending, entries...)
+	l.pendingN.Store(int64(len(l.pending)))
+	if l.hist != nil {
+		l.hist[""] = append(l.hist[""], entries...)
+	}
+	first, last = entries[0].Seq, entries[len(entries)-1].Seq
+	l.mu.Unlock()
+	// The one amortized disk barrier; Sync takes its own mutex, so a slow
+	// disk stalls only other syncers, never concurrent appends.
+	if err := l.Sync(); err != nil {
+		return 0, 0, err
+	}
+	return first, last, nil
 }
 
 // resyncLocked recovers the WAL after a failed write or flush: a bufio error
